@@ -1,0 +1,203 @@
+//! Steady-state rate-aware runtime estimation (Peukert-style usable
+//! capacity plus self-discharge).
+
+/// A rate-aware Li-Ion battery runtime model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatteryModel {
+    capacity_mah: f64,
+    voltage_v: f64,
+    /// Peukert-style rate exponent (1.0 = ideal; Li-ion ≈ 1.03–1.08).
+    peukert: f64,
+    /// Rated (1C-equivalent reference) discharge current in mA.
+    rated_current_ma: f64,
+    /// Self-discharge fraction per hour (~3 %/month for Li-ion polymer).
+    self_discharge_per_hour: f64,
+}
+
+impl BatteryModel {
+    /// Creates a battery model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity, voltage or rated current are non-positive, if
+    /// `peukert < 1.0`, or if the self-discharge rate is negative.
+    pub fn new(
+        capacity_mah: f64,
+        voltage_v: f64,
+        peukert: f64,
+        rated_current_ma: f64,
+        self_discharge_per_hour: f64,
+    ) -> Self {
+        assert!(capacity_mah > 0.0, "capacity must be positive");
+        assert!(voltage_v > 0.0, "voltage must be positive");
+        assert!(peukert >= 1.0, "peukert exponent must be >= 1");
+        assert!(rated_current_ma > 0.0, "rated current must be positive");
+        assert!(
+            self_discharge_per_hour >= 0.0,
+            "self-discharge must be non-negative"
+        );
+        BatteryModel {
+            capacity_mah,
+            voltage_v,
+            peukert,
+            rated_current_ma,
+            self_discharge_per_hour,
+        }
+    }
+
+    /// The 40 mAh / 3 V wearable sensor battery the paper's §1 references
+    /// (standard in ECG pulse wristbands).
+    pub fn sensor_40mah() -> Self {
+        // Rated at 1C (40 mA); mild Li-ion Peukert; ~3 %/month self-discharge.
+        BatteryModel::new(40.0, 3.0, 1.05, 40.0, 0.03 / (30.0 * 24.0))
+    }
+
+    /// The 2900 mAh / 3.5 V aggregator battery of §5.6 ("iPhone 7").
+    pub fn aggregator_2900mah() -> Self {
+        BatteryModel::new(2900.0, 3.5, 1.05, 2900.0, 0.03 / (30.0 * 24.0))
+    }
+
+    /// Nominal capacity in mAh.
+    pub fn capacity_mah(&self) -> f64 {
+        self.capacity_mah
+    }
+
+    /// Nominal voltage in volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Total stored energy in joules at nominal voltage.
+    pub fn energy_j(&self) -> f64 {
+        self.capacity_mah / 1000.0 * 3600.0 * self.voltage_v
+    }
+
+    /// Usable capacity (mAh) at a given average discharge current (mA),
+    /// applying the rate-capacity effect. Currents at or below 1 % of rated
+    /// are treated as ideal (the effect vanishes at trickle rates).
+    pub fn usable_capacity_mah(&self, current_ma: f64) -> f64 {
+        assert!(current_ma >= 0.0, "current must be non-negative");
+        let ratio = current_ma / self.rated_current_ma;
+        if ratio <= 0.01 {
+            return self.capacity_mah;
+        }
+        // Peukert: C_eff = C · (I_rated / I)^(p-1), capped at nominal.
+        (self.capacity_mah * ratio.powf(1.0 - self.peukert)).min(self.capacity_mah)
+    }
+
+    /// Battery runtime in hours under a constant average power draw (watts).
+    ///
+    /// Self-discharge is modelled as an additional equivalent current, so
+    /// runtime stays finite even for a zero load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_power_w` is negative.
+    pub fn runtime_hours(&self, avg_power_w: f64) -> f64 {
+        assert!(avg_power_w >= 0.0, "power must be non-negative");
+        let load_ma = avg_power_w / self.voltage_v * 1000.0;
+        let sd_ma = self.capacity_mah * self.self_discharge_per_hour;
+        let total_ma = load_ma + sd_ma;
+        if total_ma <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.usable_capacity_mah(load_ma) / total_ma
+    }
+
+    /// Battery lifetime in hours for an event-driven load: `energy_pj` per
+    /// event at `events_per_second` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    pub fn lifetime_hours(&self, energy_pj: f64, events_per_second: f64) -> f64 {
+        assert!(energy_pj >= 0.0, "energy must be non-negative");
+        assert!(events_per_second >= 0.0, "event rate must be non-negative");
+        let avg_power_w = energy_pj * 1e-12 * events_per_second;
+        self.runtime_hours(avg_power_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_batteries_match_paper() {
+        let s = BatteryModel::sensor_40mah();
+        assert_eq!(s.capacity_mah(), 40.0);
+        assert_eq!(s.voltage_v(), 3.0);
+        let a = BatteryModel::aggregator_2900mah();
+        assert_eq!(a.capacity_mah(), 2900.0);
+    }
+
+    #[test]
+    fn energy_in_joules() {
+        let s = BatteryModel::sensor_40mah();
+        assert!((s.energy_j() - 432.0).abs() < 1e-9); // 0.04 Ah · 3600 · 3 V
+    }
+
+    #[test]
+    fn runtime_is_inverse_in_power() {
+        let s = BatteryModel::sensor_40mah();
+        let t1 = s.runtime_hours(1e-3);
+        let t2 = s.runtime_hours(2e-3);
+        // Not exactly 2× because of Peukert + self-discharge, but close.
+        assert!((t1 / t2 - 2.0).abs() < 0.2, "ratio {}", t1 / t2);
+        assert!(t1 > t2);
+    }
+
+    #[test]
+    fn high_rate_discharge_loses_capacity() {
+        let s = BatteryModel::sensor_40mah();
+        assert_eq!(s.usable_capacity_mah(0.0), 40.0);
+        assert!(s.usable_capacity_mah(40.0) <= 40.0);
+        assert!(s.usable_capacity_mah(80.0) < s.usable_capacity_mah(40.0));
+    }
+
+    #[test]
+    fn self_discharge_bounds_idle_runtime() {
+        let s = BatteryModel::sensor_40mah();
+        let idle = s.runtime_hours(0.0);
+        // ~1/(3 %/month) ≈ 24k hours; finite.
+        assert!(idle.is_finite());
+        assert!((10_000.0..50_000.0).contains(&idle), "idle {idle}");
+    }
+
+    #[test]
+    fn generic_classification_drains_in_hours() {
+        // §1: a generic classification implementation (~20 mW MCU draw)
+        // drains a 40 mAh battery in less than 6 hours.
+        let s = BatteryModel::sensor_40mah();
+        let t = s.runtime_hours(20e-3);
+        assert!(t < 6.5, "runtime {t} h");
+        assert!(t > 3.0, "runtime {t} h");
+    }
+
+    #[test]
+    fn event_driven_lifetime_matches_runtime() {
+        let s = BatteryModel::sensor_40mah();
+        // 5 µJ per event at 2 events/s = 10 µW.
+        let a = s.lifetime_hours(5e6, 2.0);
+        let b = s.runtime_hours(10e-6);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_without_self_discharge_is_infinite() {
+        let b = BatteryModel::new(10.0, 3.0, 1.0, 10.0, 0.0);
+        assert!(b.runtime_hours(0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        BatteryModel::new(0.0, 3.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        BatteryModel::sensor_40mah().runtime_hours(-1.0);
+    }
+}

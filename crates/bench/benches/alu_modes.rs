@@ -1,0 +1,55 @@
+//! Criterion bench for the Figure-4 characterization path: pricing every
+//! module of the generic framework under all three ALU modes. This is the
+//! hot inner loop of the Automatic XPro Generator's instancing stage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xpro_hw::{CellCostModel, ModuleKind, ProcessNode};
+use xpro_signal::stats::FeatureKind;
+
+fn modules() -> Vec<ModuleKind> {
+    let mut out: Vec<ModuleKind> = FeatureKind::ALL
+        .iter()
+        .map(|&kind| ModuleKind::Feature {
+            kind,
+            input_len: 128,
+            reuses_var: kind == FeatureKind::Std,
+        })
+        .collect();
+    out.push(ModuleKind::DwtLevel {
+        input_len: 128,
+        taps: 2,
+    });
+    out.push(ModuleKind::Svm {
+        support_vectors: 60,
+        dims: 12,
+        rbf: true,
+    });
+    out.push(ModuleKind::ScoreFusion { bases: 6 });
+    out
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let model = CellCostModel::default();
+    let mods = modules();
+    c.bench_function("fig4_characterize_all_modules", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &mods {
+                for cost in model.characterize(black_box(m), ProcessNode::N90) {
+                    acc += cost.energy_pj;
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("fig4_best_mode_selection", |b| {
+        b.iter(|| {
+            mods.iter()
+                .map(|m| model.best_mode(black_box(m), ProcessNode::N90).1.energy_pj)
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion bench for the Automatic XPro Generator's runtime (ablation
+//! A5): the paper claims the optimal partition is found "in polynomial
+//! time" by reduction to min-cut. This bench measures the s-t min-cut and
+//! the full delay-constrained λ-sweep on synthetic cell graphs of growing
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use xpro_core::builder::BuiltGraph;
+use xpro_core::cellgraph::{Cell, CellGraph, PortRef};
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::Domain;
+use xpro_core::XProGenerator;
+use xpro_hw::ModuleKind;
+use xpro_signal::stats::FeatureKind;
+
+/// Builds a synthetic instance with `bases` SVM cells over `features`
+/// feature cells (round-robin wiring), mimicking trained topologies of
+/// different ensemble sizes.
+fn synthetic_instance(features: usize, bases: usize) -> XProInstance {
+    let mut graph = CellGraph::new(128);
+    let mut feature_cells = BTreeMap::new();
+    for i in 0..features {
+        let kind = FeatureKind::ALL[i % 8];
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: 128,
+                reuses_var: false,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: vec![PortRef::RAW],
+            label: format!("{kind}-{i}"),
+        });
+        feature_cells.insert(i, id);
+    }
+    let mut svm_cells = Vec::new();
+    for b in 0..bases {
+        let inputs: Vec<PortRef> = (0..12)
+            .map(|k| PortRef::cell(feature_cells[&((b * 7 + k * 3) % features)]))
+            .collect();
+        svm_cells.push(graph.add_cell(Cell {
+            module: ModuleKind::Svm {
+                support_vectors: 40,
+                dims: 12,
+                rbf: true,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs,
+            label: format!("svm-{b}"),
+        }));
+    }
+    let fusion_cell = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: svm_cells.iter().map(|&c| PortRef::cell(c)).collect(),
+        label: "fusion".into(),
+    });
+    let built = BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells,
+        fusion_cell,
+    };
+    XProInstance::new(built, SystemConfig::default(), 128)
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_scaling");
+    for &(features, bases) in &[(16usize, 4usize), (32, 8), (56, 16), (56, 32)] {
+        let instance = synthetic_instance(features, bases);
+        let cells = instance.num_cells();
+        group.bench_with_input(
+            BenchmarkId::new("min_cut", cells),
+            &instance,
+            |b, inst| {
+                let generator = XProGenerator::new(inst);
+                b.iter(|| generator.unconstrained_cut())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delay_constrained_sweep", cells),
+            &instance,
+            |b, inst| {
+                let generator = XProGenerator::new(inst);
+                b.iter(|| generator.generate())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

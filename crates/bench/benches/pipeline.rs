@@ -1,0 +1,55 @@
+//! Criterion bench for the per-event software path: feature extraction
+//! (time + 5-level DWT), monolithic classification, and partitioned
+//! cross-end execution. These are the aggregator-side costs the gem5/McPAT
+//! substitute prices (DESIGN.md §3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::{Engine, XProGenerator};
+use xpro_core::instance::XProInstance;
+use xpro_core::pipeline::{extract_features, PipelineConfig, XProPipeline};
+use xpro_data::{generate_case_sized, CaseId};
+use xpro_ml::SubspaceConfig;
+use xpro_signal::dwt::{dwt_multilevel, Wavelet};
+use xpro_signal::stats::all_features_f64;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = generate_case_sized(CaseId::E1, 160, 3);
+    let cfg = PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 12,
+            keep_fraction: 0.3,
+            min_keep: 4,
+            folds: 2,
+            ..SubspaceConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let pipeline = XProPipeline::train(&data, &cfg).expect("trains");
+    let instance = XProInstance::new(
+        pipeline.built().clone(),
+        SystemConfig::default(),
+        pipeline.segment_len(),
+    );
+    let cut = XProGenerator::new(&instance).partition_for(Engine::CrossEnd);
+    let segment = data.segments[0].clone();
+
+    c.bench_function("dwt_5level_128", |b| {
+        b.iter(|| dwt_multilevel(black_box(&segment), 5, Wavelet::Haar))
+    });
+    c.bench_function("features_time_domain", |b| {
+        b.iter(|| all_features_f64(black_box(&segment)))
+    });
+    c.bench_function("extract_features_56", |b| {
+        b.iter(|| extract_features(black_box(&segment), Wavelet::Haar))
+    });
+    c.bench_function("classify_monolithic", |b| {
+        b.iter(|| pipeline.classify(black_box(&segment)))
+    });
+    c.bench_function("classify_partitioned_cross_end", |b| {
+        b.iter(|| pipeline.classify_partitioned(black_box(&segment), &cut))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation — the Automatic XPro Generator vs conventional heuristic
+//! partitioners (§5.5: "Such cuts are difficult to search through
+//! conventional heuristic algorithms").
+//!
+//! Compares sensor energy of the min-cut generator against greedy
+//! single-cell migration and a topological prefix sweep, at the paper's
+//! delay limit.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin ablation_heuristics [--paper]`
+
+use xpro_bench::{fmt, paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::heuristics::{greedy_migration, topological_sweep};
+use xpro_core::partition::evaluate;
+use xpro_core::XProGenerator;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+    let header: Vec<String> = [
+        "case",
+        "min-cut uJ",
+        "greedy uJ",
+        "topo-sweep uJ",
+        "greedy gap",
+        "sweep gap",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for t in &cases {
+        let inst = t.instance(SystemConfig::default());
+        let generator = XProGenerator::new(&inst);
+        let limit = generator.default_delay_limit();
+        let cut = evaluate(&inst, &generator.generate()).sensor.total_pj();
+        let greedy = evaluate(&inst, &greedy_migration(&inst, limit))
+            .sensor
+            .total_pj();
+        let sweep = evaluate(&inst, &topological_sweep(&inst, limit))
+            .sensor
+            .total_pj();
+        rows.push(vec![
+            t.case.symbol().to_string(),
+            fmt(cut / 1e6),
+            fmt(greedy / 1e6),
+            fmt(sweep / 1e6),
+            format!("{:+.1}%", (greedy / cut - 1.0) * 100.0),
+            format!("{:+.1}%", (sweep / cut - 1.0) * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation: min-cut generator vs heuristic partitioners (90nm, Model 2)",
+        &header,
+        &rows,
+    );
+    println!("\nthe generator is provably optimal for the unconstrained problem; the gaps\nshow what conventional local search leaves on the table.");
+}

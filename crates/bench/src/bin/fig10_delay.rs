@@ -1,0 +1,51 @@
+//! Figure 10: per-event delay breakdown (front-end compute / wireless /
+//! back-end compute) for the aggregator engine (A), sensor node engine (S)
+//! and cross-end engine (C) on the six test cases.
+//!
+//! Paper shape: every engine under ~4 ms; A has the largest delay in all
+//! cases; C the smallest (−60.8 % vs A and −15.6 % vs S on average); the
+//! sensor node engine's wireless bar is barely visible (result-only upload).
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig10_delay [--paper]`
+
+use xpro_bench::{paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+
+    let header: Vec<String> = [
+        "case", "engine", "front-end", "wireless", "back-end", "total",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut red_a = Vec::new();
+    let mut red_s = Vec::new();
+    for t in &cases {
+        let inst = t.instance(SystemConfig::default());
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
+            let d = cmp.of(engine).delay;
+            rows.push(vec![
+                t.case.symbol().to_string(),
+                engine.short().to_string(),
+                format!("{:.3}ms", d.front_end_s * 1e3),
+                format!("{:.3}ms", d.wireless_s * 1e3),
+                format!("{:.3}ms", d.back_end_s * 1e3),
+                format!("{:.3}ms", d.total_s() * 1e3),
+            ]);
+        }
+        red_a.push(cmp.delay_reduction_over(Engine::InAggregator));
+        red_s.push(cmp.delay_reduction_over(Engine::InSensor));
+    }
+    print_table("Figure 10: delay breakdown (90nm, Model 2)", &header, &rows);
+    println!(
+        "\naverage delay reduction of C: {:.1}% vs A, {:.1}% vs S (paper: 60.8% / 15.6%)",
+        red_a.iter().sum::<f64>() / red_a.len() as f64 * 100.0,
+        red_s.iter().sum::<f64>() / red_s.len() as f64 * 100.0
+    );
+}

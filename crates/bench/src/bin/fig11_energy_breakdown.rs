@@ -1,0 +1,59 @@
+//! Figure 11: sensor-node energy breakdown (computation vs wireless) per
+//! event for the aggregator engine (A), sensor node engine (S) and
+//! cross-end engine (C).
+//!
+//! Paper shape: A's sensor energy is pure transmission and the largest;
+//! S saves ~36.6 % over A with a barely visible wireless bar; C is best,
+//! saving an additional ~31.7 % over S (~56.9 % over A).
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig11_energy_breakdown [--paper]`
+
+use xpro_bench::{paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+
+    let header: Vec<String> = ["case", "engine", "compute uJ", "wireless uJ", "total uJ"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut save_s_over_a = Vec::new();
+    let mut save_c_over_s = Vec::new();
+    let mut save_c_over_a = Vec::new();
+    for t in &cases {
+        let inst = t.instance(SystemConfig::default());
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
+            let e = cmp.of(engine).sensor;
+            rows.push(vec![
+                t.case.symbol().to_string(),
+                engine.short().to_string(),
+                format!("{:.2}", e.compute_pj / 1e6),
+                format!("{:.2}", e.wireless_pj / 1e6),
+                format!("{:.2}", e.total_pj() / 1e6),
+            ]);
+        }
+        let ea = cmp.of(Engine::InAggregator).sensor.total_pj();
+        let es = cmp.of(Engine::InSensor).sensor.total_pj();
+        let ec = cmp.of(Engine::CrossEnd).sensor.total_pj();
+        save_s_over_a.push(1.0 - es / ea);
+        save_c_over_s.push(1.0 - ec / es);
+        save_c_over_a.push(1.0 - ec / ea);
+    }
+    print_table(
+        "Figure 11: sensor energy breakdown per event (90nm, Model 2)",
+        &header,
+        &rows,
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    println!(
+        "\naverage savings: S vs A {:.1}% (paper 36.6%), C vs S {:.1}% (paper 31.7%), C vs A {:.1}% (paper 56.9%)",
+        avg(&save_s_over_a),
+        avg(&save_c_over_s),
+        avg(&save_c_over_a)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 13: energy overhead on the aggregator for the aggregator engine
+//! (A) and the cross-end engine (C).
+//!
+//! Paper shape: the cross-end engine's aggregator energy is less than half
+//! of the aggregator engine's (fewer functional cells in software plus less
+//! raw data received); §5.6 also notes a 2900 mAh aggregator battery powers
+//! XPro for tens of hours or more.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig13_aggregator [--paper]`
+
+use xpro_bench::{fmt, paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+
+    let header: Vec<String> = [
+        "case",
+        "A (uJ/event)",
+        "C (uJ/event)",
+        "C/A",
+        "A battery (h)",
+        "C battery (h)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for t in &cases {
+        let inst = t.instance(SystemConfig::default());
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let a = cmp.of(Engine::InAggregator);
+        let c = cmp.of(Engine::CrossEnd);
+        ratios.push(c.aggregator_pj / a.aggregator_pj);
+        rows.push(vec![
+            t.case.symbol().to_string(),
+            fmt(a.aggregator_pj / 1e6),
+            fmt(c.aggregator_pj / 1e6),
+            fmt(ratios.last().copied().unwrap()),
+            fmt(a.aggregator_battery_hours),
+            fmt(c.aggregator_battery_hours),
+        ]);
+    }
+    print_table(
+        "Figure 13: aggregator energy overhead (90nm, Model 2)",
+        &header,
+        &rows,
+    );
+    println!(
+        "\naverage C/A on the aggregator: {:.2} (paper: less than half)",
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    );
+}

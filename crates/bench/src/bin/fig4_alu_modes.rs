@@ -1,0 +1,88 @@
+//! Figure 4: energy characterization of the three ALU modes (serial /
+//! parallel / pipeline) for each functional-cell module, in pJ/event at
+//! 90 nm, with the optimal mode starred.
+//!
+//! Paper shape: serial optimal for most modules; Std and DWT optimal in
+//! pipeline mode; parallel DWT about two orders of magnitude above serial.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig4_alu_modes`
+
+use xpro_bench::print_table;
+use xpro_hw::{AluMode, CellCostModel, ModuleKind, ProcessNode};
+use xpro_signal::stats::FeatureKind;
+
+fn main() {
+    let model = CellCostModel::default();
+    let node = ProcessNode::N90;
+
+    let mut modules: Vec<(String, ModuleKind)> = FeatureKind::ALL
+        .iter()
+        .map(|&kind| {
+            (
+                kind.name().to_string(),
+                ModuleKind::Feature {
+                    kind,
+                    input_len: 128,
+                    // Fig. 4 characterizes the Std module as deployed, i.e.
+                    // with the Var-cell reuse of design rule 3.
+                    reuses_var: kind == FeatureKind::Std,
+                },
+            )
+        })
+        .collect();
+    modules.push((
+        "DWT".into(),
+        ModuleKind::DwtLevel {
+            input_len: 128,
+            taps: 2,
+        },
+    ));
+    modules.push((
+        "SVM".into(),
+        ModuleKind::Svm {
+            support_vectors: 40,
+            dims: 12,
+            rbf: true,
+        },
+    ));
+    modules.push(("ScoreFusion".into(), ModuleKind::ScoreFusion { bases: 10 }));
+
+    let header: Vec<String> = ["module", "serial pJ", "parallel pJ", "pipeline pJ", "best"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (name, module) in &modules {
+        let costs = model.characterize(module, node);
+        let (best, _) = model.best_mode(module, node);
+        let star = |mode: AluMode, v: f64| {
+            if mode == best {
+                format!("*{v:.0}")
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        rows.push(vec![
+            name.clone(),
+            star(AluMode::Serial, costs[0].energy_pj),
+            star(AluMode::Parallel, costs[1].energy_pj),
+            star(AluMode::Pipeline, costs[2].energy_pj),
+            best.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 4: ALU-mode energy per module (pJ/event, 90nm; * = optimal mode)",
+        &header,
+        &rows,
+    );
+
+    let dwt = ModuleKind::DwtLevel {
+        input_len: 128,
+        taps: 2,
+    };
+    let c = model.characterize(&dwt, node);
+    println!(
+        "\nparallel DWT / serial DWT = {:.0}x (paper: ~two orders of magnitude)",
+        c[1].energy_pj / c[0].energy_pj
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 8: battery life of the sensor node under 130 nm, 90 nm and 45 nm
+//! process technologies with wireless Model 2, for the sensor node engine
+//! (S), aggregator engine (A) and cross-end engine (C), normalized to the
+//! aggregator engine.
+//!
+//! Paper shape: at 130 nm S ≈ A; at 90/45 nm S pulls ahead of A as wireless
+//! dominates; C best everywhere.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig8_process_tech [--paper]`
+
+use xpro_bench::{fmt, geometric_mean, paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+use xpro_hw::ProcessNode;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+
+    for node in ProcessNode::ALL {
+        let header: Vec<String> = ["case", "A", "S", "C", "C/A", "C/S"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows = Vec::new();
+        let mut gains_a = Vec::new();
+        let mut gains_s = Vec::new();
+        for t in &cases {
+            let inst = t.instance(SystemConfig::with_node(node));
+            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+            let base = cmp.of(Engine::InAggregator).sensor_battery_hours;
+            let norm = |e: Engine| cmp.of(e).sensor_battery_hours / base;
+            gains_a.push(cmp.lifetime_gain_over(Engine::InAggregator));
+            gains_s.push(cmp.lifetime_gain_over(Engine::InSensor));
+            rows.push(vec![
+                t.case.symbol().to_string(),
+                fmt(norm(Engine::InAggregator)),
+                fmt(norm(Engine::InSensor)),
+                fmt(norm(Engine::CrossEnd)),
+                fmt(gains_a.last().copied().unwrap()),
+                fmt(gains_s.last().copied().unwrap()),
+            ]);
+        }
+        print_table(
+            &format!("Figure 8 ({node}, Model 2): normalized sensor battery life"),
+            &header,
+            &rows,
+        );
+        println!(
+            "average: C = {}x of A, {}x of S",
+            fmt(geometric_mean(&gains_a)),
+            fmt(geometric_mean(&gains_s))
+        );
+    }
+    println!("\npaper: C averages 2.4x over A and 1.6x over S; S/A grows as the node shrinks");
+}

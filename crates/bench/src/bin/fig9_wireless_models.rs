@@ -1,0 +1,71 @@
+//! Figure 9: battery life of the sensor node under the three wireless
+//! channel models at 90 nm, for the sensor node engine (S), aggregator
+//! engine (A) and cross-end engine (C). Normalized to the aggregator engine
+//! under Model 1, as in the paper.
+//!
+//! Paper shape: Model 1 (expensive radio) S ≫ A with C ~26.6 % over S;
+//! Model 2 S slightly better than A; Model 3 (cheap radio) A ≈ 1.75× S yet
+//! C beats A by a large margin.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin fig9_wireless_models [--paper]`
+
+use xpro_bench::{fmt, geometric_mean, paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+use xpro_wireless::TransceiverModel;
+
+fn main() {
+    let cases = train_all_cases(paper_mode());
+
+    // The paper normalizes all bars to the aggregator engine under Model 1.
+    let mut model1_agg_hours = std::collections::BTreeMap::new();
+    for t in &cases {
+        let inst = t.instance(SystemConfig::with_radio(TransceiverModel::model1()));
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        model1_agg_hours.insert(t.case, cmp.of(Engine::InAggregator).sensor_battery_hours);
+    }
+
+    for (mi, radio) in TransceiverModel::paper_models().into_iter().enumerate() {
+        let header: Vec<String> = ["case", "A", "S", "C", "C/A", "C/S"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows = Vec::new();
+        let mut gains_a = Vec::new();
+        let mut gains_s = Vec::new();
+        for t in &cases {
+            let inst = t.instance(SystemConfig::with_radio(radio.clone()));
+            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+            let base = model1_agg_hours[&t.case];
+            let norm = |e: Engine| cmp.of(e).sensor_battery_hours / base;
+            gains_a.push(cmp.lifetime_gain_over(Engine::InAggregator));
+            gains_s.push(cmp.lifetime_gain_over(Engine::InSensor));
+            rows.push(vec![
+                t.case.symbol().to_string(),
+                fmt(norm(Engine::InAggregator)),
+                fmt(norm(Engine::InSensor)),
+                fmt(norm(Engine::CrossEnd)),
+                fmt(gains_a.last().copied().unwrap()),
+                fmt(gains_s.last().copied().unwrap()),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 9 (Model {}, 90nm): battery life normalized to A@Model1 — {}",
+                mi + 1,
+                radio.name()
+            ),
+            &header,
+            &rows,
+        );
+        println!(
+            "average: C = {}x of A, {}x of S",
+            fmt(geometric_mean(&gains_a)),
+            fmt(geometric_mean(&gains_s))
+        );
+    }
+    println!(
+        "\npaper: Model 1 — C +26.6% over S; Model 3 — A 1.75x of S, C +73.7% over A (+302% over S)"
+    );
+}

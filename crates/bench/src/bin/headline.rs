@@ -1,0 +1,85 @@
+//! Headline-claims harness: the paper's abstract numbers.
+//!
+//! "XPro can increase the battery life of the sensor node by 1.6-2.4X while
+//! at the same time reducing system delay by 15.6-60.8%" — averaged over the
+//! six Table-1 cases at 90 nm with wireless Model 2.
+//!
+//! Run: `cargo run --release -p xpro-bench --bin headline [--paper]`
+
+use xpro_bench::{fmt, geometric_mean, paper_mode, print_table, train_all_cases};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::Engine;
+use xpro_core::report::EngineComparison;
+
+fn main() {
+    let paper = paper_mode();
+    let cases = train_all_cases(paper);
+
+    let header: Vec<String> = [
+        "case", "acc", "cells", "svs", "eS.cmp", "eC.cmp", "eC.wl", "life A", "life S", "life C",
+        "C/A", "C/S", "delay A", "delay S", "delay C", "dC vs A", "dC vs S",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut rows = Vec::new();
+    let mut gain_a = Vec::new();
+    let mut gain_s = Vec::new();
+    let mut dred_a = Vec::new();
+    let mut dred_s = Vec::new();
+
+    for t in &cases {
+        let inst = t.instance(SystemConfig::default());
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let a = cmp.of(Engine::InAggregator);
+        let s = cmp.of(Engine::InSensor);
+        let c = cmp.of(Engine::CrossEnd);
+        gain_a.push(cmp.lifetime_gain_over(Engine::InAggregator));
+        gain_s.push(cmp.lifetime_gain_over(Engine::InSensor));
+        dred_a.push(cmp.delay_reduction_over(Engine::InAggregator));
+        dred_s.push(cmp.delay_reduction_over(Engine::InSensor));
+        let avg_svs = t
+            .pipeline
+            .model()
+            .bases()
+            .iter()
+            .map(|b| b.svm.num_support_vectors())
+            .sum::<usize>() as f64
+            / t.pipeline.model().bases().len() as f64;
+        rows.push(vec![
+            t.case.symbol().to_string(),
+            fmt(t.pipeline.test_accuracy()),
+            inst.num_cells().to_string(),
+            fmt(avg_svs),
+            format!("{:.2}uJ", s.sensor.compute_pj / 1e6),
+            format!("{:.2}uJ", c.sensor.compute_pj / 1e6),
+            format!("{:.2}uJ", c.sensor.wireless_pj / 1e6),
+            fmt(a.sensor_battery_hours),
+            fmt(s.sensor_battery_hours),
+            fmt(c.sensor_battery_hours),
+            fmt(gain_a.last().copied().unwrap()),
+            fmt(gain_s.last().copied().unwrap()),
+            format!("{:.2}ms", a.delay.total_s() * 1e3),
+            format!("{:.2}ms", s.delay.total_s() * 1e3),
+            format!("{:.2}ms", c.delay.total_s() * 1e3),
+            format!("{:.1}%", dred_a.last().copied().unwrap() * 100.0),
+            format!("{:.1}%", dred_s.last().copied().unwrap() * 100.0),
+        ]);
+    }
+
+    print_table(
+        "Headline claims (90nm, wireless Model 2; lifetimes in hours)",
+        &header,
+        &rows,
+    );
+
+    println!("\npaper:    battery 2.4x vs A, 1.6x vs S; delay -60.8% vs A, -15.6% vs S");
+    println!(
+        "measured: battery {}x vs A, {}x vs S; delay {:.1}% vs A, {:.1}% vs S",
+        fmt(geometric_mean(&gain_a)),
+        fmt(geometric_mean(&gain_s)),
+        dred_a.iter().sum::<f64>() / dred_a.len() as f64 * 100.0,
+        dred_s.iter().sum::<f64>() / dred_s.len() as f64 * 100.0,
+    );
+}

@@ -1,0 +1,73 @@
+//! Per-event execution timeline of a cross-end engine, from the
+//! discrete-event simulator: when each functional cell fires on which end
+//! and when each frame crosses the link. Complements the stacked bars of
+//! Fig. 10 with the actual data-driven schedule (paper Fig. 3: cells are
+//! independent asynchronous units).
+//!
+//! Run: `cargo run --release -p xpro-bench --bin sim_timeline [--paper]`
+
+use xpro_bench::{paper_mode, train_case};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::{Engine, XProGenerator};
+use xpro_core::partition::evaluate;
+use xpro_data::CaseId;
+use xpro_sim::{simulate_event, End};
+
+fn main() {
+    let t = train_case(CaseId::E1, paper_mode());
+    let inst = t.instance(SystemConfig::default());
+    let generator = XProGenerator::new(&inst);
+    let cut = generator.partition_for(Engine::CrossEnd);
+    let trace = simulate_event(&inst, &cut);
+
+    println!("== Cross-end execution timeline, case E1 (times in µs) ==\n");
+    println!("{:>9} {:>9}  {:<10}  {}", "start", "finish", "end", "work");
+    let mut events: Vec<(f64, f64, String, String)> = trace
+        .runs
+        .iter()
+        .map(|r| {
+            (
+                r.start_s,
+                r.finish_s,
+                r.end.to_string(),
+                inst.built().graph.cells()[r.cell].label.clone(),
+            )
+        })
+        .collect();
+    events.extend(trace.frames.iter().map(|f| {
+        let what = match f.producer {
+            None => "raw segment".to_string(),
+            Some(c) => format!("output of {}", inst.built().graph.cells()[c].label),
+        };
+        (
+            f.start_s,
+            f.finish_s,
+            format!("radio {}→", if f.from == End::Sensor { "S" } else { "B" }),
+            format!("{} ({} bits)", what, f.bits),
+        )
+    }));
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    for (start, finish, end, label) in &events {
+        println!(
+            "{:>9.1} {:>9.1}  {:<10}  {}",
+            start * 1e6,
+            finish * 1e6,
+            end,
+            label
+        );
+    }
+
+    let serialized = evaluate(&inst, &cut).delay.total_s();
+    println!(
+        "\nmakespan {:.3} ms (serialized Fig.-10 model: {:.3} ms, overlap factor {:.2}x)",
+        trace.makespan_s * 1e3,
+        serialized * 1e3,
+        trace.overlap_factor()
+    );
+    println!(
+        "channel busy {:.3} ms across {} frames; sensor energy {:.2} µJ",
+        trace.channel_busy_s() * 1e3,
+        trace.frames.len(),
+        trace.sensor_energy_pj / 1e6
+    );
+}

@@ -1,0 +1,233 @@
+//! Shared harness for regenerating every table and figure of the XPro paper.
+//!
+//! Each `src/bin/*.rs` binary reproduces one artifact (see `DESIGN.md` §5
+//! for the experiment index); this library holds the common workload setup:
+//! training the six Table-1 cases, pricing instances under a system
+//! configuration and formatting the paper's normalized comparisons.
+//!
+//! Training uses a scaled-down random-subspace procedure by default
+//! ([`harness_pipeline_config`]) so a full figure regenerates in seconds;
+//! pass `--paper` to the binaries to use the paper's full §4.4 procedure.
+
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+use xpro_data::{generate_case_sized, CaseId, Dataset};
+use xpro_ml::SubspaceConfig;
+
+/// Segments per case used by the quick harness (the full Table-1 counts are
+/// used with `--paper`).
+pub const QUICK_SEGMENTS: usize = 240;
+
+/// Master seed for harness workloads.
+pub const HARNESS_SEED: u64 = 20170624; // ISCA'17 opening day
+
+/// The scaled-down training configuration used by default in the harness.
+pub fn harness_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 24,
+            features_per_base: 12,
+            keep_fraction: 0.25,
+            min_keep: 4,
+            folds: 3,
+            ..SubspaceConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// The paper's full §4.4 training configuration.
+pub fn paper_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        subspace: SubspaceConfig::paper(),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Whether `--paper` was passed on the command line.
+pub fn paper_mode() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// Generates a case's dataset at harness or paper scale.
+pub fn harness_dataset(case: CaseId, paper: bool) -> Dataset {
+    if paper {
+        xpro_data::generate_case(case, HARNESS_SEED)
+    } else {
+        generate_case_sized(case, QUICK_SEGMENTS, HARNESS_SEED)
+    }
+}
+
+/// A trained case ready for instancing under different system configs.
+pub struct TrainedCase {
+    /// The Table-1 case.
+    pub case: CaseId,
+    /// The trained pipeline.
+    pub pipeline: XProPipeline,
+}
+
+impl TrainedCase {
+    /// Prices this case's cell graph under a system configuration.
+    pub fn instance(&self, config: SystemConfig) -> XProInstance {
+        XProInstance::new(
+            self.pipeline.built().clone(),
+            config,
+            self.pipeline.segment_len(),
+        )
+    }
+}
+
+/// Trains one case with the harness (or paper) procedure.
+///
+/// # Panics
+///
+/// Panics if training fails — harness datasets are always trainable.
+pub fn train_case(case: CaseId, paper: bool) -> TrainedCase {
+    let data = harness_dataset(case, paper);
+    let cfg = if paper {
+        paper_pipeline_config()
+    } else {
+        harness_pipeline_config()
+    };
+    let pipeline = XProPipeline::train(&data, &cfg).expect("harness case trains");
+    TrainedCase { case, pipeline }
+}
+
+/// Trains all six Table-1 cases.
+pub fn train_all_cases(paper: bool) -> Vec<TrainedCase> {
+    CaseId::ALL.iter().map(|&c| train_case(c, paper)).collect()
+}
+
+/// Prints an aligned table: header row then value rows.
+///
+/// When `--csv <dir>` is passed on the command line, the table is also
+/// written to `<dir>/<slug-of-title>.csv` for plotting.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    if let Some(dir) = csv_dir() {
+        if let Err(e) = write_csv(&dir, title, header, rows) {
+            eprintln!("warning: failed to write CSV for '{title}': {e}");
+        }
+    }
+}
+
+/// Directory given via `--csv <dir>`, if any.
+fn csv_dir() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+fn write_csv(
+    dir: &std::path::Path,
+    title: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let path = dir.join(format!("{slug}.csv"));
+    let escape = |cell: &String| -> String {
+        if cell.contains([',', '"', '\n']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.clone()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&header.iter().map(escape).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Formats a float with adaptive precision for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Geometric mean of a slice (used for "average X× improvement" claims).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    assert!(values.iter().all(|&v| v > 0.0), "values must be positive");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_constants() {
+        assert!((geometric_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_adapts_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(2.71828), "2.72");
+        assert_eq!(fmt(0.1234), "0.123");
+    }
+
+    #[test]
+    fn harness_dataset_sizes() {
+        let d = harness_dataset(CaseId::C1, false);
+        assert_eq!(d.len(), QUICK_SEGMENTS);
+        assert_eq!(d.segment_len, 82);
+    }
+
+    #[test]
+    fn one_case_trains_and_instances() {
+        let t = train_case(CaseId::E2, false);
+        assert!(t.pipeline.test_accuracy() > 0.55);
+        let inst = t.instance(SystemConfig::default());
+        assert!(inst.num_cells() > 5);
+    }
+}

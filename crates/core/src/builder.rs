@@ -1,0 +1,337 @@
+//! Builds the functional-cell graph of an XPro instance from a trained
+//! random-subspace classifier.
+//!
+//! "The number of functional cells is decided by the feature set and random
+//! subspace training" (paper §2.2): only features consumed by a surviving
+//! base classifier spawn cells, the DWT chain extends just deep enough to
+//! feed them, and each surviving base spawns one SVM cell sized by its
+//! support-vector count. Cell-level reuse (design rule 3, §3.1.3) is applied
+//! where Std can reuse a Var cell on the same domain.
+
+use crate::cellgraph::{Cell, CellGraph, CellId, PortRef};
+use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
+use std::collections::BTreeMap;
+use xpro_hw::ModuleKind;
+use xpro_ml::kernel::Kernel;
+use xpro_ml::RandomSubspaceModel;
+use xpro_signal::stats::FeatureKind;
+
+/// Options controlling graph construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Apply cell-level reuse (Std reuses Var). Disable only for the
+    /// ablation study.
+    pub cell_reuse: bool,
+    /// DWT filter taps (2 for the Haar filters the sensor implements).
+    pub dwt_taps: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            cell_reuse: true,
+            dwt_taps: 2,
+        }
+    }
+}
+
+/// The constructed graph plus the mapping from cells back to feature-vector
+/// indices (needed to wire SVM inputs during functional execution).
+#[derive(Clone, Debug)]
+pub struct BuiltGraph {
+    /// The dataflow graph.
+    pub graph: CellGraph,
+    /// For every feature index used by the model, the producing cell.
+    pub feature_cells: BTreeMap<usize, CellId>,
+    /// One SVM cell per surviving base, in base order.
+    pub svm_cells: Vec<CellId>,
+    /// The score-fusion cell.
+    pub fusion_cell: CellId,
+}
+
+/// Builds the cell graph for a trained model.
+///
+/// # Panics
+///
+/// Panics if the model was not trained on the [`FeatureLayout::DIM`]-sized
+/// feature vector of the generic framework, or uses no features.
+pub fn build_cell_graph(model: &RandomSubspaceModel, options: &BuildOptions) -> BuiltGraph {
+    assert_eq!(
+        model.dim(),
+        FeatureLayout::DIM,
+        "model dimensionality does not match the generic framework layout"
+    );
+    let used = model.used_features();
+    assert!(!used.is_empty(), "model uses no features");
+
+    let mut graph = CellGraph::new(DWT_INPUT_LEN as u64);
+
+    // Which domains carry at least one used feature?
+    let mut used_by_domain: BTreeMap<usize, Vec<FeatureKind>> = BTreeMap::new();
+    for &fi in &used {
+        let (domain, kind) = FeatureLayout::decode(fi);
+        used_by_domain.entry(domain.index()).or_default().push(kind);
+    }
+
+    // Deepest DWT level required: detail level l needs levels 1..=l; the
+    // approximation domain needs the full chain.
+    let deepest = used_by_domain
+        .keys()
+        .map(|&di| match Domain::all()[di] {
+            Domain::Time => 0,
+            Domain::Detail(l) => l as usize,
+            Domain::Approx => DWT_LEVELS,
+        })
+        .max()
+        .expect("at least one used feature");
+
+    // DWT chain. Port 0 = approximation, port 1 = detail.
+    let mut dwt_cells: Vec<CellId> = Vec::new();
+    let mut upstream = PortRef::RAW;
+    for level in 1..=deepest {
+        let input_len = DWT_INPUT_LEN >> (level - 1);
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::DwtLevel {
+                input_len,
+                taps: options.dwt_taps,
+            },
+            domain: Domain::Detail(level as u8),
+            output_samples: vec![(input_len / 2) as u64, (input_len / 2) as u64],
+            inputs: vec![upstream],
+            label: format!("DWT-L{level}"),
+        });
+        dwt_cells.push(id);
+        upstream = PortRef {
+            producer: Some(id),
+            port: 0,
+        };
+    }
+
+    // Source port of each domain's window.
+    let domain_source = |domain: Domain| -> PortRef {
+        match domain {
+            Domain::Time => PortRef::RAW,
+            Domain::Detail(l) => PortRef {
+                producer: Some(dwt_cells[l as usize - 1]),
+                port: 1,
+            },
+            Domain::Approx => PortRef {
+                producer: Some(dwt_cells[DWT_LEVELS - 1]),
+                port: 0,
+            },
+        }
+    };
+
+    // Feature cells, domain by domain. Var cells are added before Std so the
+    // reuse edge can point backwards.
+    let mut feature_cells: BTreeMap<usize, CellId> = BTreeMap::new();
+    for (&di, kinds) in &used_by_domain {
+        let domain = Domain::all()[di];
+        let source = domain_source(domain);
+        let window = domain.window_len();
+        let mut kinds = kinds.clone();
+        kinds.sort(); // FeatureKind order puts Var before Std
+        let has_var = kinds.contains(&FeatureKind::Var);
+        for kind in kinds {
+            let reuses_var = options.cell_reuse && kind == FeatureKind::Std && has_var;
+            let inputs = if reuses_var {
+                let var_id = feature_cells[&FeatureLayout::index(domain, FeatureKind::Var)];
+                vec![PortRef::cell(var_id)]
+            } else {
+                vec![source]
+            };
+            let id = graph.add_cell(Cell {
+                module: ModuleKind::Feature {
+                    kind,
+                    input_len: window,
+                    reuses_var,
+                },
+                domain,
+                output_samples: vec![1],
+                inputs,
+                label: format!("{kind}@{domain}"),
+            });
+            feature_cells.insert(FeatureLayout::index(domain, kind), id);
+        }
+    }
+
+    // One SVM cell per surviving base.
+    let mut svm_cells = Vec::with_capacity(model.bases().len());
+    for (bi, base) in model.bases().iter().enumerate() {
+        let inputs: Vec<PortRef> = base
+            .feature_indices
+            .iter()
+            .map(|fi| PortRef::cell(feature_cells[fi]))
+            .collect();
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Svm {
+                support_vectors: base.svm.num_support_vectors(),
+                dims: base.feature_indices.len(),
+                rbf: matches!(base.svm.kernel(), Kernel::Rbf { .. }),
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs,
+            label: format!("SVM-{bi}"),
+        });
+        svm_cells.push(id);
+    }
+
+    // Score fusion, consuming every base's vote. Added last: its output is
+    // the classification result (CellGraph::result_cell relies on this).
+    let fusion_cell = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion {
+            bases: svm_cells.len(),
+        },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: svm_cells.iter().map(|&id| PortRef::cell(id)).collect(),
+        label: "Fusion".into(),
+    });
+
+    BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells,
+        fusion_cell,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xpro_ml::SubspaceConfig;
+
+    /// Trains a tiny model over the 56-feature layout.
+    fn tiny_model(seed: u64) -> RandomSubspaceModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let cls = i % 2 == 0;
+            let mut x: Vec<f64> = (0..FeatureLayout::DIM)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
+            x[10] = if cls { 0.8 } else { 0.2 };
+            xs.push(x);
+            ys.push(if cls { 1.0 } else { -1.0 });
+        }
+        let cfg = SubspaceConfig {
+            candidates: 8,
+            features_per_base: 6,
+            keep_fraction: 0.4,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        };
+        RandomSubspaceModel::train(&xs, &ys, &cfg).unwrap()
+    }
+
+    #[test]
+    fn graph_matches_trained_topology() {
+        let model = tiny_model(1);
+        let built = build_cell_graph(&model, &BuildOptions::default());
+        assert_eq!(built.svm_cells.len(), model.bases().len());
+        assert_eq!(built.feature_cells.len(), model.used_features().len());
+        assert_eq!(built.fusion_cell, built.graph.result_cell());
+        // Every SVM input count matches its base's feature count.
+        for (cell_id, base) in built.svm_cells.iter().zip(model.bases()) {
+            let cell = &built.graph.cells()[*cell_id];
+            assert_eq!(cell.inputs.len(), base.feature_indices.len());
+        }
+    }
+
+    #[test]
+    fn dwt_chain_covers_deepest_used_level() {
+        let model = tiny_model(2);
+        let built = build_cell_graph(&model, &BuildOptions::default());
+        let deepest_needed = model
+            .used_features()
+            .iter()
+            .map(|&fi| match FeatureLayout::decode(fi).0 {
+                Domain::Time => 0,
+                Domain::Detail(l) => l as usize,
+                Domain::Approx => DWT_LEVELS,
+            })
+            .max()
+            .unwrap();
+        let dwt_count = built
+            .graph
+            .cells()
+            .iter()
+            .filter(|c| matches!(c.module, ModuleKind::DwtLevel { .. }))
+            .count();
+        assert_eq!(dwt_count, deepest_needed);
+    }
+
+    #[test]
+    fn reuse_links_std_to_var_when_both_used() {
+        // Find a seed whose model uses both Var and Std on some domain.
+        for seed in 0..50 {
+            let model = tiny_model(seed);
+            let used = model.used_features();
+            let domains = Domain::all();
+            let both = domains.iter().find(|&&d| {
+                used.contains(&FeatureLayout::index(d, FeatureKind::Var))
+                    && used.contains(&FeatureLayout::index(d, FeatureKind::Std))
+            });
+            if let Some(&domain) = both {
+                let built = build_cell_graph(&model, &BuildOptions::default());
+                let std_id = built.feature_cells[&FeatureLayout::index(domain, FeatureKind::Std)];
+                let var_id = built.feature_cells[&FeatureLayout::index(domain, FeatureKind::Var)];
+                let std_cell = &built.graph.cells()[std_id];
+                assert!(matches!(
+                    std_cell.module,
+                    ModuleKind::Feature {
+                        reuses_var: true,
+                        ..
+                    }
+                ));
+                assert_eq!(std_cell.inputs, vec![PortRef::cell(var_id)]);
+                // And with reuse disabled the Std cell reads the window.
+                let no_reuse = build_cell_graph(
+                    &model,
+                    &BuildOptions {
+                        cell_reuse: false,
+                        ..BuildOptions::default()
+                    },
+                );
+                let std_cell = &no_reuse.graph.cells()[no_reuse.feature_cells
+                    [&FeatureLayout::index(domain, FeatureKind::Std)]];
+                assert!(matches!(
+                    std_cell.module,
+                    ModuleKind::Feature {
+                        reuses_var: false,
+                        ..
+                    }
+                ));
+                return;
+            }
+        }
+        panic!("no seed produced a model using Var and Std on one domain");
+    }
+
+    #[test]
+    fn feature_cells_read_their_domain_window() {
+        let model = tiny_model(3);
+        let built = build_cell_graph(&model, &BuildOptions::default());
+        for (&fi, &cid) in &built.feature_cells {
+            let (domain, kind) = FeatureLayout::decode(fi);
+            let cell = &built.graph.cells()[cid];
+            if let ModuleKind::Feature {
+                input_len,
+                reuses_var,
+                ..
+            } = cell.module
+            {
+                if !reuses_var {
+                    assert_eq!(input_len, domain.window_len(), "{kind}@{domain}");
+                }
+            } else {
+                panic!("feature cell is not a Feature module");
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Whole-system configuration: process node, radio, CPU and battery models.
+
+use crate::aggregator::AggregatorModel;
+use xpro_battery::BatteryModel;
+use xpro_hw::{CellCostModel, ProcessNode};
+use xpro_wireless::TransceiverModel;
+
+/// Configuration of a complete wearable computing system (sensor node +
+/// wireless link + aggregator), in the paper's default setup unless
+/// overridden: 90 nm process, wireless Model 2, Cortex-A8 aggregator,
+/// 40 mAh sensor battery, 2900 mAh aggregator battery (§4, §5.2, §5.6).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Functional-cell cost model (sensor hardware).
+    pub cost_model: CellCostModel,
+    /// Sensor process technology.
+    pub node: ProcessNode,
+    /// Inter-end radio.
+    pub radio: TransceiverModel,
+    /// Aggregator CPU model.
+    pub aggregator: AggregatorModel,
+    /// Sensor-node battery.
+    pub sensor_battery: BatteryModel,
+    /// Aggregator battery.
+    pub aggregator_battery: BatteryModel,
+    /// Biosignal sampling rate in Hz (paper §3.1.2: wearables "monitor and
+    /// analyze the sparse biosignal events at low sampling rates with
+    /// typical values of several thousand of hertz"); with Table-1 segment
+    /// lengths this yields ~15–25 events/s.
+    pub sampling_hz: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cost_model: CellCostModel::default(),
+            node: ProcessNode::N90,
+            radio: TransceiverModel::model2(),
+            aggregator: AggregatorModel::cortex_a8(),
+            sensor_battery: BatteryModel::sensor_40mah(),
+            aggregator_battery: BatteryModel::aggregator_2900mah(),
+            sampling_hz: 2048.0,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Convenience: the default system at a different process node.
+    pub fn with_node(node: ProcessNode) -> Self {
+        SystemConfig {
+            node,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Convenience: the default system with a different radio.
+    pub fn with_radio(radio: TransceiverModel) -> Self {
+        SystemConfig {
+            radio,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// Events analyzed per second for a raw segment length: a new event
+    /// fires once enough samples accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len == 0`.
+    pub fn events_per_second(&self, segment_len: usize) -> f64 {
+        assert!(segment_len > 0, "segment length must be positive");
+        self.sampling_hz / segment_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.node, ProcessNode::N90);
+        assert_eq!(cfg.radio, TransceiverModel::model2());
+        assert_eq!(cfg.sensor_battery.capacity_mah(), 40.0);
+    }
+
+    #[test]
+    fn event_rate_is_low_duty() {
+        let cfg = SystemConfig::default();
+        let rate = cfg.events_per_second(128);
+        assert!((rate - 16.0).abs() < 1e-12);
+        assert!(cfg.events_per_second(82) > rate);
+    }
+
+    #[test]
+    fn with_helpers_override_one_field() {
+        let c = SystemConfig::with_node(ProcessNode::N45);
+        assert_eq!(c.node, ProcessNode::N45);
+        assert_eq!(c.radio, TransceiverModel::model2());
+        let r = SystemConfig::with_radio(TransceiverModel::model3());
+        assert_eq!(r.node, ProcessNode::N90);
+    }
+}

@@ -1,0 +1,296 @@
+//! The Automatic XPro Generator (paper §3.2).
+//!
+//! Produces functional-cell partitions for the four designs of the paper's
+//! evaluation:
+//!
+//! * **in-aggregator engine** — every cell on the back-end (Fig. 7, Cut-1);
+//! * **in-sensor engine** — every cell on the front-end (Cut-2);
+//! * **trivial cut** — feature extractors (and the DWT feeding them) on the
+//!   sensor, classifiers on the aggregator (the "intuitive" cut of §5.5);
+//! * **cross-end engine** — the generator's optimal cut under the delay
+//!   constraint `T_XPro = min(T_F, T_B)` (§3.2.3, Eq. 4).
+//!
+//! The unconstrained optimum is a single s-t min-cut. The delay-constrained
+//! variant runs a Lagrangian sweep: min-cuts of `energy + λ·delay` over a
+//! log-spaced λ grid, keeping the cheapest partition whose *measured* delay
+//! meets the bound. The two single-end designs are always candidates, so a
+//! feasible solution always exists — the same guarantee the paper gives.
+
+use crate::instance::XProInstance;
+use crate::partition::{evaluate, Evaluation, Partition};
+use crate::stgraph::min_cut_partition;
+use xpro_hw::ModuleKind;
+
+/// The four engine designs compared throughout the paper's §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Engine {
+    /// Everything on the aggregator (state of the art "A").
+    InAggregator,
+    /// Everything on the sensor node (state of the art "S").
+    InSensor,
+    /// Features + DWT on the sensor, classifiers on the aggregator — the
+    /// intuitive cut of Fig. 12.
+    TrivialCut,
+    /// The Automatic XPro Generator's delay-constrained optimum ("C").
+    CrossEnd,
+}
+
+impl Engine {
+    /// The engines in the paper's comparison order.
+    pub const ALL: [Engine; 4] = [
+        Engine::InAggregator,
+        Engine::InSensor,
+        Engine::TrivialCut,
+        Engine::CrossEnd,
+    ];
+
+    /// The single-letter label used in the paper's figures.
+    pub fn short(self) -> &'static str {
+        match self {
+            Engine::InAggregator => "A",
+            Engine::InSensor => "S",
+            Engine::TrivialCut => "T",
+            Engine::CrossEnd => "C",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Engine::InAggregator => "aggregator engine",
+            Engine::InSensor => "sensor node engine",
+            Engine::TrivialCut => "trivial cut",
+            Engine::CrossEnd => "cross-end engine",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The Automatic XPro Generator over one priced instance.
+#[derive(Clone, Debug)]
+pub struct XProGenerator<'a> {
+    instance: &'a XProInstance,
+}
+
+impl<'a> XProGenerator<'a> {
+    /// Wraps an instance.
+    pub fn new(instance: &'a XProInstance) -> Self {
+        XProGenerator { instance }
+    }
+
+    /// The partition realizing a given engine design.
+    pub fn partition_for(&self, engine: Engine) -> Partition {
+        let n = self.instance.num_cells();
+        match engine {
+            Engine::InAggregator => Partition::all_aggregator(n),
+            Engine::InSensor => Partition::all_sensor(n),
+            Engine::TrivialCut => self.trivial_cut(),
+            Engine::CrossEnd => self.generate(),
+        }
+    }
+
+    /// Evaluates an engine design under the instance's configuration.
+    pub fn evaluate_engine(&self, engine: Engine) -> Evaluation {
+        evaluate(self.instance, &self.partition_for(engine))
+    }
+
+    /// The intuitive feature/classifier cut: everything up to and including
+    /// feature extraction on the sensor, SVMs and fusion on the aggregator.
+    pub fn trivial_cut(&self) -> Partition {
+        let in_sensor = self
+            .instance
+            .built()
+            .graph
+            .cells()
+            .iter()
+            .map(|c| {
+                !matches!(
+                    c.module,
+                    ModuleKind::Svm { .. } | ModuleKind::ScoreFusion { .. }
+                )
+            })
+            .collect();
+        Partition { in_sensor }
+    }
+
+    /// The unconstrained minimum-energy partition (§3.2.2): one min-cut.
+    pub fn unconstrained_cut(&self) -> Partition {
+        min_cut_partition(self.instance, 0.0)
+    }
+
+    /// The paper's delay limit `T_XPro = min(T_F, T_B)` (Eq. 4).
+    pub fn default_delay_limit(&self) -> f64 {
+        let n = self.instance.num_cells();
+        let t_f = evaluate(self.instance, &Partition::all_sensor(n))
+            .delay
+            .total_s();
+        let t_b = evaluate(self.instance, &Partition::all_aggregator(n))
+            .delay
+            .total_s();
+        t_f.min(t_b)
+    }
+
+    /// The generator's default output: minimum sensor energy subject to
+    /// `delay ≤ min(T_F, T_B)`.
+    pub fn generate(&self) -> Partition {
+        self.delay_constrained_cut(self.default_delay_limit())
+    }
+
+    /// Minimum-energy partition with measured delay at most `t_limit_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_limit_s` is not positive, or if no candidate (including
+    /// the single-end designs) meets the limit. At the paper's default limit
+    /// (Eq. 4) a feasible design always exists; for tighter limits prefer
+    /// [`XProGenerator::try_delay_constrained_cut`].
+    pub fn delay_constrained_cut(&self, t_limit_s: f64) -> Partition {
+        self.try_delay_constrained_cut(t_limit_s)
+            .expect("no partition meets the delay limit")
+    }
+
+    /// Like [`XProGenerator::delay_constrained_cut`], but returns `None`
+    /// when no explored partition meets the limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_limit_s` is not positive.
+    pub fn try_delay_constrained_cut(&self, t_limit_s: f64) -> Option<Partition> {
+        assert!(t_limit_s > 0.0, "delay limit must be positive");
+        let n = self.instance.num_cells();
+        let mut candidates = vec![
+            Partition::all_aggregator(n),
+            Partition::all_sensor(n),
+            self.trivial_cut(),
+        ];
+        // λ sweep: λ in pJ/s. Cell energies sit around 1e4–1e6 pJ and event
+        // delays around 1e-4–1e-3 s, so the interesting λ range brackets
+        // 1e7–1e12; sweep wider to be safe.
+        candidates.push(min_cut_partition(self.instance, 0.0));
+        let mut lambda = 1.0e5;
+        while lambda <= 1.0e14 {
+            let p = min_cut_partition(self.instance, lambda);
+            if !candidates.contains(&p) {
+                candidates.push(p);
+            }
+            lambda *= 3.0;
+        }
+        // Tolerate floating-point noise in the measured delay: the
+        // single-end designs define the limit, so they must stay feasible.
+        let tol = t_limit_s * 1e-9;
+        candidates
+            .into_iter()
+            .map(|p| {
+                let e = evaluate(self.instance, &p);
+                (p, e)
+            })
+            .filter(|(_, e)| e.delay.total_s() <= t_limit_s + tol)
+            .min_by(|a, b| {
+                a.1.sensor
+                    .total_pj()
+                    .partial_cmp(&b.1.sensor.total_pj())
+                    .expect("energies are finite")
+            })
+            .map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_instance;
+
+    #[test]
+    fn engines_have_expected_shapes() {
+        let inst = tiny_instance(1);
+        let gen = XProGenerator::new(&inst);
+        let n = inst.num_cells();
+        assert_eq!(gen.partition_for(Engine::InSensor).sensor_count(), n);
+        assert_eq!(gen.partition_for(Engine::InAggregator).sensor_count(), 0);
+        let trivial = gen.partition_for(Engine::TrivialCut);
+        // 2 SVMs + fusion on the aggregator.
+        assert_eq!(trivial.sensor_count(), n - 3);
+    }
+
+    #[test]
+    fn cross_end_energy_never_worse_than_single_ends() {
+        for seed in 0..8 {
+            let inst = tiny_instance(seed);
+            let gen = XProGenerator::new(&inst);
+            let c = gen.evaluate_engine(Engine::CrossEnd);
+            let s = gen.evaluate_engine(Engine::InSensor);
+            let a = gen.evaluate_engine(Engine::InAggregator);
+            assert!(
+                c.sensor.total_pj() <= s.sensor.total_pj() + 1e-6,
+                "seed {seed}: C {} > S {}",
+                c.sensor.total_pj(),
+                s.sensor.total_pj()
+            );
+            assert!(
+                c.sensor.total_pj() <= a.sensor.total_pj() + 1e-6,
+                "seed {seed}: C {} > A {}",
+                c.sensor.total_pj(),
+                a.sensor.total_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_end_meets_the_delay_constraint() {
+        for seed in 0..8 {
+            let inst = tiny_instance(seed);
+            let gen = XProGenerator::new(&inst);
+            let limit = gen.default_delay_limit();
+            let c = gen.evaluate_engine(Engine::CrossEnd);
+            assert!(
+                c.delay.total_s() <= limit * (1.0 + 1e-9),
+                "seed {seed}: delay {} > limit {limit}",
+                c.delay.total_s()
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_cut_is_exhaustively_optimal() {
+        // On the ≤ 10-cell test instance, compare against brute force.
+        for seed in [0, 3, 7] {
+            let inst = tiny_instance(seed);
+            let gen = XProGenerator::new(&inst);
+            let cut = gen.unconstrained_cut();
+            let e_cut = evaluate(&inst, &cut).sensor.total_pj();
+            let n = inst.num_cells();
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << n) {
+                let p = Partition {
+                    in_sensor: (0..n).map(|i| mask & (1 << i) != 0).collect(),
+                };
+                best = best.min(evaluate(&inst, &p).sensor.total_pj());
+            }
+            assert!(
+                (e_cut - best).abs() < 1e-6,
+                "seed {seed}: min-cut {e_cut} vs exhaustive {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_delay_limit_is_respected_or_rejected() {
+        let inst = tiny_instance(2);
+        let gen = XProGenerator::new(&inst);
+        // A generous limit (2× the default) must also be satisfiable, and
+        // can only lower (or keep) the energy found under the default.
+        let loose = gen.delay_constrained_cut(gen.default_delay_limit() * 2.0);
+        let tight = gen.generate();
+        let e_loose = evaluate(&inst, &loose).sensor.total_pj();
+        let e_tight = evaluate(&inst, &tight).sensor.total_pj();
+        assert!(e_loose <= e_tight + 1e-6);
+    }
+
+    #[test]
+    fn engine_labels() {
+        assert_eq!(Engine::InAggregator.short(), "A");
+        assert_eq!(Engine::CrossEnd.to_string(), "cross-end engine");
+        assert_eq!(Engine::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! An XPro instance: a cell graph priced under a concrete system
+//! configuration.
+//!
+//! Instantiation applies design rule 2 (paper §3.1.2): every cell gets the
+//! most energy-efficient monotonic ALU mode for its module, as chosen by the
+//! hardware library's Figure-4 characterization.
+
+use crate::builder::BuiltGraph;
+use crate::config::SystemConfig;
+use xpro_hw::{AluMode, CellCost};
+
+/// A priced XPro instance ready for partitioning.
+#[derive(Clone, Debug)]
+pub struct XProInstance {
+    built: BuiltGraph,
+    config: SystemConfig,
+    /// True (unpadded) raw segment length of the workload, which sets the
+    /// raw-upload payload and the event rate.
+    segment_len: usize,
+    sensor_costs: Vec<CellCost>,
+    sensor_modes: Vec<AluMode>,
+    agg_energy_pj: Vec<f64>,
+    agg_time_s: Vec<f64>,
+}
+
+impl XProInstance {
+    /// Prices a built graph under a system configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len == 0`.
+    pub fn new(built: BuiltGraph, config: SystemConfig, segment_len: usize) -> Self {
+        assert!(segment_len > 0, "segment length must be positive");
+        let mut sensor_costs = Vec::with_capacity(built.graph.len());
+        let mut sensor_modes = Vec::with_capacity(built.graph.len());
+        let mut agg_energy_pj = Vec::with_capacity(built.graph.len());
+        let mut agg_time_s = Vec::with_capacity(built.graph.len());
+        for cell in built.graph.cells() {
+            let (mode, cost) = config.cost_model.best_mode(&cell.module, config.node);
+            sensor_modes.push(mode);
+            sensor_costs.push(cost);
+            let ops = cell.module.op_counts();
+            agg_energy_pj.push(config.aggregator.energy_pj(&ops));
+            agg_time_s.push(config.aggregator.time_s(&ops));
+        }
+        XProInstance {
+            built,
+            config,
+            segment_len,
+            sensor_costs,
+            sensor_modes,
+            agg_energy_pj,
+            agg_time_s,
+        }
+    }
+
+    /// The underlying graph and classifier wiring.
+    pub fn built(&self) -> &BuiltGraph {
+        &self.built
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Raw (unpadded) segment length in samples.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    /// Events analyzed per second under the configured sampling rate.
+    pub fn events_per_second(&self) -> f64 {
+        self.config.events_per_second(self.segment_len)
+    }
+
+    /// In-sensor cost (best monotonic mode) of a cell.
+    pub fn sensor_cost(&self, cell: usize) -> CellCost {
+        self.sensor_costs[cell]
+    }
+
+    /// Chosen ALU mode of a cell.
+    pub fn sensor_mode(&self, cell: usize) -> AluMode {
+        self.sensor_modes[cell]
+    }
+
+    /// In-sensor latency of a cell in seconds at the 16 MHz sensor clock.
+    pub fn sensor_time_s(&self, cell: usize) -> f64 {
+        self.sensor_costs[cell].delay_s(xpro_hw::SENSOR_CLOCK_HZ)
+    }
+
+    /// In-aggregator energy of a cell in picojoules.
+    pub fn aggregator_energy_pj(&self, cell: usize) -> f64 {
+        self.agg_energy_pj[cell]
+    }
+
+    /// In-aggregator execution time of a cell in seconds.
+    pub fn aggregator_time_s(&self, cell: usize) -> f64 {
+        self.agg_time_s[cell]
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.built.graph.len()
+    }
+
+    /// Total in-sensor compute energy if every cell ran on the sensor (the
+    /// compute part of the in-sensor engine).
+    pub fn total_sensor_compute_pj(&self) -> f64 {
+        self.sensor_costs.iter().map(|c| c.energy_pj).sum()
+    }
+}

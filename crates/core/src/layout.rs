@@ -1,0 +1,143 @@
+//! The feature-vector layout of the generic classification framework.
+//!
+//! Statistical features are extracted on seven domains (paper §4.4): the raw
+//! time-domain window plus the five detail sub-bands and the final
+//! approximation of a 5-level DWT ("the 5-th level has two 4-sample
+//! segments"). With eight features per domain the full vector has 56 entries.
+
+use xpro_signal::stats::FeatureKind;
+
+/// Number of DWT decomposition levels (paper §4.4).
+pub const DWT_LEVELS: usize = 5;
+/// Padded segment length fed to the DWT (power of two ≥ all Table-1 cases).
+pub const DWT_INPUT_LEN: usize = 128;
+/// Fixed-point sample width in bits (paper §4.4: 32-bit fixed point).
+pub const BITS_PER_SAMPLE: u32 = 32;
+
+/// A feature-extraction domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// The raw (padded) time-domain window.
+    Time,
+    /// DWT detail sub-band of the given level (1-based).
+    Detail(u8),
+    /// DWT approximation at the deepest level.
+    Approx,
+}
+
+impl Domain {
+    /// All seven domains in feature-vector order.
+    pub fn all() -> [Domain; 7] {
+        [
+            Domain::Time,
+            Domain::Detail(1),
+            Domain::Detail(2),
+            Domain::Detail(3),
+            Domain::Detail(4),
+            Domain::Detail(5),
+            Domain::Approx,
+        ]
+    }
+
+    /// Index of this domain in [`Domain::all`].
+    pub fn index(self) -> usize {
+        match self {
+            Domain::Time => 0,
+            Domain::Detail(l) => l as usize,
+            Domain::Approx => 6,
+        }
+    }
+
+    /// Window length of this domain for a [`DWT_INPUT_LEN`]-sample segment.
+    pub fn window_len(self) -> usize {
+        match self {
+            Domain::Time => DWT_INPUT_LEN,
+            Domain::Detail(l) => DWT_INPUT_LEN >> l,
+            Domain::Approx => DWT_INPUT_LEN >> DWT_LEVELS,
+        }
+    }
+
+    /// Short label ("time", "d1".."d5", "a5").
+    pub fn label(self) -> String {
+        match self {
+            Domain::Time => "time".to_string(),
+            Domain::Detail(l) => format!("d{l}"),
+            Domain::Approx => format!("a{DWT_LEVELS}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Maps (domain, feature) pairs to flat feature-vector indices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeatureLayout;
+
+impl FeatureLayout {
+    /// Total feature-vector dimensionality (7 domains × 8 features).
+    pub const DIM: usize = 56;
+
+    /// Flat index of a (domain, feature) pair.
+    pub fn index(domain: Domain, feature: FeatureKind) -> usize {
+        domain.index() * FeatureKind::ALL.len() + feature.index()
+    }
+
+    /// Inverse of [`FeatureLayout::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= FeatureLayout::DIM`.
+    pub fn decode(index: usize) -> (Domain, FeatureKind) {
+        assert!(index < Self::DIM, "feature index out of range");
+        let domain = Domain::all()[index / FeatureKind::ALL.len()];
+        let feature = FeatureKind::ALL[index % FeatureKind::ALL.len()];
+        (domain, feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_is_56() {
+        assert_eq!(FeatureLayout::DIM, 56);
+        assert_eq!(Domain::all().len() * FeatureKind::ALL.len(), 56);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for i in 0..FeatureLayout::DIM {
+            let (d, k) = FeatureLayout::decode(i);
+            assert_eq!(FeatureLayout::index(d, k), i);
+        }
+    }
+
+    #[test]
+    fn window_lengths_match_paper() {
+        // §4.4: "lengths on different levels are 64, 32, 16, 8 and 4 ...
+        // the 5-th level has two 4-sample segments".
+        assert_eq!(Domain::Time.window_len(), 128);
+        let detail_lens: Vec<usize> = (1..=5).map(|l| Domain::Detail(l).window_len()).collect();
+        assert_eq!(detail_lens, [64, 32, 16, 8, 4]);
+        assert_eq!(Domain::Approx.window_len(), 4);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<String> =
+            Domain::all().iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), 7);
+        assert_eq!(Domain::Detail(3).to_string(), "d3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        FeatureLayout::decode(56);
+    }
+}

@@ -1,0 +1,85 @@
+//! XPro: a cross-end analytic engine architecture for wearable computing.
+//!
+//! This crate is the primary contribution of the reproduced paper — *XPro: A
+//! Cross-End Processing Architecture for Data Analytics in Wearables* (ISCA
+//! 2017). It partitions a generic biosignal classification pipeline into
+//! fine-grained functional cells distributed between a wearable sensor node
+//! and a data aggregator, minimizing sensor energy under a system delay
+//! constraint:
+//!
+//! * [`layout`] — the 7-domain × 8-feature vector of the generic framework;
+//! * [`cellgraph`] / [`builder`] — functional-cell dataflow graphs built
+//!   from a trained random-subspace classifier;
+//! * [`config`] / [`instance`] — whole-system configuration and per-cell
+//!   pricing (hardware library + aggregator CPU model);
+//! * [`stgraph`] — the s-t graph whose min-cut is the optimal partition;
+//! * [`generator`] — the Automatic XPro Generator and the four engine
+//!   designs (in-sensor, in-aggregator, trivial cut, cross-end);
+//! * [`partition`] — partition evaluation: energy/delay breakdowns, battery
+//!   life on both ends;
+//! * [`pipeline`] — end-to-end training and functionally equivalent
+//!   partitioned execution;
+//! * [`aggregator`] — the back-end Cortex-A8-class CPU model;
+//! * [`report`] — engine comparisons in the paper's normalized form.
+//!
+//! # Examples
+//!
+//! Train on a Table-1 case and compare the four engine designs:
+//!
+//! ```
+//! use xpro_core::config::SystemConfig;
+//! use xpro_core::generator::Engine;
+//! use xpro_core::instance::XProInstance;
+//! use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+//! use xpro_core::report::EngineComparison;
+//! use xpro_data::{generate_case_sized, CaseId};
+//! use xpro_ml::SubspaceConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = generate_case_sized(CaseId::C1, 80, 42);
+//! let cfg = PipelineConfig {
+//!     subspace: SubspaceConfig { candidates: 8, folds: 2, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let pipeline = XProPipeline::train(&data, &cfg)?;
+//! let segment_len = pipeline.segment_len();
+//! let instance = XProInstance::new(
+//!     pipeline.into_built(),
+//!     SystemConfig::default(),
+//!     segment_len,
+//! );
+//! let cmp = EngineComparison::evaluate("C1", &instance);
+//! assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aggregator;
+pub mod builder;
+pub mod cellgraph;
+pub mod config;
+pub mod generator;
+pub mod heuristics;
+pub mod instance;
+pub mod layout;
+pub mod multiclass;
+pub mod multinode;
+pub mod partition;
+pub mod pipeline;
+pub mod report;
+pub mod stgraph;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use aggregator::AggregatorModel;
+pub use builder::{build_cell_graph, BuildOptions, BuiltGraph};
+pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
+pub use config::SystemConfig;
+pub use generator::{Engine, XProGenerator};
+pub use instance::XProInstance;
+pub use layout::{Domain, FeatureLayout};
+pub use multiclass::MulticlassPipeline;
+pub use multinode::{BsnEvaluation, BsnSystem};
+pub use partition::{evaluate, DelayBreakdown, EnergyBreakdown, Evaluation, Partition};
+pub use pipeline::{extract_features, PipelineConfig, XProPipeline};
+pub use report::EngineComparison;

@@ -1,0 +1,389 @@
+//! Multi-classification XPro instances (paper §5.7).
+//!
+//! "If multi-classification is needed, we can simply add more base
+//! classifiers that extend only the topology of generic classification. The
+//! rest of the proposed methodology can be applied directly."
+//!
+//! This module does exactly that: a one-vs-rest model's per-class ensembles
+//! are flattened into a single functional-cell graph — feature cells are
+//! *shared* across classes (one Max@d2 cell serves every ensemble that needs
+//! it), each class contributes its SVM cells and a fusion cell, and a final
+//! arg-max cell produces the label. The resulting [`BuiltGraph`] flows into
+//! the ordinary [`crate::instance::XProInstance`] → Automatic XPro Generator
+//! path unchanged.
+
+use crate::builder::{BuildOptions, BuiltGraph};
+use crate::cellgraph::{Cell, CellGraph, CellId, PortRef};
+use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
+use crate::partition::Partition;
+use std::collections::BTreeMap;
+use xpro_data::grasps::MulticlassDataset;
+use xpro_hw::ModuleKind;
+use xpro_ml::cv::gather;
+use xpro_ml::kernel::Kernel;
+use xpro_ml::multiclass::{OneVsRestModel, TrainMulticlassError};
+use xpro_ml::{MinMaxScaler, SubspaceConfig};
+use xpro_signal::dwt::Wavelet;
+use xpro_signal::stats::FeatureKind;
+
+/// A trained multi-class XPro pipeline.
+#[derive(Clone, Debug)]
+pub struct MulticlassPipeline {
+    model: OneVsRestModel,
+    scaler: MinMaxScaler,
+    built: BuiltGraph,
+    /// Per-class fusion cells, aligned with `model.classes()`.
+    class_fusion_cells: Vec<CellId>,
+    wavelet: Wavelet,
+    test_accuracy: f64,
+    segment_len: usize,
+}
+
+impl MulticlassPipeline {
+    /// Trains on a multi-class dataset with a 75/25 split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainMulticlassError`] when any per-class ensemble fails.
+    pub fn train(
+        dataset: &MulticlassDataset,
+        subspace: &SubspaceConfig,
+        options: &BuildOptions,
+        seed: u64,
+    ) -> Result<Self, TrainMulticlassError> {
+        let wavelet = Wavelet::Haar;
+        let features: Vec<Vec<f64>> = dataset
+            .segments
+            .iter()
+            .map(|s| crate::pipeline::extract_features(s, wavelet))
+            .collect();
+        // Stratified split over u32 labels (reuse the f64 splitter).
+        let float_labels: Vec<f64> = dataset.labels.iter().map(|&l| l as f64).collect();
+        let split = xpro_ml::cv::stratified_split(&float_labels, 0.75, seed);
+        let train_x = gather(&features, &split.train);
+        let train_y = gather(&dataset.labels, &split.train);
+        let scaler = MinMaxScaler::fit(&train_x);
+        let model = OneVsRestModel::train(&scaler.transform(&train_x), &train_y, subspace)?;
+
+        let test_x = scaler.transform(&gather(&features, &split.test));
+        let test_y = gather(&dataset.labels, &split.test);
+        let correct = test_x
+            .iter()
+            .zip(&test_y)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        let test_accuracy = correct as f64 / test_y.len().max(1) as f64;
+
+        let (built, class_fusion_cells) = build_multiclass_graph(&model, options);
+        Ok(MulticlassPipeline {
+            model,
+            scaler,
+            built,
+            class_fusion_cells,
+            wavelet,
+            test_accuracy,
+            segment_len: dataset.segment_len,
+        })
+    }
+
+    /// Predicts the class of a raw segment.
+    pub fn classify(&self, segment: &[f64]) -> u32 {
+        let features = crate::pipeline::extract_features(segment, self.wavelet);
+        self.model.predict(&self.scaler.transform_one(&features))
+    }
+
+    /// Predicts via the functional-cell graph under a partition; identical
+    /// output to [`MulticlassPipeline::classify`] (functional equivalence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn classify_partitioned(&self, segment: &[f64], partition: &Partition) -> u32 {
+        assert_eq!(
+            partition.in_sensor.len(),
+            self.built.graph.len(),
+            "partition size mismatch"
+        );
+        let features = crate::pipeline::extract_features(segment, self.wavelet);
+        let scaled = self.scaler.transform_one(&features);
+        // Per-class fused scores through the graph wiring.
+        let (best_class, _) = self
+            .model
+            .classes()
+            .iter()
+            .zip(self.model.models())
+            .map(|(&c, m)| (c, m.score(&scaled)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("at least two classes");
+        best_class
+    }
+
+    /// The trained one-vs-rest model.
+    pub fn model(&self) -> &OneVsRestModel {
+        &self.model
+    }
+
+    /// The merged cell graph.
+    pub fn built(&self) -> &BuiltGraph {
+        &self.built
+    }
+
+    /// Consumes the pipeline, returning the merged cell graph.
+    pub fn into_built(self) -> BuiltGraph {
+        self.built
+    }
+
+    /// Per-class fusion cell ids, aligned with the model's classes.
+    pub fn class_fusion_cells(&self) -> &[CellId] {
+        &self.class_fusion_cells
+    }
+
+    /// Held-out test accuracy.
+    pub fn test_accuracy(&self) -> f64 {
+        self.test_accuracy
+    }
+
+    /// Raw segment length of the workload.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+}
+
+/// Flattens a one-vs-rest model into one cell graph with shared feature
+/// cells, per-class SVM + fusion cells, and a final arg-max cell.
+fn build_multiclass_graph(
+    model: &OneVsRestModel,
+    options: &BuildOptions,
+) -> (BuiltGraph, Vec<CellId>) {
+    let used = model.used_features();
+    assert!(!used.is_empty(), "model uses no features");
+
+    let mut graph = CellGraph::new(DWT_INPUT_LEN as u64);
+
+    // Shared DWT chain up to the deepest used level.
+    let mut used_by_domain: BTreeMap<usize, Vec<FeatureKind>> = BTreeMap::new();
+    for &fi in &used {
+        let (domain, kind) = FeatureLayout::decode(fi);
+        used_by_domain.entry(domain.index()).or_default().push(kind);
+    }
+    let deepest = used_by_domain
+        .keys()
+        .map(|&di| match Domain::all()[di] {
+            Domain::Time => 0,
+            Domain::Detail(l) => l as usize,
+            Domain::Approx => DWT_LEVELS,
+        })
+        .max()
+        .expect("non-empty");
+    let mut dwt_cells = Vec::new();
+    let mut upstream = PortRef::RAW;
+    for level in 1..=deepest {
+        let input_len = DWT_INPUT_LEN >> (level - 1);
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::DwtLevel {
+                input_len,
+                taps: options.dwt_taps,
+            },
+            domain: Domain::Detail(level as u8),
+            output_samples: vec![(input_len / 2) as u64, (input_len / 2) as u64],
+            inputs: vec![upstream],
+            label: format!("DWT-L{level}"),
+        });
+        dwt_cells.push(id);
+        upstream = PortRef {
+            producer: Some(id),
+            port: 0,
+        };
+    }
+    let domain_source = |domain: Domain| -> PortRef {
+        match domain {
+            Domain::Time => PortRef::RAW,
+            Domain::Detail(l) => PortRef {
+                producer: Some(dwt_cells[l as usize - 1]),
+                port: 1,
+            },
+            Domain::Approx => PortRef {
+                producer: Some(dwt_cells[DWT_LEVELS - 1]),
+                port: 0,
+            },
+        }
+    };
+
+    // Shared feature cells.
+    let mut feature_cells: BTreeMap<usize, CellId> = BTreeMap::new();
+    for (&di, kinds) in &used_by_domain {
+        let domain = Domain::all()[di];
+        let mut kinds = kinds.clone();
+        kinds.sort();
+        kinds.dedup();
+        let has_var = kinds.contains(&FeatureKind::Var);
+        for kind in kinds {
+            let reuses_var = options.cell_reuse && kind == FeatureKind::Std && has_var;
+            let inputs = if reuses_var {
+                vec![PortRef::cell(
+                    feature_cells[&FeatureLayout::index(domain, FeatureKind::Var)],
+                )]
+            } else {
+                vec![domain_source(domain)]
+            };
+            let id = graph.add_cell(Cell {
+                module: ModuleKind::Feature {
+                    kind,
+                    input_len: domain.window_len(),
+                    reuses_var,
+                },
+                domain,
+                output_samples: vec![1],
+                inputs,
+                label: format!("{kind}@{domain}"),
+            });
+            feature_cells.insert(FeatureLayout::index(domain, kind), id);
+        }
+    }
+
+    // Per-class SVM + fusion cells.
+    let mut svm_cells = Vec::new();
+    let mut class_fusions = Vec::new();
+    for (class, ensemble) in model.classes().iter().zip(model.models()) {
+        let mut class_svms = Vec::new();
+        for (bi, base) in ensemble.bases().iter().enumerate() {
+            let inputs = base
+                .feature_indices
+                .iter()
+                .map(|fi| PortRef::cell(feature_cells[fi]))
+                .collect();
+            let id = graph.add_cell(Cell {
+                module: ModuleKind::Svm {
+                    support_vectors: base.svm.num_support_vectors(),
+                    dims: base.feature_indices.len(),
+                    rbf: matches!(base.svm.kernel(), Kernel::Rbf { .. }),
+                },
+                domain: Domain::Time,
+                output_samples: vec![1],
+                inputs,
+                label: format!("SVM-c{class}-{bi}"),
+            });
+            class_svms.push(id);
+        }
+        let fusion = graph.add_cell(Cell {
+            module: ModuleKind::ScoreFusion {
+                bases: class_svms.len(),
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: class_svms.iter().map(|&c| PortRef::cell(c)).collect(),
+            label: format!("Fusion-c{class}"),
+        });
+        class_fusions.push(fusion);
+        svm_cells.extend(class_svms);
+    }
+
+    // Arg-max over per-class scores (modelled as a small fusion cell).
+    let argmax = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion {
+            bases: class_fusions.len(),
+        },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: class_fusions.iter().map(|&c| PortRef::cell(c)).collect(),
+        label: "ArgMax".into(),
+    });
+
+    (
+        BuiltGraph {
+            graph,
+            feature_cells,
+            svm_cells,
+            fusion_cell: argmax,
+        },
+        class_fusions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::generator::{Engine, XProGenerator};
+    use crate::instance::XProInstance;
+    use xpro_data::grasps::generate_grasps;
+
+    fn quick_cfg() -> SubspaceConfig {
+        SubspaceConfig {
+            candidates: 16,
+            features_per_base: 12,
+            keep_fraction: 0.25,
+            min_keep: 4,
+            folds: 2,
+            ..SubspaceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_the_four_grasp_problem() {
+        let data = generate_grasps(240, 1);
+        let p =
+            MulticlassPipeline::train(&data, &quick_cfg(), &BuildOptions::default(), 1).unwrap();
+        // Four overlapping grasp classes: well above the 25 % chance level.
+        assert!(
+            p.test_accuracy() > 0.5,
+            "4-class accuracy {}",
+            p.test_accuracy()
+        );
+        assert_eq!(p.model().classes(), &[0, 1, 2, 3]);
+        assert_eq!(p.class_fusion_cells().len(), 4);
+    }
+
+    #[test]
+    fn feature_cells_are_shared_across_classes() {
+        let data = generate_grasps(120, 2);
+        let p =
+            MulticlassPipeline::train(&data, &quick_cfg(), &BuildOptions::default(), 2).unwrap();
+        // Each used feature appears exactly once, regardless of how many
+        // class ensembles consume it.
+        assert_eq!(
+            p.built().feature_cells.len(),
+            p.model().used_features().len()
+        );
+        // SVM cells equal the sum over class ensembles (§5.7: only the
+        // topology grows).
+        assert_eq!(p.built().svm_cells.len(), p.model().total_bases());
+    }
+
+    #[test]
+    fn multiclass_instance_partitions_like_binary() {
+        let data = generate_grasps(120, 3);
+        let p =
+            MulticlassPipeline::train(&data, &quick_cfg(), &BuildOptions::default(), 3).unwrap();
+        let seg_len = p.segment_len();
+        let inst = XProInstance::new(p.built().clone(), SystemConfig::default(), seg_len);
+        let generator = XProGenerator::new(&inst);
+        let c = generator.evaluate_engine(Engine::CrossEnd);
+        let s = generator.evaluate_engine(Engine::InSensor);
+        let a = generator.evaluate_engine(Engine::InAggregator);
+        let limit = generator.default_delay_limit();
+        assert!(c.delay.total_s() <= limit * (1.0 + 1e-9));
+        for (other, name) in [(s, "S"), (a, "A")] {
+            if other.delay.total_s() <= limit * (1.0 + 1e-9) {
+                assert!(
+                    c.sensor.total_pj() <= other.sensor.total_pj() + 1e-6,
+                    "C loses to {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_classification_is_equivalent() {
+        let data = generate_grasps(100, 4);
+        let p =
+            MulticlassPipeline::train(&data, &quick_cfg(), &BuildOptions::default(), 4).unwrap();
+        let n = p.built().graph.len();
+        let half = Partition {
+            in_sensor: (0..n).map(|i| i % 2 == 0).collect(),
+        };
+        for seg in data.segments.iter().take(20) {
+            assert_eq!(p.classify_partitioned(seg, &half), p.classify(seg));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Multiple sensor nodes per aggregator (paper §5.7).
+//!
+//! "The proposed cross-end approach and the Automatic XPro Generator can
+//! also be used with minimal modifications for the case of multiple sensor
+//! nodes associated with a data aggregator. MIMO or other specialized
+//! wireless protocol can be applied to avoid potential information conflict
+//! on the aggregator end."
+//!
+//! A [`BsnSystem`] holds one priced instance per body sensor (each with its
+//! own cell graph, battery and event rate) sharing a single aggregator. Each
+//! node's cut is generated independently — sensor energies are separable —
+//! while the aggregator totals energy across nodes and the shared channel is
+//! checked for airtime feasibility (the "information conflict" §5.7 defers
+//! to MIMO when a plain TDMA share does not fit).
+
+use crate::generator::{Engine, XProGenerator};
+use crate::instance::XProInstance;
+use crate::partition::{evaluate, Evaluation, Partition};
+
+/// A body-sensor network: several sensor nodes, one aggregator.
+#[derive(Clone, Debug, Default)]
+pub struct BsnSystem {
+    nodes: Vec<XProInstance>,
+}
+
+/// System-level evaluation of a BSN under one engine policy.
+#[derive(Clone, Debug)]
+pub struct BsnEvaluation {
+    /// Per-node partitions, in node order.
+    pub partitions: Vec<Partition>,
+    /// Per-node evaluations, in node order.
+    pub per_node: Vec<Evaluation>,
+    /// Aggregator energy rate across all nodes, in pJ per second.
+    pub aggregator_pj_per_s: f64,
+    /// Aggregator battery lifetime in hours under the combined load.
+    pub aggregator_battery_hours: f64,
+    /// Fraction of wall-clock time the shared channel is busy (TDMA view).
+    /// Above 1.0 a plain shared channel cannot carry the traffic and a
+    /// MIMO-style protocol is required (§5.7).
+    pub channel_utilization: f64,
+}
+
+impl BsnEvaluation {
+    /// The shortest sensor battery life across nodes — the maintenance
+    /// horizon of the whole BSN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no nodes.
+    pub fn weakest_sensor_hours(&self) -> f64 {
+        self.per_node
+            .iter()
+            .map(|e| e.sensor_battery_hours)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl BsnSystem {
+    /// Creates an empty BSN.
+    pub fn new() -> Self {
+        BsnSystem::default()
+    }
+
+    /// Adds a sensor node (its [`XProInstance`] carries its own workload,
+    /// battery and radio configuration).
+    pub fn add_node(&mut self, instance: XProInstance) -> &mut Self {
+        self.nodes.push(instance);
+        self
+    }
+
+    /// The sensor nodes.
+    pub fn nodes(&self) -> &[XProInstance] {
+        &self.nodes
+    }
+
+    /// Number of sensor nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the BSN has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates the whole BSN with every node running the given engine
+    /// design (per-node cross-end cuts are generated independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BSN has no nodes.
+    pub fn evaluate(&self, engine: Engine) -> BsnEvaluation {
+        assert!(!self.nodes.is_empty(), "BSN has no sensor nodes");
+        let mut partitions = Vec::with_capacity(self.nodes.len());
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        let mut aggregator_pj_per_s = 0.0;
+        let mut channel_utilization = 0.0;
+        for node in &self.nodes {
+            let generator = XProGenerator::new(node);
+            let partition = generator.partition_for(engine);
+            let eval = evaluate(node, &partition);
+            let rate = node.events_per_second();
+            aggregator_pj_per_s += eval.aggregator_pj * rate;
+            channel_utilization += eval.delay.wireless_s * rate;
+            partitions.push(partition);
+            per_node.push(eval);
+        }
+        // The aggregator battery sees the summed event-driven load; price it
+        // through the first node's configured aggregator battery (the
+        // aggregator is shared, so configurations should agree).
+        let battery = &self.nodes[0].config().aggregator_battery;
+        let aggregator_battery_hours = battery.lifetime_hours(aggregator_pj_per_s, 1.0);
+        BsnEvaluation {
+            partitions,
+            per_node,
+            aggregator_pj_per_s,
+            aggregator_battery_hours,
+            channel_utilization,
+        }
+    }
+
+    /// Largest number of *cross-end* nodes a plain shared (TDMA) channel
+    /// supports before airtime saturates, under the given engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BSN has no nodes.
+    pub fn max_nodes_on_shared_channel(&self, engine: Engine) -> usize {
+        let eval = self.evaluate(engine);
+        if eval.channel_utilization <= 0.0 {
+            return usize::MAX;
+        }
+        let per_node = eval.channel_utilization / self.nodes.len() as f64;
+        (1.0 / per_node).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_instance;
+
+    fn three_node_bsn() -> BsnSystem {
+        let mut bsn = BsnSystem::new();
+        for seed in [1, 2, 3] {
+            bsn.add_node(tiny_instance(seed));
+        }
+        bsn
+    }
+
+    #[test]
+    fn aggregator_load_sums_over_nodes() {
+        let bsn = three_node_bsn();
+        let combined = bsn.evaluate(Engine::CrossEnd);
+        let individual: f64 = bsn
+            .nodes()
+            .iter()
+            .zip(&combined.per_node)
+            .map(|(n, e)| e.aggregator_pj * n.events_per_second())
+            .sum();
+        assert!((combined.aggregator_pj_per_s - individual).abs() < 1e-6);
+        assert_eq!(combined.per_node.len(), 3);
+        assert_eq!(combined.partitions.len(), 3);
+    }
+
+    #[test]
+    fn more_nodes_shorten_aggregator_battery() {
+        let mut one = BsnSystem::new();
+        one.add_node(tiny_instance(1));
+        let h1 = one.evaluate(Engine::CrossEnd).aggregator_battery_hours;
+        let h3 = three_node_bsn().evaluate(Engine::CrossEnd).aggregator_battery_hours;
+        assert!(h3 < h1, "3-node {h3} !< 1-node {h1}");
+    }
+
+    #[test]
+    fn channel_utilization_is_sane_for_small_bsns() {
+        let bsn = three_node_bsn();
+        let cross = bsn.evaluate(Engine::CrossEnd);
+        assert!(cross.channel_utilization > 0.0);
+        assert!(
+            cross.channel_utilization < 1.0,
+            "3 cross-end nodes should fit a 2 Mbps channel, got {}",
+            cross.channel_utilization
+        );
+        // Raw streaming (in-aggregator) burns far more airtime.
+        let agg = bsn.evaluate(Engine::InAggregator);
+        assert!(agg.channel_utilization > cross.channel_utilization);
+    }
+
+    #[test]
+    fn cross_end_supports_more_nodes_than_raw_streaming() {
+        let bsn = three_node_bsn();
+        let n_cross = bsn.max_nodes_on_shared_channel(Engine::CrossEnd);
+        let n_raw = bsn.max_nodes_on_shared_channel(Engine::InAggregator);
+        assert!(
+            n_cross > n_raw,
+            "cross-end {n_cross} nodes vs raw {n_raw} nodes"
+        );
+    }
+
+    #[test]
+    fn weakest_sensor_is_the_minimum() {
+        let eval = three_node_bsn().evaluate(Engine::CrossEnd);
+        let min = eval
+            .per_node
+            .iter()
+            .map(|e| e.sensor_battery_hours)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(eval.weakest_sensor_hours(), min);
+    }
+
+    #[test]
+    #[should_panic(expected = "no sensor nodes")]
+    fn empty_bsn_panics() {
+        BsnSystem::new().evaluate(Engine::CrossEnd);
+    }
+}

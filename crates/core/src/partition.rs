@@ -1,0 +1,263 @@
+//! Cross-end partitions and their energy/delay evaluation.
+//!
+//! A [`Partition`] assigns every functional cell to the sensor node or the
+//! aggregator. [`evaluate`] prices a partition exactly as the paper's §3.2
+//! energy model does: in-sensor compute energy plus wireless energy for
+//! every producer port whose data crosses ends (each distinct output is
+//! transmitted at most once — the "grouped cells" rule), plus delivery of
+//! the classification result to the aggregator.
+
+use crate::cellgraph::PortRef;
+use crate::instance::XProInstance;
+use crate::layout::BITS_PER_SAMPLE;
+use xpro_wireless::Frame;
+
+/// An assignment of cells to ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `in_sensor[c]` is `true` when cell `c` runs on the sensor node.
+    pub in_sensor: Vec<bool>,
+}
+
+impl Partition {
+    /// All cells on the sensor node — the in-sensor engine of the paper.
+    pub fn all_sensor(num_cells: usize) -> Self {
+        Partition {
+            in_sensor: vec![true; num_cells],
+        }
+    }
+
+    /// All cells on the aggregator — the in-aggregator engine.
+    pub fn all_aggregator(num_cells: usize) -> Self {
+        Partition {
+            in_sensor: vec![false; num_cells],
+        }
+    }
+
+    /// Number of cells placed on the sensor node.
+    pub fn sensor_count(&self) -> usize {
+        self.in_sensor.iter().filter(|&&s| s).count()
+    }
+
+    /// Whether any cell runs on each end (a strictly cross-end design).
+    pub fn is_cross_end(&self) -> bool {
+        let s = self.sensor_count();
+        s > 0 && s < self.in_sensor.len()
+    }
+
+    /// Human-readable description of the cut: which cell labels sit on each
+    /// end, in graph order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the instance's cell count.
+    pub fn describe(&self, instance: &XProInstance) -> String {
+        assert_eq!(
+            self.in_sensor.len(),
+            instance.num_cells(),
+            "partition size mismatch"
+        );
+        let labels = |sensor: bool| -> String {
+            instance
+                .built()
+                .graph
+                .cells()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.in_sensor[*i] == sensor)
+                .map(|(_, c)| c.label.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "in-sensor ({}): {}\nin-aggregator ({}): {}",
+            self.sensor_count(),
+            labels(true),
+            self.in_sensor.len() - self.sensor_count(),
+            labels(false)
+        )
+    }
+}
+
+/// Sensor-node energy per event, split as in the paper's Fig. 11.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy of in-sensor functional cells (pJ).
+    pub compute_pj: f64,
+    /// Energy of the sensor's wireless transmissions and receptions (pJ).
+    pub wireless_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total sensor energy per event in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.wireless_pj
+    }
+}
+
+/// End-to-end event delay, split as in the paper's Fig. 10.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DelayBreakdown {
+    /// Front-end (sensor) computation time in seconds.
+    pub front_end_s: f64,
+    /// Wireless transfer time in seconds.
+    pub wireless_s: f64,
+    /// Back-end (aggregator) computation time in seconds.
+    pub back_end_s: f64,
+}
+
+impl DelayBreakdown {
+    /// Total event delay in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.front_end_s + self.wireless_s + self.back_end_s
+    }
+}
+
+/// Complete evaluation of a partition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Sensor energy per event.
+    pub sensor: EnergyBreakdown,
+    /// Event delay breakdown.
+    pub delay: DelayBreakdown,
+    /// Aggregator energy per event in pJ (radio + compute), Fig. 13.
+    pub aggregator_pj: f64,
+    /// Sensor battery lifetime in hours at the configured event rate.
+    pub sensor_battery_hours: f64,
+    /// Aggregator battery lifetime in hours at the configured event rate.
+    pub aggregator_battery_hours: f64,
+}
+
+/// Prices a partition under an instance's system configuration.
+///
+/// # Panics
+///
+/// Panics if the partition size differs from the instance's cell count.
+pub fn evaluate(instance: &XProInstance, partition: &Partition) -> Evaluation {
+    assert_eq!(
+        partition.in_sensor.len(),
+        instance.num_cells(),
+        "partition size mismatch"
+    );
+    let graph = &instance.built().graph;
+    let radio = &instance.config().radio;
+
+    let mut sensor = EnergyBreakdown::default();
+    let mut delay = DelayBreakdown::default();
+    let mut aggregator_pj = 0.0;
+
+    // Compute energy and time per end.
+    for c in 0..instance.num_cells() {
+        if partition.in_sensor[c] {
+            sensor.compute_pj += instance.sensor_cost(c).energy_pj;
+            delay.front_end_s += instance.sensor_time_s(c);
+        } else {
+            aggregator_pj += instance.aggregator_energy_pj(c);
+            delay.back_end_s += instance.aggregator_time_s(c);
+        }
+    }
+
+    // Inter-end transfers: once per producer port with a cross-end consumer.
+    let side_of = |port: PortRef| -> bool {
+        match port.producer {
+            None => true, // raw data originates at the sensor
+            Some(c) => partition.in_sensor[c],
+        }
+    };
+    for port in graph.active_ports() {
+        let producer_sensor = side_of(port);
+        let consumers = graph.consumers_of(port);
+        let any_cross = consumers
+            .iter()
+            .any(|&c| partition.in_sensor[c] != producer_sensor);
+        if !any_cross {
+            continue;
+        }
+        let samples = match port.producer {
+            // The raw upload carries the true (unpadded) segment.
+            None => instance.segment_len() as u64,
+            Some(_) => graph.port_samples(port),
+        };
+        let frame = Frame::for_samples(samples, BITS_PER_SAMPLE);
+        delay.wireless_s += radio.frame_airtime_s(frame);
+        if producer_sensor {
+            sensor.wireless_pj += radio.tx_frame_pj(frame);
+            aggregator_pj += radio.rx_frame_pj(frame);
+        } else {
+            sensor.wireless_pj += radio.rx_frame_pj(frame);
+            aggregator_pj += radio.tx_frame_pj(frame);
+        }
+    }
+
+    // The classification result must reach the aggregator.
+    let result = graph.result_cell();
+    if partition.in_sensor[result] {
+        let frame = Frame::for_samples(1, BITS_PER_SAMPLE);
+        sensor.wireless_pj += radio.tx_frame_pj(frame);
+        aggregator_pj += radio.rx_frame_pj(frame);
+        delay.wireless_s += radio.frame_airtime_s(frame);
+    }
+
+    let rate = instance.events_per_second();
+    let sensor_battery_hours = instance
+        .config()
+        .sensor_battery
+        .lifetime_hours(sensor.total_pj(), rate);
+    let aggregator_battery_hours = instance
+        .config()
+        .aggregator_battery
+        .lifetime_hours(aggregator_pj, rate);
+
+    Evaluation {
+        sensor,
+        delay,
+        aggregator_pj,
+        sensor_battery_hours,
+        aggregator_battery_hours,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_instance;
+
+    #[test]
+    fn describe_lists_both_ends() {
+        let inst = tiny_instance(1);
+        let n = inst.num_cells();
+        let mut p = Partition::all_sensor(n);
+        p.in_sensor[n - 1] = false; // fusion to the aggregator
+        let text = p.describe(&inst);
+        assert!(text.contains(&format!("in-sensor ({})", n - 1)), "{text}");
+        assert!(text.contains("in-aggregator (1): Fusion"), "{text}");
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let e = EnergyBreakdown {
+            compute_pj: 2.0,
+            wireless_pj: 3.0,
+        };
+        assert_eq!(e.total_pj(), 5.0);
+        let d = DelayBreakdown {
+            front_end_s: 1.0,
+            wireless_s: 2.0,
+            back_end_s: 3.0,
+        };
+        assert_eq!(d.total_s(), 6.0);
+    }
+
+    #[test]
+    fn partition_constructors() {
+        let s = Partition::all_sensor(4);
+        assert_eq!(s.sensor_count(), 4);
+        assert!(!s.is_cross_end());
+        let a = Partition::all_aggregator(4);
+        assert_eq!(a.sensor_count(), 0);
+        assert!(!a.is_cross_end());
+        let mut mixed = a;
+        mixed.in_sensor[0] = true;
+        assert!(mixed.is_cross_end());
+    }
+}

@@ -1,0 +1,439 @@
+//! End-to-end training and execution of the generic classification pipeline.
+//!
+//! Ties the substrates together for one Table-1 case: feature extraction
+//! (time domain + 5-level DWT, 56 features), min-max scaling, random-
+//! subspace training, cell-graph construction and functional execution of a
+//! partitioned engine. The partitioned execution path reproduces exactly the
+//! ensemble's predictions — asserted by the cross-end equivalence tests —
+//! because a cut changes *where* cells run, never *what* they compute.
+
+use crate::builder::{build_cell_graph, BuildOptions, BuiltGraph};
+use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
+use crate::partition::Partition;
+use xpro_data::Dataset;
+use xpro_ml::cv::{gather, stratified_split};
+use xpro_ml::metrics::accuracy;
+use xpro_ml::{MinMaxScaler, RandomSubspaceModel, SubspaceConfig};
+use xpro_signal::dwt::{dwt_multilevel, Wavelet};
+use xpro_signal::stats::{feature_f64, FeatureKind};
+use xpro_signal::window::fit_length;
+
+/// Training options for a pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Random-subspace training configuration.
+    pub subspace: SubspaceConfig,
+    /// Fraction of segments used for training (paper §4.4: 75 %).
+    pub train_fraction: f64,
+    /// Wavelet family for the DWT cells.
+    pub wavelet: Wavelet,
+    /// Cell-graph construction options.
+    pub build: BuildOptions,
+    /// Split seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            subspace: SubspaceConfig::default(),
+            train_fraction: 0.75,
+            wavelet: Wavelet::Haar,
+            build: BuildOptions::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// Extracts the 56-entry feature vector of the generic framework from one
+/// raw segment (any length; padded/truncated to the 128-sample DWT input).
+pub fn extract_features(segment: &[f64], wavelet: Wavelet) -> Vec<f64> {
+    let padded = fit_length(segment, DWT_INPUT_LEN);
+    let dec = dwt_multilevel(&padded, DWT_LEVELS, wavelet);
+    let mut out = vec![0.0; FeatureLayout::DIM];
+    let mut fill = |domain: Domain, window: &[f64]| {
+        for kind in FeatureKind::ALL {
+            out[FeatureLayout::index(domain, kind)] = feature_f64(kind, window);
+        }
+    };
+    fill(Domain::Time, &padded);
+    for (level, detail) in dec.details.iter().enumerate() {
+        fill(Domain::Detail(level as u8 + 1), detail);
+    }
+    fill(Domain::Approx, &dec.approx);
+    out
+}
+
+/// A trained XPro pipeline for one dataset case.
+#[derive(Clone, Debug)]
+pub struct XProPipeline {
+    model: RandomSubspaceModel,
+    scaler: MinMaxScaler,
+    built: BuiltGraph,
+    wavelet: Wavelet,
+    /// Accuracy on the held-out test split.
+    test_accuracy: f64,
+    /// Raw (unpadded) segment length of the case.
+    segment_len: usize,
+}
+
+/// Error returned by [`XProPipeline::train`].
+#[derive(Debug)]
+pub enum TrainPipelineError {
+    /// The ensemble trainer failed.
+    Ensemble(xpro_ml::subspace::TrainEnsembleError),
+}
+
+impl std::fmt::Display for TrainPipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainPipelineError::Ensemble(e) => write!(f, "pipeline training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainPipelineError {}
+
+impl XProPipeline {
+    /// Trains the full pipeline on a dataset: 75/25 stratified split,
+    /// feature extraction, scaling, random-subspace training, cell-graph
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainPipelineError`] when ensemble training fails (e.g. a
+    /// degenerate dataset).
+    pub fn train(dataset: &Dataset, cfg: &PipelineConfig) -> Result<Self, TrainPipelineError> {
+        let features: Vec<Vec<f64>> = dataset
+            .segments
+            .iter()
+            .map(|s| extract_features(s, cfg.wavelet))
+            .collect();
+        let split = stratified_split(&dataset.labels, cfg.train_fraction, cfg.seed);
+        let train_x = gather(&features, &split.train);
+        let train_y = gather(&dataset.labels, &split.train);
+        let scaler = MinMaxScaler::fit(&train_x);
+        let train_x = scaler.transform(&train_x);
+        let model = RandomSubspaceModel::train(&train_x, &train_y, &cfg.subspace)
+            .map_err(TrainPipelineError::Ensemble)?;
+
+        let test_x = scaler.transform(&gather(&features, &split.test));
+        let test_y = gather(&dataset.labels, &split.test);
+        let preds: Vec<f64> = test_x.iter().map(|x| model.predict(x)).collect();
+        let test_accuracy = accuracy(&preds, &test_y);
+
+        let built = build_cell_graph(&model, &cfg.build);
+        Ok(XProPipeline {
+            model,
+            scaler,
+            built,
+            wavelet: cfg.wavelet,
+            test_accuracy,
+            segment_len: dataset.segment_len,
+        })
+    }
+
+    /// Classifies a raw segment through the monolithic (vector) path.
+    pub fn classify(&self, segment: &[f64]) -> f64 {
+        let features = extract_features(segment, self.wavelet);
+        self.model.predict(&self.scaler.transform_one(&features))
+    }
+
+    /// Classifies a raw segment by executing the functional-cell graph under
+    /// an explicit partition. Cell placement affects only where work runs;
+    /// the returned label is identical to [`XProPipeline::classify`] — the
+    /// functional-equivalence property of the cross-end architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn classify_partitioned(&self, segment: &[f64], partition: &Partition) -> f64 {
+        assert_eq!(
+            partition.in_sensor.len(),
+            self.built.graph.len(),
+            "partition size mismatch"
+        );
+        let padded = fit_length(segment, DWT_INPUT_LEN);
+        let dec = dwt_multilevel(&padded, DWT_LEVELS, self.wavelet);
+        let window_of = |domain: Domain| -> &[f64] {
+            match domain {
+                Domain::Time => &padded,
+                Domain::Detail(l) => &dec.details[l as usize - 1],
+                Domain::Approx => &dec.approx,
+            }
+        };
+
+        // Execute feature cells (graph order is topological).
+        let mut raw_feature: Vec<f64> = vec![0.0; FeatureLayout::DIM];
+        for (&fi, &cid) in &self.built.feature_cells {
+            let (domain, kind) = FeatureLayout::decode(fi);
+            let cell = &self.built.graph.cells()[cid];
+            let value = match cell.module {
+                xpro_hw::ModuleKind::Feature {
+                    reuses_var: true, ..
+                } => {
+                    // Std reusing Var: sqrt of the upstream Var cell value.
+                    let var_idx = FeatureLayout::index(domain, FeatureKind::Var);
+                    raw_feature[var_idx].max(0.0).sqrt()
+                }
+                _ => feature_f64(kind, window_of(domain)),
+            };
+            raw_feature[fi] = value;
+        }
+
+        // SVM cells vote on their (scaled) feature subsets.
+        let votes: Vec<f64> = self
+            .built
+            .svm_cells
+            .iter()
+            .zip(self.model.bases())
+            .map(|(_, base)| {
+                let projected: Vec<f64> = base
+                    .feature_indices
+                    .iter()
+                    .map(|&fi| self.scaler.transform_feature(fi, raw_feature[fi]))
+                    .collect();
+                base.svm.predict(&projected)
+            })
+            .collect();
+
+        // Fusion cell.
+        self.model.fusion().predict(&votes)
+    }
+
+    /// Classifies a raw segment with the in-sensor cells running on the
+    /// Q16.16 fixed-point datapath (paper §4.4: "32-bit fixed-number with
+    /// 16-bit integer and 16-bit decimals for functional cells") and the
+    /// in-aggregator cells in `f64` software — the numerically faithful
+    /// cross-end execution.
+    ///
+    /// Quantization can flip predictions on segments close to the decision
+    /// boundary; the integration tests bound the disagreement rate against
+    /// [`XProPipeline::classify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn classify_partitioned_q16(&self, segment: &[f64], partition: &Partition) -> f64 {
+        assert_eq!(
+            partition.in_sensor.len(),
+            self.built.graph.len(),
+            "partition size mismatch"
+        );
+        use xpro_signal::dwt::dwt_multilevel_q16;
+        use xpro_signal::fixed::Q16;
+        use xpro_signal::stats::feature_q16;
+
+        let padded = fit_length(segment, DWT_INPUT_LEN);
+        // Float path for aggregator-side cells.
+        let dec = dwt_multilevel(&padded, DWT_LEVELS, self.wavelet);
+        // Fixed path for sensor-side cells.
+        let padded_q: Vec<Q16> = padded.iter().map(|&v| Q16::from_f64(v)).collect();
+        let (details_q, approx_q) = dwt_multilevel_q16(&padded_q, DWT_LEVELS, self.wavelet);
+
+        let float_window = |domain: Domain| -> &[f64] {
+            match domain {
+                Domain::Time => &padded,
+                Domain::Detail(l) => &dec.details[l as usize - 1],
+                Domain::Approx => &dec.approx,
+            }
+        };
+        let fixed_window = |domain: Domain| -> &[Q16] {
+            match domain {
+                Domain::Time => &padded_q,
+                Domain::Detail(l) => &details_q[l as usize - 1],
+                Domain::Approx => &approx_q,
+            }
+        };
+
+        let mut raw_feature: Vec<f64> = vec![0.0; FeatureLayout::DIM];
+        for (&fi, &cid) in &self.built.feature_cells {
+            let (domain, kind) = FeatureLayout::decode(fi);
+            let cell = &self.built.graph.cells()[cid];
+            let on_sensor = partition.in_sensor[cid];
+            let value = match cell.module {
+                xpro_hw::ModuleKind::Feature {
+                    reuses_var: true, ..
+                } => {
+                    let var = raw_feature[FeatureLayout::index(domain, FeatureKind::Var)];
+                    if on_sensor {
+                        Q16::from_f64(var).sqrt().to_f64()
+                    } else {
+                        var.max(0.0).sqrt()
+                    }
+                }
+                _ => {
+                    if on_sensor {
+                        feature_q16(kind, fixed_window(domain)).to_f64()
+                    } else {
+                        feature_f64(kind, float_window(domain))
+                    }
+                }
+            };
+            raw_feature[fi] = value;
+        }
+
+        let votes: Vec<f64> = self
+            .built
+            .svm_cells
+            .iter()
+            .zip(self.model.bases())
+            .map(|(cell_id, base)| {
+                let projected: Vec<f64> = base
+                    .feature_indices
+                    .iter()
+                    .map(|&fi| self.scaler.transform_feature(fi, raw_feature[fi]))
+                    .collect();
+                if partition.in_sensor[*cell_id] {
+                    // In-sensor SVM cells evaluate on the Q16 datapath too.
+                    let projected_q: Vec<Q16> =
+                        projected.iter().map(|&v| Q16::from_f64(v)).collect();
+                    base.svm.predict_q16(&projected_q)
+                } else {
+                    base.svm.predict(&projected)
+                }
+            })
+            .collect();
+        self.model.fusion().predict(&votes)
+    }
+
+    /// The trained ensemble.
+    pub fn model(&self) -> &RandomSubspaceModel {
+        &self.model
+    }
+
+    /// The fitted feature scaler.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// The constructed cell graph and wiring.
+    pub fn built(&self) -> &BuiltGraph {
+        &self.built
+    }
+
+    /// Consumes the pipeline, returning the cell graph and wiring.
+    pub fn into_built(self) -> BuiltGraph {
+        self.built
+    }
+
+    /// Held-out test accuracy measured during training.
+    pub fn test_accuracy(&self) -> f64 {
+        self.test_accuracy
+    }
+
+    /// Raw segment length of the trained case.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    /// Wavelet used by the DWT cells.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpro_data::{generate_case_sized, CaseId};
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            subspace: SubspaceConfig {
+                candidates: 10,
+                features_per_base: 8,
+                keep_fraction: 0.3,
+                min_keep: 3,
+                folds: 2,
+                ..SubspaceConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_on_a_small_case_with_decent_accuracy() {
+        let data = generate_case_sized(CaseId::E2, 120, 1);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        assert!(
+            p.test_accuracy() > 0.6,
+            "test accuracy {}",
+            p.test_accuracy()
+        );
+        assert_eq!(p.segment_len(), 128);
+    }
+
+    #[test]
+    fn feature_extraction_has_layout_dim() {
+        let seg = vec![0.5; 82];
+        let f = extract_features(&seg, Wavelet::Haar);
+        assert_eq!(f.len(), FeatureLayout::DIM);
+    }
+
+    #[test]
+    fn partitioned_execution_matches_vector_path() {
+        let data = generate_case_sized(CaseId::C1, 100, 2);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let n = p.built().graph.len();
+        let partitions = [
+            Partition::all_sensor(n),
+            Partition::all_aggregator(n),
+            Partition {
+                in_sensor: (0..n).map(|i| i % 2 == 0).collect(),
+            },
+        ];
+        for seg in data.segments.iter().take(30) {
+            let reference = p.classify(seg);
+            for part in &partitions {
+                assert_eq!(
+                    p.classify_partitioned(seg, part),
+                    reference,
+                    "cross-end execution diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_execution_rarely_disagrees_with_float() {
+        let data = generate_case_sized(CaseId::E1, 100, 4);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let n = p.built().graph.len();
+        let all_sensor = Partition::all_sensor(n);
+        let mut disagreements = 0usize;
+        for seg in &data.segments {
+            if p.classify_partitioned_q16(seg, &all_sensor) != p.classify(seg) {
+                disagreements += 1;
+            }
+        }
+        // Q16.16 quantization may flip boundary segments, but only rarely.
+        assert!(
+            disagreements <= data.len() / 10,
+            "{disagreements}/{} disagreements",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn q16_execution_on_all_aggregator_matches_float_exactly() {
+        // With every cell on the aggregator, the Q16 path computes nothing
+        // in fixed point and must equal the monolithic classifier.
+        let data = generate_case_sized(CaseId::M2, 60, 5);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let part = Partition::all_aggregator(p.built().graph.len());
+        for seg in data.segments.iter().take(20) {
+            assert_eq!(p.classify_partitioned_q16(seg, &part), p.classify(seg));
+        }
+    }
+
+    #[test]
+    fn classify_agrees_with_model_predict_on_test_data() {
+        let data = generate_case_sized(CaseId::M1, 80, 3);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let seg = &data.segments[0];
+        let features = extract_features(seg, Wavelet::Haar);
+        let direct = p.model().predict(&p.scaler().transform_one(&features));
+        assert_eq!(p.classify(seg), direct);
+    }
+}

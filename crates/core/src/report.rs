@@ -1,0 +1,108 @@
+//! Tabular reporting helpers shared by the examples and the benchmark
+//! harness: evaluate all four engines on one case and format the paper's
+//! comparison rows.
+
+use crate::generator::{Engine, XProGenerator};
+use crate::instance::XProInstance;
+use crate::partition::Evaluation;
+
+/// Evaluation of every engine design on one instance.
+#[derive(Clone, Debug)]
+pub struct EngineComparison {
+    /// Case symbol (e.g. "C1").
+    pub case: String,
+    /// `(engine, evaluation)` pairs in [`Engine::ALL`] order.
+    pub engines: Vec<(Engine, Evaluation)>,
+}
+
+impl EngineComparison {
+    /// Evaluates all four engines on an instance.
+    pub fn evaluate(case: impl Into<String>, instance: &XProInstance) -> Self {
+        let generator = XProGenerator::new(instance);
+        let engines = Engine::ALL
+            .iter()
+            .map(|&e| (e, generator.evaluate_engine(e)))
+            .collect();
+        EngineComparison {
+            case: case.into(),
+            engines,
+        }
+    }
+
+    /// The evaluation of one engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is missing (never happens for
+    /// [`EngineComparison::evaluate`] output).
+    pub fn of(&self, engine: Engine) -> &Evaluation {
+        &self
+            .engines
+            .iter()
+            .find(|(e, _)| *e == engine)
+            .expect("engine evaluated")
+            .1
+    }
+
+    /// Battery-life improvement of the cross-end engine over another engine
+    /// (>1 means cross-end lives longer).
+    pub fn lifetime_gain_over(&self, engine: Engine) -> f64 {
+        self.of(Engine::CrossEnd).sensor_battery_hours / self.of(engine).sensor_battery_hours
+    }
+
+    /// Relative delay reduction of the cross-end engine vs another engine
+    /// (0.25 = 25 % faster).
+    pub fn delay_reduction_over(&self, engine: Engine) -> f64 {
+        let c = self.of(Engine::CrossEnd).delay.total_s();
+        let other = self.of(engine).delay.total_s();
+        1.0 - c / other
+    }
+}
+
+/// Formats a battery-lifetime row normalized to the in-aggregator engine
+/// (the normalization of Figs. 8, 9 and 12).
+pub fn normalized_lifetimes(cmp: &EngineComparison) -> Vec<(Engine, f64)> {
+    let base = cmp.of(Engine::InAggregator).sensor_battery_hours;
+    cmp.engines
+        .iter()
+        .map(|(e, ev)| (*e, ev.sensor_battery_hours / base))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_instance;
+
+    #[test]
+    fn comparison_covers_all_engines() {
+        let inst = tiny_instance(1);
+        let cmp = EngineComparison::evaluate("T1", &inst);
+        assert_eq!(cmp.engines.len(), 4);
+        assert_eq!(cmp.case, "T1");
+        for &e in &Engine::ALL {
+            let _ = cmp.of(e);
+        }
+    }
+
+    #[test]
+    fn normalization_puts_aggregator_at_one() {
+        let inst = tiny_instance(2);
+        let cmp = EngineComparison::evaluate("T", &inst);
+        let rows = normalized_lifetimes(&cmp);
+        let agg = rows
+            .iter()
+            .find(|(e, _)| *e == Engine::InAggregator)
+            .unwrap()
+            .1;
+        assert!((agg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_end_gains_are_at_least_parity() {
+        let inst = tiny_instance(3);
+        let cmp = EngineComparison::evaluate("T", &inst);
+        assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0 - 1e-9);
+        assert!(cmp.lifetime_gain_over(Engine::InSensor) >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for partition evaluation and the Automatic XPro Generator
+//! on randomized cell graphs.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xpro_core::builder::BuiltGraph;
+use xpro_core::cellgraph::{Cell, CellGraph, PortRef};
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::Domain;
+use xpro_core::partition::{evaluate, Partition};
+use xpro_core::XProGenerator;
+use xpro_hw::ModuleKind;
+use xpro_signal::stats::FeatureKind;
+
+/// A randomized small instance: `n_features` feature cells over the raw
+/// window, `n_svm` SVM cells with randomized sizes, one fusion cell.
+fn random_instance(
+    n_features: usize,
+    n_svm: usize,
+    sv_seed: u64,
+    segment_len: usize,
+) -> XProInstance {
+    let mut graph = CellGraph::new(128);
+    let mut feature_cells = BTreeMap::new();
+    for i in 0..n_features {
+        let kind = FeatureKind::ALL[i % 8];
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: 128,
+                reuses_var: false,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: vec![PortRef::RAW],
+            label: format!("{kind}-{i}"),
+        });
+        feature_cells.insert(i, id);
+    }
+    let mut svm_cells = Vec::new();
+    for b in 0..n_svm {
+        let dims = 2 + (sv_seed as usize + b) % 4;
+        let inputs: Vec<PortRef> = (0..dims)
+            .map(|k| PortRef::cell(feature_cells[&((b + k * 3) % n_features)]))
+            .collect();
+        svm_cells.push(graph.add_cell(Cell {
+            module: ModuleKind::Svm {
+                support_vectors: 5 + ((sv_seed as usize * 7 + b * 13) % 60),
+                dims,
+                rbf: true,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs,
+            label: format!("svm-{b}"),
+        }));
+    }
+    let fusion_cell = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases: n_svm },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: svm_cells.iter().map(|&c| PortRef::cell(c)).collect(),
+        label: "fusion".into(),
+    });
+    let built = BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells,
+        fusion_cell,
+    };
+    XProInstance::new(built, SystemConfig::default(), segment_len)
+}
+
+fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
+    prop::collection::vec(any::<bool>(), n).prop_map(|in_sensor| Partition { in_sensor })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn energy_and_delay_are_always_positive_and_finite(
+        nf in 2usize..6, ns in 1usize..4, seed in 0u64..50, mask in 0u64..256
+    ) {
+        let inst = random_instance(nf, ns, seed, 100);
+        let n = inst.num_cells();
+        let p = Partition { in_sensor: (0..n).map(|i| mask & (1 << (i % 8)) != 0).collect() };
+        let e = evaluate(&inst, &p);
+        prop_assert!(e.sensor.total_pj() >= 0.0);
+        prop_assert!(e.sensor.total_pj().is_finite());
+        prop_assert!(e.delay.total_s() > 0.0);
+        prop_assert!(e.aggregator_pj >= 0.0);
+        prop_assert!(e.sensor_battery_hours.is_finite());
+    }
+
+    #[test]
+    fn moving_cells_to_the_sensor_shifts_delay_components(
+        nf in 2usize..6, ns in 1usize..4, seed in 0u64..50
+    ) {
+        let inst = random_instance(nf, ns, seed, 100);
+        let n = inst.num_cells();
+        let all_s = evaluate(&inst, &Partition::all_sensor(n));
+        let all_a = evaluate(&inst, &Partition::all_aggregator(n));
+        prop_assert_eq!(all_s.delay.back_end_s, 0.0);
+        prop_assert_eq!(all_a.delay.front_end_s, 0.0);
+        prop_assert!(all_a.delay.wireless_s > all_s.delay.wireless_s);
+    }
+
+    #[test]
+    fn min_cut_matches_exhaustive_on_random_graphs(
+        nf in 2usize..5, ns in 1usize..3, seed in 0u64..60, seg in 60usize..136
+    ) {
+        let inst = random_instance(nf, ns, seed, seg);
+        let generator = XProGenerator::new(&inst);
+        let cut = evaluate(&inst, &generator.unconstrained_cut()).sensor.total_pj();
+        let n = inst.num_cells();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            let p = Partition { in_sensor: (0..n).map(|i| mask & (1 << i) != 0).collect() };
+            best = best.min(evaluate(&inst, &p).sensor.total_pj());
+        }
+        prop_assert!((cut - best).abs() < 1e-6, "min-cut {cut} vs exhaustive {best}");
+    }
+
+    #[test]
+    fn generator_is_feasible_and_close_to_the_constrained_optimum(
+        nf in 3usize..5, ns in 1usize..3, seed in 0u64..40
+    ) {
+        let inst = random_instance(nf, ns, seed, 100);
+        let generator = XProGenerator::new(&inst);
+        let limit = generator.default_delay_limit();
+        let chosen = evaluate(&inst, &generator.generate());
+        prop_assert!(chosen.delay.total_s() <= limit * (1.0 + 1e-9));
+        // Exhaustive optimum over the delay-feasible set. The Lagrangian
+        // sweep is not guaranteed optimal for the constrained problem
+        // (duality gap), but on these graphs it should stay within 10 %.
+        let n = inst.num_cells();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            let p = Partition { in_sensor: (0..n).map(|i| mask & (1 << i) != 0).collect() };
+            let e = evaluate(&inst, &p);
+            if e.delay.total_s() <= limit * (1.0 + 1e-9) {
+                best = best.min(e.sensor.total_pj());
+            }
+        }
+        prop_assert!(
+            chosen.sensor.total_pj() <= best * 1.10 + 1e-6,
+            "generator {} vs constrained optimum {best}",
+            chosen.sensor.total_pj()
+        );
+    }
+
+    #[test]
+    fn sensor_energy_decomposes_into_compute_plus_wireless(
+        nf in 2usize..6, ns in 1usize..4, seed in 0u64..40, mask in 0u64..256
+    ) {
+        let inst = random_instance(nf, ns, seed, 100);
+        let n = inst.num_cells();
+        let p = Partition { in_sensor: (0..n).map(|i| mask & (1 << (i % 8)) != 0).collect() };
+        let e = evaluate(&inst, &p);
+        let compute_expected: f64 = (0..n)
+            .filter(|&c| p.in_sensor[c])
+            .map(|c| inst.sensor_cost(c).energy_pj)
+            .sum();
+        prop_assert!((e.sensor.compute_pj - compute_expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic electromyogram (EMG) generator.
+//!
+//! Substitute for the UCI hand-movement cases of Table 1 (M1, M2). Surface
+//! EMG is well modelled as amplitude-modulated broadband noise: motor-unit
+//! recruitment produces activation bursts whose envelope shape, count and
+//! spectral tilt depend on the grasp type. The M1 pair (lateral vs spherical)
+//! differs mainly in burst envelope; the M2 pair (tip vs hook) differs in
+//! burst density and spectral content — matching the paper's note that EMG
+//! "is more sensitive to the classifier" (§2.1).
+
+use crate::waveform::{ar1_filter, gauss, gaussian_bump};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the synthetic EMG generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmgParams {
+    /// Number of activation bursts per segment.
+    pub bursts: usize,
+    /// Burst width as a fraction of the segment.
+    pub burst_width: f64,
+    /// Burst envelope amplitude.
+    pub burst_amp: f64,
+    /// Resting (tonic) activity level.
+    pub tone: f64,
+    /// AR(1) pole controlling spectral tilt (0 = white, → 1 = dark).
+    pub spectral_pole: f64,
+}
+
+impl EmgParams {
+    /// M1, class "lateral": one long sustained moderate burst.
+    pub fn m1_lateral() -> Self {
+        EmgParams {
+            bursts: 1,
+            burst_width: 0.30,
+            burst_amp: 0.8,
+            tone: 0.06,
+            spectral_pole: 0.30,
+        }
+    }
+
+    /// M1, class "spherical": two shorter, stronger bursts.
+    pub fn m1_spherical() -> Self {
+        EmgParams {
+            bursts: 2,
+            burst_width: 0.12,
+            burst_amp: 1.20,
+            tone: 0.06,
+            spectral_pole: 0.18,
+        }
+    }
+
+    /// M2, class "tip": dense fine bursts with a brighter spectrum.
+    pub fn m2_tip() -> Self {
+        EmgParams {
+            bursts: 4,
+            burst_width: 0.06,
+            burst_amp: 0.85,
+            tone: 0.09,
+            spectral_pole: 0.14,
+        }
+    }
+
+    /// M2, class "hook": sparse wide bursts with a darker spectrum.
+    pub fn m2_hook() -> Self {
+        EmgParams {
+            bursts: 2,
+            burst_width: 0.16,
+            burst_amp: 0.7,
+            tone: 0.09,
+            spectral_pole: 0.38,
+        }
+    }
+}
+
+/// Generates one EMG segment of `len` samples.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn generate_emg(params: &EmgParams, len: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(len > 0, "segment length must be positive");
+    // Broadband carrier.
+    let mut carrier: Vec<f64> = (0..len).map(|_| gauss(rng)).collect();
+    ar1_filter(&mut carrier, params.spectral_pole);
+
+    // Burst envelope: tonic floor plus Gaussian activation bumps at jittered
+    // positions.
+    let mut envelope = vec![params.tone; len];
+    for b in 0..params.bursts {
+        let nominal = (b as f64 + 0.5) / params.bursts as f64;
+        let center = (nominal + rng.gen_range(-0.08..0.08)).clamp(0.05, 0.95) * len as f64;
+        let width = params.burst_width * len as f64 * rng.gen_range(0.8..1.2);
+        let amp = params.burst_amp * rng.gen_range(0.85..1.15);
+        for (i, e) in envelope.iter_mut().enumerate() {
+            *e += amp * gaussian_bump(i as f64, center, width / 2.0);
+        }
+    }
+
+    carrier
+        .iter()
+        .zip(&envelope)
+        .map(|(&c, &e)| c * e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xpro_signal::stats::{feature_f64, zero_crossings, FeatureKind};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn segment_has_requested_length() {
+        assert_eq!(generate_emg(&EmgParams::m1_lateral(), 132, &mut rng()).len(), 132);
+    }
+
+    #[test]
+    fn bursty_signal_has_higher_variance_than_tone() {
+        let mut r = rng();
+        let seg = generate_emg(&EmgParams::m1_spherical(), 132, &mut r);
+        let var = feature_f64(FeatureKind::Var, &seg);
+        assert!(var > 0.01, "variance {var}");
+    }
+
+    #[test]
+    fn m2_classes_differ_in_zero_crossing_rate() {
+        // Tip (bright spectrum) crosses zero more often than hook (dark).
+        let mut r = rng();
+        let mut cz_tip = 0usize;
+        let mut cz_hook = 0usize;
+        for _ in 0..30 {
+            cz_tip += zero_crossings(&generate_emg(&EmgParams::m2_tip(), 132, &mut r));
+            cz_hook += zero_crossings(&generate_emg(&EmgParams::m2_hook(), 132, &mut r));
+        }
+        assert!(cz_tip > cz_hook, "tip {cz_tip} <= hook {cz_hook}");
+    }
+
+    #[test]
+    fn m1_classes_differ_in_peak_amplitude() {
+        let mut r = rng();
+        let mut max_lat = 0.0f64;
+        let mut max_sph = 0.0f64;
+        for _ in 0..30 {
+            max_lat += feature_f64(
+                FeatureKind::Max,
+                &generate_emg(&EmgParams::m1_lateral(), 132, &mut r),
+            );
+            max_sph += feature_f64(
+                FeatureKind::Max,
+                &generate_emg(&EmgParams::m1_spherical(), 132, &mut r),
+            );
+        }
+        assert!(max_sph > max_lat, "spherical {max_sph} <= lateral {max_lat}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_emg(&EmgParams::m2_tip(), 80, &mut StdRng::seed_from_u64(4));
+        let b = generate_emg(&EmgParams::m2_tip(), 80, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        generate_emg(&EmgParams::m2_tip(), 0, &mut rng());
+    }
+}

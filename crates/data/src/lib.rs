@@ -1,0 +1,36 @@
+//! Synthetic biosignal datasets for the XPro evaluation (paper Table 1).
+//!
+//! The paper evaluates on six binary-classification cases drawn from the UCR
+//! time-series archive, a neural-spike corpus and the UCI repository. Those
+//! corpora are not redistributable here, so this crate regenerates each case
+//! synthetically with the *exact* Table-1 segment lengths and counts and
+//! class-dependent morphology appropriate to the modality:
+//!
+//! * [`ecg`] — sum-of-Gaussians P-QRS-T beat trains (C1, C2);
+//! * [`eeg`] — band-limited oscillation mixtures with optional spike
+//!   discharges (E1, E2);
+//! * [`emg`] — amplitude-modulated broadband bursts (M1, M2);
+//! * [`table1`] — the six cases assembled as [`dataset::Dataset`] values;
+//! * [`waveform`] — shared primitives (Gaussian bumps, AR(1) noise shaping).
+//!
+//! # Examples
+//!
+//! ```
+//! use xpro_data::table1::{generate_case_sized, CaseId};
+//!
+//! let c1 = generate_case_sized(CaseId::C1, 50, 42);
+//! assert_eq!(c1.segment_len, 82); // Table 1
+//! assert_eq!(c1.len(), 50);
+//! ```
+
+pub mod dataset;
+pub mod ecg;
+pub mod eeg;
+pub mod emg;
+pub mod grasps;
+pub mod table1;
+pub mod waveform;
+
+pub use dataset::{Dataset, Modality};
+pub use grasps::{generate_grasps, MulticlassDataset};
+pub use table1::{generate_case, generate_case_sized, CaseId};

@@ -1,0 +1,101 @@
+//! Shared waveform primitives for the synthetic biosignal generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Gaussian bump `exp(−(x − center)² / (2·width²))`.
+pub fn gaussian_bump(x: f64, center: f64, width: f64) -> f64 {
+    let d = (x - center) / width;
+    (-0.5 * d * d).exp()
+}
+
+/// Adds zero-mean Gaussian white noise in place (Box–Muller transform).
+pub fn add_white_noise(signal: &mut [f64], std: f64, rng: &mut StdRng) {
+    if std <= 0.0 {
+        return;
+    }
+    for v in signal {
+        *v += std * gauss(rng);
+    }
+}
+
+/// One standard-normal draw by Box–Muller.
+pub fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A sinusoid with the given cycles-per-sample frequency, phase and amplitude.
+pub fn sine(i: usize, freq: f64, phase: f64, amplitude: f64) -> f64 {
+    amplitude * (2.0 * std::f64::consts::PI * freq * i as f64 + phase).sin()
+}
+
+/// A first-order autoregressive low-pass filter applied in place:
+/// `y[i] = a·y[i−1] + (1−a)·x[i]`. `a` in `[0, 1)`; larger `a` means a
+/// darker spectrum.
+///
+/// # Panics
+///
+/// Panics if `a` is outside `[0, 1)`.
+pub fn ar1_filter(signal: &mut [f64], a: f64) {
+    assert!((0.0..1.0).contains(&a), "AR(1) pole must be in [0, 1)");
+    let mut prev = 0.0;
+    for v in signal {
+        prev = a * prev + (1.0 - a) * *v;
+        *v = prev;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_bump_peaks_at_center() {
+        assert_eq!(gaussian_bump(0.5, 0.5, 0.1), 1.0);
+        assert!(gaussian_bump(0.9, 0.5, 0.1) < 1e-3);
+    }
+
+    #[test]
+    fn white_noise_has_roughly_requested_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sig = vec![0.0; 20_000];
+        add_white_noise(&mut sig, 0.5, &mut rng);
+        let mean: f64 = sig.iter().sum::<f64>() / sig.len() as f64;
+        let var: f64 = sig.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / sig.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_noise_is_noop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sig = vec![1.0, 2.0];
+        add_white_noise(&mut sig, 0.0, &mut rng);
+        assert_eq!(sig, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ar1_darkens_alternating_signal() {
+        let mut sig: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let raw_energy: f64 = sig.iter().map(|v| v * v).sum();
+        ar1_filter(&mut sig, 0.9);
+        let filt_energy: f64 = sig.iter().map(|v| v * v).sum();
+        assert!(filt_energy < raw_energy / 10.0);
+    }
+
+    #[test]
+    fn sine_has_unit_period() {
+        // freq = 0.25 cycles/sample → period 4.
+        let s0 = sine(0, 0.25, 0.0, 1.0);
+        let s4 = sine(4, 0.25, 0.0, 1.0);
+        assert!((s0 - s4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn ar1_rejects_unstable_pole() {
+        ar1_filter(&mut [0.0], 1.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Directed-acyclic-graph utilities: topological ordering and weighted
+//! critical paths.
+//!
+//! XPro's functional cells are "organized by their execution order in the
+//! generic classification (data-driven execution)" (paper §2.2); the system
+//! delay of a partitioned engine is the critical path through that DAG with
+//! node weights (cell latencies) and edge weights (wireless transfer times).
+
+/// A DAG with `f64` node and edge weights.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedDag {
+    node_weights: Vec<f64>,
+    /// Adjacency: `edges[u]` holds `(v, weight)` pairs.
+    edges: Vec<Vec<(usize, f64)>>,
+}
+
+/// Error returned when a cycle prevents topological ordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleError;
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("graph contains a cycle")
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl WeightedDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        WeightedDag::default()
+    }
+
+    /// Adds a node with the given weight (e.g. cell latency), returning its
+    /// id.
+    pub fn add_node(&mut self, weight: f64) -> usize {
+        self.node_weights.push(weight);
+        self.edges.push(Vec::new());
+        self.node_weights.len() - 1
+    }
+
+    /// Adds a weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the weight is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: f64) {
+        assert!(from < self.len() && to < self.len(), "node out of range");
+        assert!(weight >= 0.0, "edge weight must be non-negative");
+        self.edges[from].push((to, weight));
+    }
+
+    /// Updates a node's weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn set_node_weight(&mut self, node: usize, weight: f64) {
+        self.node_weights[node] = weight;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_weights.is_empty()
+    }
+
+    /// Kahn topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph has a cycle.
+    pub fn topological_order(&self) -> Result<Vec<usize>, CycleError> {
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for edges in &self.edges {
+            for &(v, _) in edges {
+                indegree[v] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> = (0..n)
+            .filter(|&v| indegree[v] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, _) in &self.edges[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(CycleError)
+        }
+    }
+
+    /// Length of the critical (longest) path: the maximum over all paths of
+    /// the sum of node weights plus edge weights along the path.
+    ///
+    /// Returns `0.0` for an empty graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph has a cycle.
+    pub fn critical_path(&self) -> Result<f64, CycleError> {
+        let order = self.topological_order()?;
+        let mut finish = self.node_weights.clone();
+        let mut best = 0.0f64;
+        for &u in &order {
+            best = best.max(finish[u]);
+            for &(v, w) in &self.edges[u] {
+                let candidate = finish[u] + w + self.node_weights[v];
+                if candidate > finish[v] {
+                    finish[v] = candidate;
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = WeightedDag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b, 0.0);
+        g.add_edge(b, c, 0.0);
+        let order = g.topological_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = WeightedDag::new();
+        let a = g.add_node(0.0);
+        let b = g.add_node(0.0);
+        g.add_edge(a, b, 0.0);
+        g.add_edge(b, a, 0.0);
+        assert_eq!(g.topological_order(), Err(CycleError));
+        assert_eq!(g.critical_path(), Err(CycleError));
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut g = WeightedDag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        g.add_edge(a, b, 10.0);
+        g.add_edge(b, c, 20.0);
+        assert_eq!(g.critical_path().unwrap(), 36.0);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let mut g = WeightedDag::new();
+        let src = g.add_node(0.0);
+        let cheap = g.add_node(1.0);
+        let pricey = g.add_node(100.0);
+        let sink = g.add_node(0.0);
+        g.add_edge(src, cheap, 0.0);
+        g.add_edge(src, pricey, 0.0);
+        g.add_edge(cheap, sink, 0.0);
+        g.add_edge(pricey, sink, 0.0);
+        assert_eq!(g.critical_path().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn isolated_node_weight_counts() {
+        let mut g = WeightedDag::new();
+        g.add_node(7.0);
+        g.add_node(3.0);
+        assert_eq!(g.critical_path().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_path() {
+        assert_eq!(WeightedDag::new().critical_path().unwrap(), 0.0);
+        assert!(WeightedDag::new().is_empty());
+    }
+
+    #[test]
+    fn set_node_weight_changes_path() {
+        let mut g = WeightedDag::new();
+        let a = g.add_node(1.0);
+        g.set_node_weight(a, 9.0);
+        assert_eq!(g.critical_path().unwrap(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_edge_rejected() {
+        let mut g = WeightedDag::new();
+        let a = g.add_node(0.0);
+        let b = g.add_node(0.0);
+        g.add_edge(a, b, -1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! S-ALU working modes (paper §3.1.2).
+//!
+//! An S-ALU can work in three modes — serial, parallel and pipeline — with
+//! different power/throughput trade-offs. XPro's second design rule picks one
+//! *monotonic* mode per component (all functional cells of a component share
+//! the mode), selected for the best energy per event.
+
+/// Working mode of a functional cell's specialized ALU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum AluMode {
+    /// One functional unit, operations issued back to back. Lowest power,
+    /// longest latency; the best energy point for most cells (Fig. 4).
+    #[default]
+    Serial,
+    /// Fully spatial: one functional unit per independent operation. Highest
+    /// throughput, but the replicated hardware carries a large energy
+    /// overhead (the paper's parallel DWT is ~two orders of magnitude worse
+    /// than serial).
+    Parallel,
+    /// A deep pipeline issuing one operation per cycle. Best for cells
+    /// dominated by long-latency serial operations (Std's square root, the
+    /// DWT's multiply-accumulate chain).
+    Pipeline,
+}
+
+impl AluMode {
+    /// All three modes.
+    pub const ALL: [AluMode; 3] = [AluMode::Serial, AluMode::Parallel, AluMode::Pipeline];
+
+    /// Lowercase name as used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluMode::Serial => "serial",
+            AluMode::Parallel => "parallel",
+            AluMode::Pipeline => "pipeline",
+        }
+    }
+}
+
+impl std::fmt::Display for AluMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(AluMode::default(), AluMode::Serial);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            AluMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(AluMode::Pipeline.to_string(), "pipeline");
+    }
+}

@@ -1,0 +1,210 @@
+//! Silicon area estimation for in-sensor functional cells.
+//!
+//! The paper's in-sensor analytic part targets FPGA/ASIC fabric "to reduce
+//! the hardware redundancy of general computing platforms" (§3.1). Area is
+//! the silent constraint behind that choice: every cell instantiated on the
+//! sensor occupies gates, and the parallel ALU mode multiplies them. This
+//! module prices cells in gate equivalents (GE, 2-input NAND equivalents)
+//! from the same operation structure the energy model uses, with standard
+//! datapath sizes for a 32-bit fixed-point word: a ripple-carry-select
+//! adder ≈ 300 GE, comparator ≈ 150 GE, array multiplier ≈ 3000 GE,
+//! iterative divider ≈ 2500 GE, sqrt ≈ 2800 GE, exp unit ≈ 3500 GE, plus
+//! buffer (6 GE/bit) and control overhead.
+
+use crate::alu::AluMode;
+use crate::module::ModuleKind;
+use crate::ops::{Op, OpCounts};
+
+/// Gate-equivalent area of one functional unit per operation class.
+fn unit_ge(op: Op) -> f64 {
+    match op {
+        Op::Add => 300.0,
+        Op::Cmp => 150.0,
+        Op::Mul => 3000.0,
+        Op::Div => 2500.0,
+        Op::Sqrt => 2800.0,
+        Op::Exp => 3500.0,
+        Op::Mem => 0.0, // buffers are priced separately, per bit
+    }
+}
+
+/// Per-cell fixed overhead: enable logic, private clock, MUX (Fig. 3).
+const CONTROL_GE: f64 = 450.0;
+/// Buffer cost per bit of input/output storage.
+const BUFFER_GE_PER_BIT: f64 = 6.0;
+/// Pipeline register cost per stage for a 32-bit word.
+const PIPE_STAGE_GE: f64 = 32.0 * 8.0;
+
+/// Estimated area of one cell in gate equivalents under an ALU mode.
+///
+/// Serial instantiates one unit per operation class in use; parallel
+/// instantiates one unit per lane of the dominant class; pipeline adds
+/// stage registers to the serial structure.
+pub fn cell_area_ge(module: &ModuleKind, mode: AluMode) -> f64 {
+    let ops = module.op_counts();
+    let buffer_bits = buffer_bits(module);
+    let datapath = match mode {
+        AluMode::Serial => serial_datapath_ge(&ops),
+        AluMode::Pipeline => serial_datapath_ge(&ops) + 16.0 * PIPE_STAGE_GE,
+        AluMode::Parallel => {
+            // Fully spatial: the dominant unit is replicated across lanes.
+            let dominant = Op::ALL
+                .iter()
+                .filter(|&&op| ops.get(op) > 0 && op != Op::Mem)
+                .map(|&op| unit_ge(op))
+                .fold(0.0, f64::max);
+            serial_datapath_ge(&ops) + dominant * (module.lanes().saturating_sub(1)) as f64
+        }
+    };
+    datapath + CONTROL_GE + buffer_bits * BUFFER_GE_PER_BIT
+}
+
+fn serial_datapath_ge(ops: &OpCounts) -> f64 {
+    Op::ALL
+        .iter()
+        .filter(|&&op| ops.get(op) > 0)
+        .map(|&op| unit_ge(op))
+        .sum()
+}
+
+fn buffer_bits(module: &ModuleKind) -> f64 {
+    let samples = match *module {
+        ModuleKind::Feature {
+            input_len,
+            reuses_var,
+            ..
+        } => {
+            if reuses_var {
+                2
+            } else {
+                input_len + 1
+            }
+        }
+        ModuleKind::DwtLevel { input_len, .. } => 2 * input_len,
+        ModuleKind::Svm {
+            support_vectors,
+            dims,
+            ..
+        } => support_vectors * (dims + 1) + dims,
+        ModuleKind::ScoreFusion { bases } => 2 * bases + 1,
+    };
+    samples as f64 * 32.0
+}
+
+/// Total area of a set of cells, each in its chosen mode.
+pub fn total_area_ge<'a>(cells: impl IntoIterator<Item = (&'a ModuleKind, AluMode)>) -> f64 {
+    cells
+        .into_iter()
+        .map(|(m, mode)| cell_area_ge(m, mode))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpro_signal::stats::FeatureKind;
+
+    fn feature(kind: FeatureKind, n: usize, reuse: bool) -> ModuleKind {
+        ModuleKind::Feature {
+            kind,
+            input_len: n,
+            reuses_var: reuse,
+        }
+    }
+
+    #[test]
+    fn parallel_dwt_explodes_in_area() {
+        let dwt = ModuleKind::DwtLevel {
+            input_len: 128,
+            taps: 2,
+        };
+        let serial = cell_area_ge(&dwt, AluMode::Serial);
+        let parallel = cell_area_ge(&dwt, AluMode::Parallel);
+        // Thousands of multipliers: the structural reason behind Fig. 4's
+        // two-orders-of-magnitude parallel energy.
+        assert!(parallel > 100.0 * serial, "{parallel} vs {serial}");
+    }
+
+    #[test]
+    fn pipeline_adds_register_area() {
+        let var = feature(FeatureKind::Var, 128, false);
+        let serial = cell_area_ge(&var, AluMode::Serial);
+        let pipe = cell_area_ge(&var, AluMode::Pipeline);
+        assert!(pipe > serial);
+        assert!((pipe - serial - 16.0 * PIPE_STAGE_GE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reused_std_is_tiny() {
+        let full = cell_area_ge(&feature(FeatureKind::Std, 128, false), AluMode::Serial);
+        let reused = cell_area_ge(&feature(FeatureKind::Std, 128, true), AluMode::Serial);
+        assert!(reused < full / 3.0, "reused {reused} vs full {full}");
+    }
+
+    #[test]
+    fn svm_area_scales_with_support_vectors() {
+        let small = ModuleKind::Svm {
+            support_vectors: 10,
+            dims: 12,
+            rbf: true,
+        };
+        let large = ModuleKind::Svm {
+            support_vectors: 80,
+            dims: 12,
+            rbf: true,
+        };
+        assert!(
+            cell_area_ge(&large, AluMode::Serial) > 3.0 * cell_area_ge(&small, AluMode::Serial)
+        );
+    }
+
+    #[test]
+    fn full_engine_fits_a_small_asic() {
+        // All 8 features on 7 domains + 5 DWT levels + 6 SVMs + fusion,
+        // serial mode: should land in the hundreds of kGE — a few mm² at
+        // 90 nm, credible for a sensor ASIC.
+        let mut cells: Vec<ModuleKind> = Vec::new();
+        for window in [128usize, 64, 32, 16, 8, 4, 4] {
+            for kind in FeatureKind::ALL {
+                cells.push(feature(kind, window, kind == FeatureKind::Std));
+            }
+        }
+        for level in 0..5 {
+            cells.push(ModuleKind::DwtLevel {
+                input_len: 128 >> level,
+                taps: 2,
+            });
+        }
+        for _ in 0..6 {
+            cells.push(ModuleKind::Svm {
+                support_vectors: 60,
+                dims: 12,
+                rbf: true,
+            });
+        }
+        cells.push(ModuleKind::ScoreFusion { bases: 6 });
+        let total = total_area_ge(cells.iter().map(|m| (m, AluMode::Serial)));
+        assert!(
+            (2.0e5..3.0e6).contains(&total),
+            "total {total} GE out of ASIC range"
+        );
+    }
+
+    #[test]
+    fn linear_svm_is_smaller_than_rbf() {
+        let rbf = ModuleKind::Svm {
+            support_vectors: 30,
+            dims: 12,
+            rbf: true,
+        };
+        let linear = ModuleKind::Svm {
+            support_vectors: 30,
+            dims: 12,
+            rbf: false,
+        };
+        assert!(
+            cell_area_ge(&linear, AluMode::Serial) < cell_area_ge(&rbf, AluMode::Serial),
+            "no exp unit → smaller"
+        );
+    }
+}

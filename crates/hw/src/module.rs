@@ -1,0 +1,345 @@
+//! The functional-cell module zoo of the generic classification framework
+//! (paper Fig. 2): eight statistical features, the multi-level DWT, SVM base
+//! classifiers and the score-fusion stage.
+//!
+//! Each module maps to per-event [`OpCounts`] parameterized by its input
+//! window length (and, for SVMs, the trained support-vector count — §5.5
+//! notes that well-separated data yields smaller SVM cells).
+
+use crate::ops::OpCounts;
+use xpro_signal::stats::FeatureKind;
+
+/// The kind of work a functional cell performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// One statistical feature over a window of `input_len` samples.
+    Feature {
+        /// Which feature.
+        kind: FeatureKind,
+        /// Window length in samples.
+        input_len: usize,
+        /// Whether this cell reuses another cell's output (paper §3.1.3:
+        /// Std reuses the entire Var cell and only adds a square root).
+        reuses_var: bool,
+    },
+    /// One DWT analysis level: `input_len` samples in, two half-length
+    /// sub-bands (approximation + detail) out.
+    DwtLevel {
+        /// Input length in samples.
+        input_len: usize,
+        /// Filter taps (2 for Haar).
+        taps: usize,
+    },
+    /// One base SVM classifier of the random-subspace ensemble.
+    Svm {
+        /// Number of support vectors of the trained model.
+        support_vectors: usize,
+        /// Input feature dimensionality (12 in the paper).
+        dims: usize,
+        /// Whether the kernel needs the exponent unit (RBF).
+        rbf: bool,
+    },
+    /// The weighted-voting score-fusion stage.
+    ScoreFusion {
+        /// Number of base classifiers fused.
+        bases: usize,
+    },
+}
+
+impl ModuleKind {
+    /// Per-event operation counts of this module.
+    pub fn op_counts(&self) -> OpCounts {
+        match *self {
+            ModuleKind::Feature {
+                kind,
+                input_len,
+                reuses_var,
+            } => feature_ops(kind, input_len as u64, reuses_var),
+            ModuleKind::DwtLevel { input_len, taps } => {
+                let n = input_len as u64;
+                let t = taps as u64;
+                OpCounts {
+                    mul: n * t,
+                    add: n * (t - 1).max(1),
+                    mem: 2 * n,
+                    ..OpCounts::ZERO
+                }
+            }
+            ModuleKind::Svm {
+                support_vectors,
+                dims,
+                rbf,
+            } => {
+                let sv = support_vectors as u64;
+                let d = dims as u64;
+                let mut ops = OpCounts {
+                    add: sv * (2 * d + 1) + 1,
+                    mul: sv * (d + 1),
+                    mem: sv * (2 * d + 2),
+                    ..OpCounts::ZERO
+                };
+                if rbf {
+                    ops.exp = sv;
+                    ops.mul += sv; // γ scaling
+                }
+                ops
+            }
+            ModuleKind::ScoreFusion { bases } => {
+                let b = bases as u64;
+                OpCounts {
+                    mul: b,
+                    add: b,
+                    cmp: 1,
+                    mem: 2 * b,
+                    ..OpCounts::ZERO
+                }
+            }
+        }
+    }
+
+    /// Maximum spatial parallelism of the module — the number of functional
+    /// units a fully parallel (monotonic) realization instantiates.
+    ///
+    /// For the DWT this is the fully spatial matrix-multiply view the paper
+    /// invokes ("the DWT is a matrix multiplication", §3.1.2), which is what
+    /// makes the parallel mode catastrophically expensive.
+    pub fn lanes(&self) -> u64 {
+        match *self {
+            ModuleKind::Feature {
+                input_len, reuses_var, kind, ..
+            } => {
+                if reuses_var && kind == FeatureKind::Std {
+                    1 // the reused Std cell is a lone square root
+                } else {
+                    ((input_len as u64) / 2).max(1)
+                }
+            }
+            ModuleKind::DwtLevel { input_len, .. } => {
+                let n = input_len as u64;
+                (n * n / 2).max(1)
+            }
+            ModuleKind::Svm {
+                support_vectors,
+                dims,
+                ..
+            } => ((support_vectors * dims) as u64).max(1),
+            ModuleKind::ScoreFusion { bases } => (bases as u64).max(1),
+        }
+    }
+
+    /// Short display label ("Max", "DWT", "SVM", "Fusion").
+    pub fn label(&self) -> String {
+        match *self {
+            ModuleKind::Feature { kind, .. } => kind.name().to_string(),
+            ModuleKind::DwtLevel { .. } => "DWT".to_string(),
+            ModuleKind::Svm { .. } => "SVM".to_string(),
+            ModuleKind::ScoreFusion { .. } => "Fusion".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ModuleKind::Feature {
+                kind, input_len, ..
+            } => write!(f, "{kind}({input_len})"),
+            ModuleKind::DwtLevel { input_len, .. } => write!(f, "DWT({input_len})"),
+            ModuleKind::Svm {
+                support_vectors,
+                dims,
+                ..
+            } => write!(f, "SVM({support_vectors}sv,{dims}d)"),
+            ModuleKind::ScoreFusion { bases } => write!(f, "Fusion({bases})"),
+        }
+    }
+}
+
+fn feature_ops(kind: FeatureKind, n: u64, reuses_var: bool) -> OpCounts {
+    match kind {
+        FeatureKind::Max | FeatureKind::Min => OpCounts {
+            cmp: n,
+            mem: n,
+            ..OpCounts::ZERO
+        },
+        FeatureKind::Mean => OpCounts {
+            add: n,
+            div: 1,
+            mem: n + 1,
+            ..OpCounts::ZERO
+        },
+        FeatureKind::Var => OpCounts {
+            add: 3 * n,
+            mul: n,
+            div: 2,
+            mem: 2 * n + 2,
+            ..OpCounts::ZERO
+        },
+        FeatureKind::Std => {
+            if reuses_var {
+                // Cell-level reuse: the whole Var cell is shared, Std adds
+                // only the square root (paper Fig. 5).
+                OpCounts {
+                    sqrt: 1,
+                    mem: 2,
+                    ..OpCounts::ZERO
+                }
+            } else {
+                OpCounts {
+                    add: 3 * n,
+                    mul: n,
+                    div: 2,
+                    sqrt: 1,
+                    mem: 2 * n + 2,
+                    ..OpCounts::ZERO
+                }
+            }
+        }
+        // Czero outputs the raw crossing count; the /N normalization is
+        // folded into the downstream feature scaling, keeping the cell a
+        // pure comparator chain.
+        FeatureKind::Czero => OpCounts {
+            cmp: n,
+            mem: n,
+            ..OpCounts::ZERO
+        },
+        FeatureKind::Skew => OpCounts {
+            add: 4 * n,
+            mul: 2 * n + 2,
+            div: 3,
+            sqrt: 1,
+            mem: 2 * n + 2,
+            ..OpCounts::ZERO
+        },
+        FeatureKind::Kurt => OpCounts {
+            add: 4 * n,
+            mul: 2 * n + 1,
+            div: 3,
+            mem: 2 * n + 2,
+            ..OpCounts::ZERO
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature(kind: FeatureKind, n: usize, reuse: bool) -> ModuleKind {
+        ModuleKind::Feature {
+            kind,
+            input_len: n,
+            reuses_var: reuse,
+        }
+    }
+
+    #[test]
+    fn op_counts_scale_with_window() {
+        let small = feature(FeatureKind::Var, 32, false).op_counts();
+        let large = feature(FeatureKind::Var, 128, false).op_counts();
+        assert_eq!(large.mul, 4 * small.mul);
+        assert_eq!(large.add, 4 * small.add);
+        assert_eq!(large.div, small.div); // per-event constants don't scale
+    }
+
+    #[test]
+    fn std_reuse_shrinks_to_a_square_root() {
+        let full = feature(FeatureKind::Std, 128, false).op_counts();
+        let reused = feature(FeatureKind::Std, 128, true).op_counts();
+        assert_eq!(reused.sqrt, 1);
+        assert_eq!(reused.mul, 0);
+        assert!(reused.total() < full.total() / 50);
+    }
+
+    #[test]
+    fn higher_moments_cost_more_than_simple_features() {
+        let max = feature(FeatureKind::Max, 128, false).op_counts().total();
+        let var = feature(FeatureKind::Var, 128, false).op_counts().total();
+        let skew = feature(FeatureKind::Skew, 128, false).op_counts().total();
+        assert!(max < var);
+        assert!(var < skew);
+    }
+
+    #[test]
+    fn haar_dwt_ops_match_filter_structure() {
+        let ops = ModuleKind::DwtLevel {
+            input_len: 128,
+            taps: 2,
+        }
+        .op_counts();
+        assert_eq!(ops.mul, 256); // N·taps
+        assert_eq!(ops.add, 128);
+    }
+
+    #[test]
+    fn rbf_svm_needs_one_exp_per_support_vector() {
+        let ops = ModuleKind::Svm {
+            support_vectors: 25,
+            dims: 12,
+            rbf: true,
+        }
+        .op_counts();
+        assert_eq!(ops.exp, 25);
+        let linear = ModuleKind::Svm {
+            support_vectors: 25,
+            dims: 12,
+            rbf: false,
+        }
+        .op_counts();
+        assert_eq!(linear.exp, 0);
+        assert!(linear.total() < ops.total());
+    }
+
+    #[test]
+    fn svm_cost_scales_with_support_vectors() {
+        let few = ModuleKind::Svm {
+            support_vectors: 10,
+            dims: 12,
+            rbf: true,
+        }
+        .op_counts()
+        .total();
+        let many = ModuleKind::Svm {
+            support_vectors: 40,
+            dims: 12,
+            rbf: true,
+        }
+        .op_counts()
+        .total();
+        assert!(many > 3 * few);
+    }
+
+    #[test]
+    fn dwt_lanes_are_matrix_multiply_scale() {
+        let dwt = ModuleKind::DwtLevel {
+            input_len: 128,
+            taps: 2,
+        };
+        assert_eq!(dwt.lanes(), 128 * 128 / 2);
+        let max = feature(FeatureKind::Max, 128, false);
+        assert_eq!(max.lanes(), 64);
+    }
+
+    #[test]
+    fn reused_std_has_single_lane() {
+        assert_eq!(feature(FeatureKind::Std, 128, true).lanes(), 1);
+    }
+
+    #[test]
+    fn display_labels_are_informative() {
+        assert_eq!(
+            feature(FeatureKind::Kurt, 64, false).to_string(),
+            "Kurt(64)"
+        );
+        assert_eq!(
+            ModuleKind::Svm {
+                support_vectors: 9,
+                dims: 12,
+                rbf: true
+            }
+            .to_string(),
+            "SVM(9sv,12d)"
+        );
+        assert_eq!(ModuleKind::ScoreFusion { bases: 8 }.label(), "Fusion");
+    }
+}

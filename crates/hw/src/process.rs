@@ -1,0 +1,67 @@
+//! Process technology nodes (paper §4.3: TSMC 130 nm, 90 nm and 45 nm).
+//!
+//! Without the proprietary TSMC libraries, nodes are modelled as energy
+//! scale factors relative to the 90 nm baseline, following C·V² dynamic-
+//! energy scaling at each node's nominal supply (130 nm/1.2 V, 90 nm/1.0 V,
+//! 45 nm/0.9 V with capacitance shrink). The resulting factors — 1.8×, 1.0×
+//! and 0.35× — reproduce the paper's Figure-8 trend: as technology advances,
+//! computation energy shrinks and wireless communication becomes dominant.
+
+/// A process technology node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum ProcessNode {
+    /// TSMC 130 nm.
+    N130,
+    /// TSMC 90 nm — the paper's default setup (§5.2 onward).
+    #[default]
+    N90,
+    /// TSMC 45 nm.
+    N45,
+}
+
+impl ProcessNode {
+    /// The three evaluated nodes, oldest first (Figure-8 order).
+    pub const ALL: [ProcessNode; 3] = [ProcessNode::N130, ProcessNode::N90, ProcessNode::N45];
+
+    /// Energy multiplier relative to the 90 nm baseline.
+    pub fn energy_scale(self) -> f64 {
+        match self {
+            ProcessNode::N130 => 1.8,
+            ProcessNode::N90 => 1.0,
+            ProcessNode::N45 => 0.35,
+        }
+    }
+
+    /// Feature size in nanometres.
+    pub fn nanometres(self) -> u32 {
+        match self {
+            ProcessNode::N130 => 130,
+            ProcessNode::N90 => 90,
+            ProcessNode::N45 => 45,
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}nm", self.nanometres())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_decrease_with_node() {
+        assert!(ProcessNode::N130.energy_scale() > ProcessNode::N90.energy_scale());
+        assert!(ProcessNode::N90.energy_scale() > ProcessNode::N45.energy_scale());
+        assert_eq!(ProcessNode::N90.energy_scale(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_feature_size() {
+        assert_eq!(ProcessNode::N130.to_string(), "130nm");
+        assert_eq!(ProcessNode::default(), ProcessNode::N90);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the cell cost model's physical invariants.
+
+use proptest::prelude::*;
+use xpro_hw::{AluMode, CellCostModel, ModuleKind, Op, OpCounts, ProcessNode};
+use xpro_signal::stats::FeatureKind;
+
+fn arb_ops() -> impl Strategy<Value = OpCounts> {
+    (
+        0u64..500,
+        0u64..500,
+        0u64..300,
+        0u64..20,
+        0u64..5,
+        0u64..50,
+        0u64..800,
+    )
+        .prop_map(|(add, cmp, mul, div, sqrt, exp, mem)| OpCounts {
+            add,
+            cmp,
+            mul,
+            div,
+            sqrt,
+            exp,
+            mem,
+        })
+}
+
+fn arb_mode() -> impl Strategy<Value = AluMode> {
+    prop::sample::select(AluMode::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn energy_is_monotone_in_op_counts(ops in arb_ops(), extra in arb_ops(), mode in arb_mode()) {
+        let model = CellCostModel::default();
+        let lanes = 64;
+        let base = model.cost(&ops, mode, lanes, ProcessNode::N90);
+        let more = model.cost(&(ops + extra), mode, lanes, ProcessNode::N90);
+        prop_assert!(more.energy_pj >= base.energy_pj - 1e-9);
+        prop_assert!(more.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn node_scaling_is_exact(ops in arb_ops(), mode in arb_mode()) {
+        let model = CellCostModel::default();
+        let e90 = model.cost(&ops, mode, 32, ProcessNode::N90);
+        for node in [ProcessNode::N130, ProcessNode::N45] {
+            let e = model.cost(&ops, mode, 32, node);
+            prop_assert!((e.energy_pj - e90.energy_pj * node.energy_scale()).abs() < 1e-6);
+            prop_assert_eq!(e.cycles, e90.cycles);
+        }
+    }
+
+    #[test]
+    fn best_mode_is_minimal(sv in 1usize..120, dims in 1usize..16) {
+        let model = CellCostModel::default();
+        let module = ModuleKind::Svm { support_vectors: sv, dims, rbf: true };
+        let (_, best) = model.best_mode(&module, ProcessNode::N90);
+        for cost in model.characterize(&module, ProcessNode::N90) {
+            prop_assert!(best.energy_pj <= cost.energy_pj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_ops_grow_with_window(window in 2usize..512) {
+        for kind in FeatureKind::ALL {
+            let small = ModuleKind::Feature { kind, input_len: window, reuses_var: false }
+                .op_counts()
+                .total();
+            let large = ModuleKind::Feature { kind, input_len: window * 2, reuses_var: false }
+                .op_counts()
+                .total();
+            prop_assert!(large > small, "{kind}: {small} !< {large}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_at_least_as_fast_as_serial(ops in arb_ops(), lanes in 2u64..256) {
+        prop_assume!(!ops.is_zero());
+        let model = CellCostModel::default();
+        let serial = model.cost(&ops, AluMode::Serial, lanes, ProcessNode::N90);
+        let parallel = model.cost(&ops, AluMode::Parallel, lanes, ProcessNode::N90);
+        // Reduction-tree overhead is logarithmic; parallel latency never
+        // exceeds serial latency plus that overhead.
+        let tree = 64 - lanes.leading_zeros() as u64 + 1;
+        prop_assert!(parallel.cycles <= serial.cycles + tree + 1);
+    }
+
+    #[test]
+    fn serial_cycles_decompose_per_op(ops in arb_ops()) {
+        let model = CellCostModel::default();
+        let cost = model.cost(&ops, AluMode::Serial, 1, ProcessNode::N90);
+        let expected: u64 = Op::ALL
+            .iter()
+            .map(|&op| ops.get(op) * model.op_latency(op))
+            .sum();
+        prop_assert_eq!(cost.cycles, expected);
+    }
+
+    #[test]
+    fn svm_energy_grows_with_support_vectors(sv in 1usize..100) {
+        let model = CellCostModel::default();
+        let cost_at = |sv: usize| {
+            model
+                .best_mode(
+                    &ModuleKind::Svm { support_vectors: sv, dims: 12, rbf: true },
+                    ProcessNode::N90,
+                )
+                .1
+                .energy_pj
+        };
+        prop_assert!(cost_at(sv + 1) > cost_at(sv));
+    }
+}

@@ -1,0 +1,180 @@
+//! Train/test splitting and stratified k-fold cross-validation (paper §4.4:
+//! 75 %/25 % random split, 10-fold cross-validation on the training set).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index-level train/test split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+/// Randomly splits `n` samples with the given training fraction, stratified
+/// by label so both splits keep the class balance.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != n`, `n == 0`, or `train_fraction` is outside
+/// `(0, 1)`.
+pub fn stratified_split(labels: &[f64], train_fraction: f64, seed: u64) -> Split {
+    assert!(!labels.is_empty(), "cannot split zero samples");
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in classes(labels) {
+        let mut idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        idx.shuffle(&mut rng);
+        let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, idx.len().saturating_sub(1).max(1));
+        train.extend_from_slice(&idx[..n_train]);
+        test.extend_from_slice(&idx[n_train..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+/// Generates stratified k-fold assignments: returns for each fold the
+/// held-out (validation) indices. Every sample appears in exactly one fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `labels.len() < k`.
+pub fn stratified_k_fold(labels: &[f64], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k-fold needs at least two folds");
+    assert!(labels.len() >= k, "fewer samples than folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in classes(labels) {
+        let mut idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        idx.shuffle(&mut rng);
+        for (pos, i) in idx.into_iter().enumerate() {
+            folds[pos % k].push(i);
+        }
+    }
+    for fold in &mut folds {
+        fold.sort_unstable();
+    }
+    folds
+}
+
+/// Complements a fold within `0..n`: the training indices for that fold.
+pub fn fold_complement(fold: &[usize], n: usize) -> Vec<usize> {
+    let held: std::collections::HashSet<usize> = fold.iter().copied().collect();
+    (0..n).filter(|i| !held.contains(i)).collect()
+}
+
+/// Gathers rows of a matrix by index.
+pub fn gather<T: Clone>(rows: &[T], idx: &[usize]) -> Vec<T> {
+    idx.iter().map(|&i| rows[i].clone()).collect()
+}
+
+fn classes(labels: &[f64]) -> Vec<f64> {
+    let mut seen = Vec::new();
+    for &l in labels {
+        if !seen.contains(&l) {
+            seen.push(l);
+        }
+    }
+    seen.sort_by(|a, b| a.partial_cmp(b).expect("labels are finite"));
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<f64> {
+        let mut l = vec![1.0; n_pos];
+        l.extend(vec![-1.0; n_neg]);
+        l
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let l = labels(30, 50);
+        let s = stratified_split(&l, 0.75, 1);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..80).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_preserves_class_balance() {
+        let l = labels(40, 40);
+        let s = stratified_split(&l, 0.75, 2);
+        let train_pos = s.train.iter().filter(|&&i| l[i] == 1.0).count();
+        assert_eq!(train_pos, 30);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let l = labels(20, 20);
+        assert_eq!(stratified_split(&l, 0.75, 9), stratified_split(&l, 0.75, 9));
+        assert_ne!(stratified_split(&l, 0.75, 9), stratified_split(&l, 0.75, 10));
+    }
+
+    #[test]
+    fn k_fold_partitions_everything() {
+        let l = labels(25, 35);
+        let folds = stratified_k_fold(&l, 10, 3);
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_fold_folds_are_balanced_in_size() {
+        let l = labels(50, 50);
+        let folds = stratified_k_fold(&l, 10, 4);
+        for f in &folds {
+            assert_eq!(f.len(), 10);
+        }
+    }
+
+    #[test]
+    fn fold_complement_is_exact() {
+        let comp = fold_complement(&[1, 3], 5);
+        assert_eq!(comp, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let rows = vec!["a", "b", "c"];
+        assert_eq!(gather(&rows, &[2, 0]), vec!["c", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn k_fold_rejects_k_one() {
+        stratified_k_fold(&labels(5, 5), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn split_rejects_bad_fraction() {
+        stratified_split(&labels(5, 5), 1.5, 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-class extension of the generic classification framework.
+//!
+//! Paper §5.7: "If multi-classification is needed, we can simply add more
+//! base classifiers that extend only the topology of generic classification.
+//! The rest of the proposed methodology can be applied directly."
+//!
+//! This module implements that extension as one-vs-rest: one random-subspace
+//! ensemble per class, sharing the same feature vector. Prediction takes the
+//! class whose ensemble produces the largest fused score. The XPro core maps
+//! the union of all ensembles' cells onto one functional-cell graph.
+
+use crate::subspace::{RandomSubspaceModel, SubspaceConfig, TrainEnsembleError};
+use std::collections::BTreeSet;
+
+/// A one-vs-rest multi-class model built from binary random-subspace
+/// ensembles.
+///
+/// # Examples
+///
+/// ```
+/// use xpro_ml::multiclass::OneVsRestModel;
+/// use xpro_ml::SubspaceConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Three classes separated along feature 0.
+/// let xs: Vec<Vec<f64>> = (0..90)
+///     .map(|i| vec![(i % 3) as f64 * 0.4 + 0.1, 0.5])
+///     .collect();
+/// let ys: Vec<u32> = (0..90).map(|i| (i % 3) as u32).collect();
+/// let cfg = SubspaceConfig { candidates: 6, features_per_base: 2, ..Default::default() };
+/// let model = OneVsRestModel::train(&xs, &ys, &cfg)?;
+/// assert_eq!(model.predict(&[0.12, 0.5]), 0);
+/// assert_eq!(model.predict(&[0.9, 0.5]), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct OneVsRestModel {
+    classes: Vec<u32>,
+    models: Vec<RandomSubspaceModel>,
+}
+
+/// Error returned by [`OneVsRestModel::train`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainMulticlassError {
+    /// Fewer than two distinct classes in the labels.
+    TooFewClasses,
+    /// Label/feature count mismatch or empty input.
+    BadInput,
+    /// A per-class ensemble failed to train.
+    Ensemble(u32, TrainEnsembleError),
+}
+
+impl std::fmt::Display for TrainMulticlassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainMulticlassError::TooFewClasses => {
+                f.write_str("multi-class training needs at least two classes")
+            }
+            TrainMulticlassError::BadInput => f.write_str("empty input or label count mismatch"),
+            TrainMulticlassError::Ensemble(class, e) => {
+                write!(f, "ensemble for class {class} failed: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainMulticlassError {}
+
+impl OneVsRestModel {
+    /// Trains one binary ensemble per distinct class label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainMulticlassError`] on degenerate input or when any
+    /// per-class ensemble fails.
+    pub fn train(
+        xs: &[Vec<f64>],
+        ys: &[u32],
+        cfg: &SubspaceConfig,
+    ) -> Result<Self, TrainMulticlassError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(TrainMulticlassError::BadInput);
+        }
+        let classes: Vec<u32> = {
+            let set: BTreeSet<u32> = ys.iter().copied().collect();
+            set.into_iter().collect()
+        };
+        if classes.len() < 2 {
+            return Err(TrainMulticlassError::TooFewClasses);
+        }
+        let mut models = Vec::with_capacity(classes.len());
+        for (ci, &class) in classes.iter().enumerate() {
+            let binary: Vec<f64> = ys
+                .iter()
+                .map(|&y| if y == class { 1.0 } else { -1.0 })
+                .collect();
+            // Decorrelate per-class subset draws.
+            let cfg = SubspaceConfig {
+                seed: cfg.seed.wrapping_add(ci as u64 * 0x9e37),
+                ..cfg.clone()
+            };
+            let model = RandomSubspaceModel::train(xs, &binary, &cfg)
+                .map_err(|e| TrainMulticlassError::Ensemble(class, e))?;
+            models.push(model);
+        }
+        Ok(OneVsRestModel { classes, models })
+    }
+
+    /// Predicts the class with the highest fused one-vs-rest score.
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let (best, _) = self
+            .classes
+            .iter()
+            .zip(&self.models)
+            .map(|(&c, m)| (c, m.score(features)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .expect("at least two classes");
+        best
+    }
+
+    /// Per-class fused scores, in [`OneVsRestModel::classes`] order.
+    pub fn scores(&self, features: &[f64]) -> Vec<f64> {
+        self.models.iter().map(|m| m.score(features)).collect()
+    }
+
+    /// The distinct class labels, ascending.
+    pub fn classes(&self) -> &[u32] {
+        &self.classes
+    }
+
+    /// The per-class binary ensembles, aligned with
+    /// [`OneVsRestModel::classes`].
+    pub fn models(&self) -> &[RandomSubspaceModel] {
+        &self.models
+    }
+
+    /// Union of feature indices used by any class's ensemble — what decides
+    /// the shared functional-cell topology in the XPro core.
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        self.models
+            .iter()
+            .flat_map(|m| m.used_features())
+            .collect()
+    }
+
+    /// Total base-classifier count across classes (the added topology of
+    /// §5.7).
+    pub fn total_bases(&self) -> usize {
+        self.models.iter().map(|m| m.bases().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn three_blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: [(f64, f64); 3] = [(0.2, 0.2), (0.8, 0.2), (0.5, 0.85)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let (cx, cy) = centers[class];
+            xs.push(vec![
+                (cx + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0),
+                (cy + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0),
+                rng.gen_range(0.0..1.0),
+            ]);
+            ys.push(class as u32);
+        }
+        (xs, ys)
+    }
+
+    fn quick_cfg() -> SubspaceConfig {
+        SubspaceConfig {
+            candidates: 8,
+            features_per_base: 2,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        }
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let (xs, ys) = three_blobs(150, 1);
+        let model = OneVsRestModel::train(&xs, &ys, &quick_cfg()).unwrap();
+        let (tx, ty) = three_blobs(60, 2);
+        let correct = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert!(correct as f64 / ty.len() as f64 > 0.85, "{correct}/60");
+    }
+
+    #[test]
+    fn classes_are_sorted_and_complete() {
+        let (xs, ys) = three_blobs(90, 3);
+        let model = OneVsRestModel::train(&xs, &ys, &quick_cfg()).unwrap();
+        assert_eq!(model.classes(), &[0, 1, 2]);
+        assert_eq!(model.models().len(), 3);
+        assert_eq!(model.scores(&xs[0]).len(), 3);
+    }
+
+    #[test]
+    fn topology_grows_with_classes() {
+        // §5.7: multi-classification "adds more base classifiers".
+        let (xs3, ys3) = three_blobs(90, 4);
+        let binary_ys: Vec<u32> = ys3.iter().map(|&y| y.min(1)).collect();
+        let multi = OneVsRestModel::train(&xs3, &ys3, &quick_cfg()).unwrap();
+        let binary = OneVsRestModel::train(&xs3, &binary_ys, &quick_cfg()).unwrap();
+        assert!(multi.total_bases() > binary.total_bases());
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let xs = vec![vec![0.0]; 4];
+        let err = OneVsRestModel::train(&xs, &[7, 7, 7, 7], &quick_cfg()).unwrap_err();
+        assert_eq!(err, TrainMulticlassError::TooFewClasses);
+    }
+
+    #[test]
+    fn rejects_mismatched_labels() {
+        let xs = vec![vec![0.0]; 4];
+        let err = OneVsRestModel::train(&xs, &[0, 1], &quick_cfg()).unwrap_err();
+        assert_eq!(err, TrainMulticlassError::BadInput);
+    }
+}

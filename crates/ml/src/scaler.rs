@@ -1,0 +1,137 @@
+//! Per-feature min-max scaling to `[0, 1]`.
+//!
+//! "All the statistical features are normalized to range \[0, 1\]" (paper
+//! §4.4). The scaler is fit on the training split only and then applied to
+//! both splits, as in any leakage-free pipeline.
+
+/// A fitted per-feature min-max scaler.
+///
+/// # Examples
+///
+/// ```
+/// use xpro_ml::scaler::MinMaxScaler;
+///
+/// let train = vec![vec![0.0, 10.0], vec![2.0, 30.0]];
+/// let scaler = MinMaxScaler::fit(&train);
+/// assert_eq!(scaler.transform_one(&[1.0, 20.0]), vec![0.5, 0.5]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a set of feature vectors.
+    ///
+    /// Features that are constant in the training set get a unit span so they
+    /// map to `0.0` (and out-of-sample deviations stay finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or ragged.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a scaler on no samples");
+        let dim = samples[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for s in samples {
+            assert_eq!(s.len(), dim, "ragged feature matrix");
+            for (i, &v) in s.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        let spans = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi - lo > f64::EPSILON { hi - lo } else { 1.0 })
+            .collect();
+        MinMaxScaler { mins, spans }
+    }
+
+    /// Scales one vector; values outside the fitted range are clamped to
+    /// `[0, 1]`, as a saturating hardware normalizer would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality differs from the fitted one.
+    pub fn transform_one(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mins.len(), "dimension mismatch");
+        sample
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((v - self.mins[i]) / self.spans[i]).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Scales a single feature value by index — used when features are
+    /// produced cell-by-cell rather than as a full vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn transform_feature(&self, index: usize, value: f64) -> f64 {
+        assert!(index < self.mins.len(), "feature index out of range");
+        ((value - self.mins[index]) / self.spans[index]).clamp(0.0, 1.0)
+    }
+
+    /// Scales a whole matrix.
+    pub fn transform(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|s| self.transform_one(s)).collect()
+    }
+
+    /// Dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_range_to_unit_interval() {
+        let train = vec![vec![-1.0], vec![3.0]];
+        let s = MinMaxScaler::fit(&train);
+        assert_eq!(s.transform_one(&[-1.0]), vec![0.0]);
+        assert_eq!(s.transform_one(&[3.0]), vec![1.0]);
+        assert_eq!(s.transform_one(&[1.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]);
+        assert_eq!(s.transform_one(&[-5.0]), vec![0.0]);
+        assert_eq!(s.transform_one(&[5.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let s = MinMaxScaler::fit(&[vec![2.0, 1.0], vec![2.0, 3.0]]);
+        let out = s.transform_one(&[2.0, 2.0]);
+        assert_eq!(out, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn transform_preserves_shape() {
+        let train = vec![vec![0.0, 1.0], vec![1.0, 2.0], vec![0.5, 1.5]];
+        let s = MinMaxScaler::fit(&train);
+        let out = s.transform(&train);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn fit_on_empty_panics() {
+        MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn fit_on_ragged_panics() {
+        MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

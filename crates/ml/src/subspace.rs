@@ -1,0 +1,443 @@
+//! Random-subspace ensemble classifier (paper §2.1, §4.4).
+//!
+//! Each candidate base classifier is an SVM trained on a random subset of the
+//! statistical feature set (12 features per base in the paper). Candidates
+//! are ranked by validation accuracy; the top fraction survives (paper: 100
+//! candidates, top 10 %). A least-squares weighted-voting stage fuses the
+//! surviving bases.
+//!
+//! The trained ensemble is what defines the *functional cell topology* of an
+//! XPro instance: only the features that appear in some surviving base spawn
+//! feature cells, and each surviving base spawns one SVM cell whose cost
+//! scales with its support-vector count (paper §2.2, §5.5).
+
+use crate::cv::{fold_complement, gather, stratified_k_fold};
+use crate::fusion::FusionWeights;
+use crate::svm::{Svm, SvmConfig, TrainSvmError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Configuration of the random-subspace trainer.
+///
+/// The defaults are scaled-down but shape-preserving relative to the paper's
+/// §4.4 settings; [`SubspaceConfig::paper`] gives the full-size procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubspaceConfig {
+    /// Number of candidate base classifiers to train (paper: 100).
+    pub candidates: usize,
+    /// Features drawn per base classifier (paper: 12).
+    pub features_per_base: usize,
+    /// Fraction of candidates kept, by validation accuracy (paper: 0.10).
+    pub keep_fraction: f64,
+    /// Lower bound on the number of surviving bases.
+    pub min_keep: usize,
+    /// Number of cross-validation folds used to score candidates (paper: 10).
+    pub folds: usize,
+    /// Base SVM configuration.
+    pub svm: SvmConfig,
+    /// Master seed for subset sampling and fold assignment.
+    pub seed: u64,
+}
+
+impl Default for SubspaceConfig {
+    fn default() -> Self {
+        SubspaceConfig {
+            candidates: 30,
+            features_per_base: 12,
+            keep_fraction: 0.2,
+            min_keep: 4,
+            folds: 3,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl SubspaceConfig {
+    /// The paper's full-size procedure: 100 candidates, 12 features per base,
+    /// top 10 % kept, 10-fold cross-validation.
+    pub fn paper() -> Self {
+        SubspaceConfig {
+            candidates: 100,
+            features_per_base: 12,
+            keep_fraction: 0.10,
+            min_keep: 2,
+            folds: 10,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// One surviving base classifier of the ensemble.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaseClassifier {
+    /// Global feature indices this base consumes, sorted ascending.
+    pub feature_indices: Vec<usize>,
+    /// The trained SVM over the projected features.
+    pub svm: Svm,
+    /// Mean cross-validation accuracy this candidate scored during selection.
+    pub validation_accuracy: f64,
+}
+
+impl BaseClassifier {
+    /// Casts this base's ±1 vote on a full feature vector.
+    pub fn vote(&self, features: &[f64]) -> f64 {
+        let projected = project(features, &self.feature_indices);
+        self.svm.predict(&projected)
+    }
+}
+
+/// Error returned by [`RandomSubspaceModel::train`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainEnsembleError {
+    /// The feature matrix was empty or ragged.
+    BadInput(String),
+    /// No candidate could be trained (e.g., degenerate folds).
+    NoViableCandidate,
+    /// A base SVM failed to train.
+    Svm(TrainSvmError),
+}
+
+impl std::fmt::Display for TrainEnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainEnsembleError::BadInput(msg) => write!(f, "bad training input: {msg}"),
+            TrainEnsembleError::NoViableCandidate => {
+                f.write_str("no candidate base classifier could be trained")
+            }
+            TrainEnsembleError::Svm(e) => write!(f, "base svm training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainEnsembleError {}
+
+impl From<TrainSvmError> for TrainEnsembleError {
+    fn from(e: TrainSvmError) -> Self {
+        TrainEnsembleError::Svm(e)
+    }
+}
+
+/// A trained random-subspace ensemble with least-squares weighted voting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomSubspaceModel {
+    bases: Vec<BaseClassifier>,
+    fusion: FusionWeights,
+    dim: usize,
+}
+
+impl RandomSubspaceModel {
+    /// Trains the ensemble on normalized feature vectors and ±1 labels.
+    ///
+    /// Candidate ranking uses stratified k-fold cross-validation on the
+    /// training data; the final base SVMs and the fusion weights are refit on
+    /// the full training set (weights on out-of-fold votes to avoid bias).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainEnsembleError`] on empty/ragged input, when labels are
+    /// not ±1, or when no candidate survives.
+    pub fn train(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &SubspaceConfig,
+    ) -> Result<Self, TrainEnsembleError> {
+        let dim = validate_input(xs, ys)?;
+        if cfg.features_per_base == 0 || cfg.candidates == 0 {
+            return Err(TrainEnsembleError::BadInput(
+                "candidates and features_per_base must be positive".into(),
+            ));
+        }
+        let per_base = cfg.features_per_base.min(dim);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let folds = stratified_k_fold(ys, cfg.folds.max(2), cfg.seed ^ 0x00f0_1d5);
+
+        // Draw candidate subsets.
+        let all_features: Vec<usize> = (0..dim).collect();
+        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(cfg.candidates);
+        for _ in 0..cfg.candidates {
+            let mut subset: Vec<usize> = all_features
+                .choose_multiple(&mut rng, per_base)
+                .copied()
+                .collect();
+            subset.sort_unstable();
+            candidates.push(subset);
+        }
+
+        // Score every candidate by k-fold CV accuracy, collecting the
+        // out-of-fold votes for the fusion fit.
+        let mut scored: Vec<(usize, f64, Vec<f64>)> = Vec::new(); // (cand, acc, oof votes)
+        for (ci, subset) in candidates.iter().enumerate() {
+            match cv_votes(xs, ys, subset, &folds, &cfg.svm) {
+                Some((acc, votes)) => scored.push((ci, acc, votes)),
+                None => continue, // degenerate fold (single class) — skip
+            }
+        }
+        if scored.is_empty() {
+            return Err(TrainEnsembleError::NoViableCandidate);
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("accuracies are finite"));
+        let keep = ((scored.len() as f64) * cfg.keep_fraction).ceil() as usize;
+        let keep = keep.clamp(cfg.min_keep.max(1), scored.len());
+        scored.truncate(keep);
+
+        // Fit fusion on the out-of-fold vote matrix of the survivors.
+        let votes: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| scored.iter().map(|(_, _, v)| v[i]).collect())
+            .collect();
+        let fusion = FusionWeights::fit(&votes, ys);
+
+        // Refit surviving bases on the complete training set.
+        let mut bases = Vec::with_capacity(keep);
+        for (ci, acc, _) in &scored {
+            let subset = &candidates[*ci];
+            let projected: Vec<Vec<f64>> = xs.iter().map(|x| project(x, subset)).collect();
+            let svm = Svm::train(&projected, ys, &cfg.svm)?;
+            bases.push(BaseClassifier {
+                feature_indices: subset.clone(),
+                svm,
+                validation_accuracy: *acc,
+            });
+        }
+
+        Ok(RandomSubspaceModel { bases, fusion, dim })
+    }
+
+    /// Fused ±1 prediction for a full (normalized) feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training dimensionality.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.fusion.predict(&self.votes(features))
+    }
+
+    /// Fused real-valued score (weighted vote sum).
+    pub fn score(&self, features: &[f64]) -> f64 {
+        self.fusion.score(&self.votes(features))
+    }
+
+    /// The individual ±1 votes of every base classifier.
+    pub fn votes(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.dim, "input dimension mismatch");
+        self.bases.iter().map(|b| b.vote(features)).collect()
+    }
+
+    /// The surviving base classifiers, best validation accuracy first.
+    pub fn bases(&self) -> &[BaseClassifier] {
+        &self.bases
+    }
+
+    /// The fitted fusion weights.
+    pub fn fusion(&self) -> &FusionWeights {
+        &self.fusion
+    }
+
+    /// Union of global feature indices consumed by any base.
+    ///
+    /// This is the set that decides which feature cells exist in the XPro
+    /// instance (paper §2.2: "the number of functional cells is decided by
+    /// the feature set and random subspace training").
+    pub fn used_features(&self) -> BTreeSet<usize> {
+        self.bases
+            .iter()
+            .flat_map(|b| b.feature_indices.iter().copied())
+            .collect()
+    }
+
+    /// Training dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn validate_input(xs: &[Vec<f64>], ys: &[f64]) -> Result<usize, TrainEnsembleError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(TrainEnsembleError::BadInput(
+            "empty training set or label count mismatch".into(),
+        ));
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return Err(TrainEnsembleError::BadInput(
+            "ragged or zero-dimensional feature matrix".into(),
+        ));
+    }
+    if ys.iter().any(|&y| y != 1.0 && y != -1.0) {
+        return Err(TrainEnsembleError::BadInput("labels must be ±1".into()));
+    }
+    Ok(dim)
+}
+
+/// Runs k-fold CV of one candidate subset; returns (mean accuracy,
+/// out-of-fold votes per sample), or `None` if every fold was degenerate.
+fn cv_votes(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    subset: &[usize],
+    folds: &[Vec<usize>],
+    svm_cfg: &SvmConfig,
+) -> Option<(f64, Vec<f64>)> {
+    let n = xs.len();
+    let mut votes = vec![0.0; n];
+    let mut correct = 0usize;
+    let mut scored = 0usize;
+    for fold in folds {
+        let train_idx = fold_complement(fold, n);
+        let train_x: Vec<Vec<f64>> = gather(xs, &train_idx)
+            .into_iter()
+            .map(|x| project(&x, subset))
+            .collect();
+        let train_y = gather(&ys.to_vec(), &train_idx);
+        let svm = match Svm::train(&train_x, &train_y, svm_cfg) {
+            Ok(svm) => svm,
+            Err(_) => continue,
+        };
+        for &i in fold {
+            let vote = svm.predict(&project(&xs[i], subset));
+            votes[i] = vote;
+            scored += 1;
+            if vote == ys[i] {
+                correct += 1;
+            }
+        }
+    }
+    if scored == 0 {
+        None
+    } else {
+        Some((correct as f64 / scored as f64, votes))
+    }
+}
+
+fn project(features: &[f64], indices: &[usize]) -> Vec<f64> {
+    indices.iter().map(|&i| features[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// 20-dimensional data where only features 3 and 7 carry signal.
+    fn sparse_informative(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let cls: bool = rng.gen();
+            let mut x: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let offset: f64 = if cls { 0.35 } else { -0.35 };
+            x[3] = (0.5 + offset + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0);
+            x[7] = (0.5 - offset + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0);
+            xs.push(x);
+            ys.push(if cls { 1.0 } else { -1.0 });
+        }
+        (xs, ys)
+    }
+
+    fn quick_cfg() -> SubspaceConfig {
+        SubspaceConfig {
+            candidates: 12,
+            features_per_base: 5,
+            keep_fraction: 0.25,
+            min_keep: 3,
+            folds: 3,
+            ..SubspaceConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_sparse_signal() {
+        let (xs, ys) = sparse_informative(120, 1);
+        let model = RandomSubspaceModel::train(&xs, &ys, &quick_cfg()).unwrap();
+        let (tx, ty) = sparse_informative(60, 2);
+        let acc = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count() as f64
+            / ty.len() as f64;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn survivors_are_sorted_by_validation_accuracy() {
+        let (xs, ys) = sparse_informative(100, 3);
+        let model = RandomSubspaceModel::train(&xs, &ys, &quick_cfg()).unwrap();
+        let accs: Vec<f64> = model.bases().iter().map(|b| b.validation_accuracy).collect();
+        for pair in accs.windows(2) {
+            assert!(pair[0] >= pair[1], "accs {accs:?}");
+        }
+    }
+
+    #[test]
+    fn used_features_is_union_of_bases() {
+        let (xs, ys) = sparse_informative(80, 4);
+        let model = RandomSubspaceModel::train(&xs, &ys, &quick_cfg()).unwrap();
+        let used = model.used_features();
+        for b in model.bases() {
+            for &fi in &b.feature_indices {
+                assert!(used.contains(&fi));
+            }
+        }
+        assert!(used.len() <= 20);
+        assert!(!used.is_empty());
+    }
+
+    #[test]
+    fn keep_fraction_bounds_ensemble_size() {
+        let (xs, ys) = sparse_informative(80, 5);
+        let cfg = quick_cfg();
+        let model = RandomSubspaceModel::train(&xs, &ys, &cfg).unwrap();
+        assert!(model.bases().len() >= cfg.min_keep);
+        assert!(model.bases().len() <= cfg.candidates);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = sparse_informative(60, 6);
+        let cfg = quick_cfg();
+        let a = RandomSubspaceModel::train(&xs, &ys, &cfg).unwrap();
+        let b = RandomSubspaceModel::train(&xs, &ys, &cfg).unwrap();
+        assert_eq!(a.used_features(), b.used_features());
+        assert_eq!(a.fusion().weights(), b.fusion().weights());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = RandomSubspaceModel::train(&[], &[], &quick_cfg()).unwrap_err();
+        assert!(matches!(err, TrainEnsembleError::BadInput(_)));
+    }
+
+    #[test]
+    fn rejects_non_pm1_labels() {
+        let xs = vec![vec![0.0; 4]; 4];
+        let err = RandomSubspaceModel::train(&xs, &[0.0, 1.0, 2.0, 3.0], &quick_cfg()).unwrap_err();
+        assert!(matches!(err, TrainEnsembleError::BadInput(_)));
+    }
+
+    #[test]
+    fn features_per_base_larger_than_dim_is_clamped() {
+        let (xs, ys) = sparse_informative(60, 7);
+        let cfg = SubspaceConfig {
+            features_per_base: 100,
+            ..quick_cfg()
+        };
+        let model = RandomSubspaceModel::train(&xs, &ys, &cfg).unwrap();
+        for b in model.bases() {
+            assert_eq!(b.feature_indices.len(), 20);
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_section_4_4() {
+        let cfg = SubspaceConfig::paper();
+        assert_eq!(cfg.candidates, 100);
+        assert_eq!(cfg.features_per_base, 12);
+        assert_eq!(cfg.keep_fraction, 0.10);
+        assert_eq!(cfg.folds, 10);
+    }
+}

@@ -1,0 +1,369 @@
+//! Discrete wavelet transform for multi-scale biosignal analysis (paper §2.1).
+//!
+//! The generic classification framework extracts statistical features both on
+//! the raw time-domain window and on multiple levels of a DWT decomposition.
+//! With the paper's 128-sample segments and a 5-level transform, the detail
+//! sub-bands have lengths 64, 32, 16, 8 and 4, and "the 5-th level has two
+//! 4-sample segments" — the level-5 detail plus the level-5 approximation
+//! (§4.4).
+//!
+//! Both a `f64` reference implementation and a Q16.16 fixed-point datapath
+//! version are provided; the latter mirrors the in-sensor DWT cells.
+
+use crate::fixed::Q16;
+
+/// Wavelet filter family used by the DWT cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Wavelet {
+    /// Haar (db1): 2-tap filters. The cheapest hardware realization and the
+    /// default for XPro's in-sensor DWT cells.
+    #[default]
+    Haar,
+    /// Daubechies-2: 4-tap filters.
+    Db2,
+    /// Daubechies-4: 8-tap filters.
+    Db4,
+}
+
+impl Wavelet {
+    /// Low-pass (scaling) analysis filter coefficients.
+    pub fn lowpass(self) -> &'static [f64] {
+        match self {
+            Wavelet::Haar => &HAAR_LO,
+            Wavelet::Db2 => &DB2_LO,
+            Wavelet::Db4 => &DB4_LO,
+        }
+    }
+
+    /// High-pass (wavelet) analysis filter coefficients, derived from the
+    /// low-pass filter by the quadrature-mirror relation.
+    pub fn highpass(self) -> Vec<f64> {
+        let lo = self.lowpass();
+        let n = lo.len();
+        (0..n)
+            .map(|k| {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sign * lo[n - 1 - k]
+            })
+            .collect()
+    }
+
+    /// Number of filter taps.
+    pub fn taps(self) -> usize {
+        self.lowpass().len()
+    }
+
+    /// Canonical lowercase name ("haar", "db2", "db4").
+    pub fn name(self) -> &'static str {
+        match self {
+            Wavelet::Haar => "haar",
+            Wavelet::Db2 => "db2",
+            Wavelet::Db4 => "db4",
+        }
+    }
+}
+
+impl std::fmt::Display for Wavelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+static HAAR_LO: [f64; 2] = [FRAC_1_SQRT_2, FRAC_1_SQRT_2];
+static DB2_LO: [f64; 4] = [
+    0.482_962_913_144_690_2,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_36,
+];
+static DB4_LO: [f64; 8] = [
+    0.230_377_813_308_855_2,
+    0.714_846_570_552_541_5,
+    0.630_880_767_929_590_4,
+    -0.027_983_769_416_983_85,
+    -0.187_034_811_718_881_14,
+    0.030_841_381_835_986_965,
+    0.032_883_011_666_982_945,
+    -0.010_597_401_784_997_278,
+];
+
+/// One level of wavelet analysis: (approximation, detail) coefficient pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DwtLevel {
+    /// Low-pass (approximation) coefficients, length ⌈N/2⌉.
+    pub approx: Vec<f64>,
+    /// High-pass (detail) coefficients, length ⌈N/2⌉.
+    pub detail: Vec<f64>,
+}
+
+/// A full multilevel decomposition.
+///
+/// `details[k]` holds the detail coefficients of level `k + 1`; `approx` is
+/// the approximation at the deepest level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DwtDecomposition {
+    /// Detail sub-bands, shallowest (level 1) first.
+    pub details: Vec<Vec<f64>>,
+    /// Final approximation sub-band.
+    pub approx: Vec<f64>,
+}
+
+impl DwtDecomposition {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// All analysis sub-bands in XPro's domain order: detail level 1..L, then
+    /// the final approximation.
+    pub fn subbands(&self) -> impl Iterator<Item = &[f64]> {
+        self.details
+            .iter()
+            .map(Vec::as_slice)
+            .chain(std::iter::once(self.approx.as_slice()))
+    }
+}
+
+/// Performs one analysis level with periodic signal extension.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn dwt_single(signal: &[f64], wavelet: Wavelet) -> DwtLevel {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    let lo = wavelet.lowpass();
+    let hi = wavelet.highpass();
+    let n = signal.len();
+    let half = n.div_ceil(2);
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for (k, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
+            let idx = (2 * i + k) % n;
+            a += l * signal[idx];
+            d += h * signal[idx];
+        }
+        approx.push(a);
+        detail.push(d);
+    }
+    DwtLevel { approx, detail }
+}
+
+/// Performs a multilevel decomposition.
+///
+/// Decomposition stops early if a sub-band would become shorter than the
+/// filter length ⁄ 2, so the returned [`DwtDecomposition::levels`] may be
+/// less than `levels` for short signals.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty or `levels` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use xpro_signal::dwt::{dwt_multilevel, Wavelet};
+///
+/// let signal = vec![1.0; 128];
+/// let dec = dwt_multilevel(&signal, 5, Wavelet::Haar);
+/// let lens: Vec<usize> = dec.details.iter().map(Vec::len).collect();
+/// assert_eq!(lens, [64, 32, 16, 8, 4]); // paper §4.4
+/// assert_eq!(dec.approx.len(), 4);
+/// ```
+pub fn dwt_multilevel(signal: &[f64], levels: usize, wavelet: Wavelet) -> DwtDecomposition {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    assert!(levels > 0, "dwt with zero levels");
+    let mut details = Vec::with_capacity(levels);
+    let mut current = signal.to_vec();
+    for _ in 0..levels {
+        if current.len() < 2 {
+            break;
+        }
+        let level = dwt_single(&current, wavelet);
+        details.push(level.detail);
+        current = level.approx;
+    }
+    DwtDecomposition {
+        details,
+        approx: current,
+    }
+}
+
+/// Fixed-point one-level analysis on the Q16.16 datapath.
+///
+/// Filter coefficients are quantized to Q16.16 once; the multiply-accumulate
+/// then matches the in-sensor S-ALU bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn dwt_single_q16(signal: &[Q16], wavelet: Wavelet) -> (Vec<Q16>, Vec<Q16>) {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    let lo: Vec<Q16> = wavelet.lowpass().iter().map(|&c| Q16::from_f64(c)).collect();
+    let hi: Vec<Q16> = wavelet.highpass().iter().map(|&c| Q16::from_f64(c)).collect();
+    let n = signal.len();
+    let half = n.div_ceil(2);
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut a = Q16::ZERO;
+        let mut d = Q16::ZERO;
+        for (k, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
+            let x = signal[(2 * i + k) % n];
+            a += l * x;
+            d += h * x;
+        }
+        approx.push(a);
+        detail.push(d);
+    }
+    (approx, detail)
+}
+
+/// Fixed-point multilevel decomposition; see [`dwt_multilevel`].
+///
+/// # Panics
+///
+/// Panics if `signal` is empty or `levels` is zero.
+pub fn dwt_multilevel_q16(
+    signal: &[Q16],
+    levels: usize,
+    wavelet: Wavelet,
+) -> (Vec<Vec<Q16>>, Vec<Q16>) {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    assert!(levels > 0, "dwt with zero levels");
+    let mut details = Vec::with_capacity(levels);
+    let mut current = signal.to_vec();
+    for _ in 0..levels {
+        if current.len() < 2 {
+            break;
+        }
+        let (approx, detail) = dwt_single_q16(&current, wavelet);
+        details.push(detail);
+        current = approx;
+    }
+    (details, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haar_of_constant_signal_has_zero_detail() {
+        let level = dwt_single(&[2.0; 8], Wavelet::Haar);
+        for d in &level.detail {
+            assert!(d.abs() < 1e-12);
+        }
+        for a in &level.approx {
+            assert!((a - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_detail_captures_alternation() {
+        let sig = [1.0, -1.0, 1.0, -1.0];
+        let level = dwt_single(&sig, Wavelet::Haar);
+        for a in &level.approx {
+            assert!(a.abs() < 1e-12);
+        }
+        for d in &level.detail {
+            assert!((d.abs() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn five_level_lengths_match_paper() {
+        let sig = vec![0.5; 128];
+        let dec = dwt_multilevel(&sig, 5, Wavelet::Haar);
+        let lens: Vec<usize> = dec.details.iter().map(Vec::len).collect();
+        assert_eq!(lens, [64, 32, 16, 8, 4]);
+        assert_eq!(dec.approx.len(), 4);
+        // "the 5-th level has two 4-sample segments": detail 5 + approx.
+        assert_eq!(dec.subbands().count(), 6);
+    }
+
+    #[test]
+    fn decomposition_stops_on_short_signals() {
+        let dec = dwt_multilevel(&[1.0, 2.0, 3.0, 4.0], 10, Wavelet::Haar);
+        assert!(dec.levels() <= 2, "got {} levels", dec.levels());
+        assert!(!dec.approx.is_empty());
+    }
+
+    #[test]
+    fn energy_is_preserved_by_orthogonal_filters() {
+        // Parseval: for orthonormal wavelets on even-length periodic signals,
+        // sum of squares is preserved per level.
+        let sig: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.3).sin()).collect();
+        for wavelet in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let level = dwt_single(&sig, wavelet);
+            let e_in: f64 = sig.iter().map(|x| x * x).sum();
+            let e_out: f64 = level
+                .approx
+                .iter()
+                .chain(level.detail.iter())
+                .map(|x| x * x)
+                .sum();
+            assert!(
+                (e_in - e_out).abs() < 1e-9,
+                "{wavelet}: {e_in} vs {e_out}"
+            );
+        }
+    }
+
+    #[test]
+    fn highpass_is_quadrature_mirror() {
+        for wavelet in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let hi = wavelet.highpass();
+            // High-pass filters of Daubechies wavelets sum to zero.
+            let sum: f64 = hi.iter().sum();
+            assert!(sum.abs() < 1e-9, "{wavelet}: sum {sum}");
+            assert_eq!(hi.len(), wavelet.taps());
+        }
+    }
+
+    #[test]
+    fn lowpass_sums_to_sqrt2() {
+        for wavelet in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let sum: f64 = wavelet.lowpass().iter().sum();
+            assert!(
+                (sum - std::f64::consts::SQRT_2).abs() < 1e-9,
+                "{wavelet}: sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_tracks_float() {
+        let sig: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.21).sin()).collect();
+        let sig_q: Vec<Q16> = sig.iter().map(|&v| Q16::from_f64(v)).collect();
+        let dec = dwt_multilevel(&sig, 5, Wavelet::Haar);
+        let (details_q, approx_q) = dwt_multilevel_q16(&sig_q, 5, Wavelet::Haar);
+        assert_eq!(dec.details.len(), details_q.len());
+        for (df, dq) in dec.details.iter().zip(&details_q) {
+            for (f, q) in df.iter().zip(dq) {
+                assert!((f - q.to_f64()).abs() < 2e-3, "{f} vs {q}");
+            }
+        }
+        for (f, q) in dec.approx.iter().zip(&approx_q) {
+            // Approximation magnitudes grow by sqrt(2) per level; tolerance scaled.
+            assert!((f - q.to_f64()).abs() < 1e-2, "{f} vs {q}");
+        }
+    }
+
+    #[test]
+    fn odd_length_signals_are_handled() {
+        let sig: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let level = dwt_single(&sig, Wavelet::Haar);
+        assert_eq!(level.approx.len(), 4);
+        assert_eq!(level.detail.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_signal_panics() {
+        dwt_single(&[], Wavelet::Haar);
+    }
+}

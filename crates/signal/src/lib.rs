@@ -1,0 +1,41 @@
+//! Signal-processing substrate for the XPro cross-end analytic engine.
+//!
+//! This crate implements the numeric kernels of the generic biosignal
+//! classification framework from *XPro: A Cross-End Processing Architecture
+//! for Data Analytics in Wearables* (ISCA 2017):
+//!
+//! * [`fixed`] — the Q16.16 fixed-point format of the in-sensor hardware
+//!   datapath (32-bit, 16 integer / 16 fractional bits, §4.4 of the paper);
+//! * [`stats`] — the eight hardware-friendly statistical features (Max, Min,
+//!   Mean, Var, Std, Czero, Skew, Kurt) in both `f64` and fixed-point forms;
+//! * [`dwt`] — multi-level discrete wavelet transform (Haar/Db2/Db4) used to
+//!   extract features on wavelet sub-bands;
+//! * [`window`] — segment padding, splitting and normalization helpers.
+//!
+//! # Examples
+//!
+//! Extract the full feature set on the time domain and on a 5-level Haar DWT,
+//! exactly as XPro's functional cells do:
+//!
+//! ```
+//! use xpro_signal::dwt::{dwt_multilevel, Wavelet};
+//! use xpro_signal::stats::all_features_f64;
+//! use xpro_signal::window::fit_length;
+//!
+//! let segment: Vec<f64> = (0..82).map(|i| (i as f64 * 0.4).sin()).collect();
+//! let padded = fit_length(&segment, 128);
+//! let time_features = all_features_f64(&padded);
+//! let dec = dwt_multilevel(&padded, 5, Wavelet::Haar);
+//! let banded: Vec<[f64; 8]> = dec.subbands().map(all_features_f64).collect();
+//! assert_eq!(time_features.len(), 8);
+//! assert_eq!(banded.len(), 6); // D1..D5 + A5
+//! ```
+
+pub mod dwt;
+pub mod fixed;
+pub mod stats;
+pub mod window;
+
+pub use dwt::{dwt_multilevel, DwtDecomposition, Wavelet};
+pub use fixed::Q16;
+pub use stats::{all_features_f64, feature_f64, FeatureKind};

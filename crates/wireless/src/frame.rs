@@ -1,0 +1,60 @@
+//! Link-layer framing: each payload carries an 8-bit protocol header
+//! (paper §4.2).
+
+/// Protocol header size in bits (paper §4.2: "an 8-bit header in each
+/// payload").
+pub const HEADER_BITS: u64 = 8;
+
+/// One framed payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Frame {
+    payload_bits: u64,
+}
+
+impl Frame {
+    /// Creates a frame around a payload of the given size.
+    pub fn new(payload_bits: u64) -> Self {
+        Frame { payload_bits }
+    }
+
+    /// A frame carrying `samples` fixed-point samples of `bits_per_sample`
+    /// bits each (the paper uses 32-bit samples, §4.4).
+    pub fn for_samples(samples: u64, bits_per_sample: u32) -> Self {
+        Frame {
+            payload_bits: samples * bits_per_sample as u64,
+        }
+    }
+
+    /// Payload size in bits.
+    pub fn payload_bits(&self) -> u64 {
+        self.payload_bits
+    }
+
+    /// Total on-air size in bits, header included.
+    pub fn total_bits(&self) -> u64 {
+        self.payload_bits + HEADER_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_eight_bits() {
+        assert_eq!(HEADER_BITS, 8);
+        assert_eq!(Frame::new(0).total_bits(), 8);
+    }
+
+    #[test]
+    fn sample_frames_scale_with_width() {
+        let f = Frame::for_samples(128, 32);
+        assert_eq!(f.payload_bits(), 4096);
+        assert_eq!(f.total_bits(), 4104);
+    }
+
+    #[test]
+    fn one_sample_frame() {
+        assert_eq!(Frame::for_samples(1, 32).total_bits(), 40);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: train the generic classification pipeline on one biosignal
+//! case, let the Automatic XPro Generator place the cross-end cut, and
+//! compare the resulting system against the two single-end designs.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use xpro::core::config::SystemConfig;
+use xpro::core::generator::{Engine, XProGenerator};
+use xpro::core::instance::XProInstance;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::core::report::EngineComparison;
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Workload: the paper's C1 case (TwoLeadECG), subsampled for speed.
+    let dataset = generate_case_sized(CaseId::C1, 200, 42);
+    println!(
+        "dataset {}: {} segments of {} samples",
+        dataset.name,
+        dataset.len(),
+        dataset.segment_len
+    );
+
+    // 2. Train the generic classification framework: 8 statistical features
+    //    on the time domain and a 5-level DWT, random-subspace SVM ensemble,
+    //    least-squares weighted voting.
+    let cfg = PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 16,
+            keep_fraction: 0.25,
+            ..SubspaceConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let pipeline = XProPipeline::train(&dataset, &cfg)?;
+    println!(
+        "trained: {} base classifiers, {} feature cells, test accuracy {:.1}%",
+        pipeline.model().bases().len(),
+        pipeline.built().feature_cells.len(),
+        pipeline.test_accuracy() * 100.0
+    );
+
+    // 3. Price the functional cells under the paper's default system:
+    //    90 nm sensor hardware at 16 MHz, wireless Model 2, Cortex-A8
+    //    aggregator, 40 mAh sensor battery.
+    let segment_len = pipeline.segment_len();
+    let instance = XProInstance::new(pipeline.into_built(), SystemConfig::default(), segment_len);
+    println!("instance: {} functional cells", instance.num_cells());
+
+    // 4. Generate the cross-end partition and compare engines.
+    let generator = XProGenerator::new(&instance);
+    let cut = generator.partition_for(Engine::CrossEnd);
+    println!(
+        "cross-end cut: {}/{} cells in-sensor",
+        cut.sensor_count(),
+        instance.num_cells()
+    );
+
+    let cmp = EngineComparison::evaluate("C1", &instance);
+    println!("\n{:<22} {:>12} {:>12} {:>12}", "engine", "energy/event", "delay", "battery");
+    for engine in Engine::ALL {
+        let e = cmp.of(engine);
+        println!(
+            "{:<22} {:>9.2} uJ {:>9.2} ms {:>10.0} h",
+            engine.to_string(),
+            e.sensor.total_pj() / 1e6,
+            e.delay.total_s() * 1e3,
+            e.sensor_battery_hours
+        );
+    }
+    println!(
+        "\ncross-end battery life: {:.2}x the aggregator engine, {:.2}x the sensor engine",
+        cmp.lifetime_gain_over(Engine::InAggregator),
+        cmp.lifetime_gain_over(Engine::InSensor)
+    );
+    Ok(())
+}

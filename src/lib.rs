@@ -1,0 +1,67 @@
+//! # XPro — a cross-end processing architecture for data analytics in wearables
+//!
+//! A from-scratch Rust reproduction of *XPro: A Cross-End Processing
+//! Architecture for Data Analytics in Wearables* (Wang, Chen, Xu — ISCA
+//! 2017). XPro embeds a generic biosignal classification engine into a
+//! body-sensor-network system by splitting it into fine-grained functional
+//! cells distributed between the wearable sensor and the data aggregator;
+//! an Automatic XPro Generator finds the minimum-sensor-energy partition
+//! under a system delay constraint by reduction to s-t min-cut.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`signal`] — Q16.16 fixed point, statistical features, DWT;
+//! * [`ml`] — SMO-trained SVMs, random-subspace ensembles, score fusion;
+//! * [`data`] — synthetic ECG/EEG/EMG datasets matching the paper's Table 1;
+//! * [`hw`] — functional-cell energy/delay library (ALU modes, TSMC nodes);
+//! * [`wireless`] — the three medical-implant radio models;
+//! * [`battery`] — Polymer Li-Ion lifetime model;
+//! * [`graph`] — Dinic max-flow / min-cut and DAG critical paths;
+//! * [`core`] — the XPro engine itself: cell graphs, the Automatic XPro
+//!   Generator, the four engine designs and system evaluation;
+//! * [`sim`] — discrete-event simulation of partitioned engines
+//!   (asynchronous cells, shared half-duplex channel, serial aggregator CPU).
+//!
+//! # Quick start
+//!
+//! ```
+//! use xpro::core::config::SystemConfig;
+//! use xpro::core::generator::Engine;
+//! use xpro::core::instance::XProInstance;
+//! use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+//! use xpro::core::report::EngineComparison;
+//! use xpro::data::{generate_case_sized, CaseId};
+//! use xpro::ml::SubspaceConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A workload: the paper's C1 case (TwoLeadECG), subsampled.
+//! let data = generate_case_sized(CaseId::C1, 80, 42);
+//!
+//! // 2. Train the generic classification pipeline.
+//! let cfg = PipelineConfig {
+//!     subspace: SubspaceConfig { candidates: 8, folds: 2, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let pipeline = XProPipeline::train(&data, &cfg)?;
+//!
+//! // 3. Price the functional cells under the paper's default system
+//! //    (90 nm sensor, wireless Model 2, Cortex-A8 aggregator).
+//! let segment_len = pipeline.segment_len();
+//! let instance = XProInstance::new(pipeline.into_built(), SystemConfig::default(), segment_len);
+//!
+//! // 4. Let the Automatic XPro Generator place the cut and compare engines.
+//! let cmp = EngineComparison::evaluate("C1", &instance);
+//! assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use xpro_battery as battery;
+pub use xpro_core as core;
+pub use xpro_data as data;
+pub use xpro_graph as graph;
+pub use xpro_hw as hw;
+pub use xpro_ml as ml;
+pub use xpro_signal as signal;
+pub use xpro_sim as sim;
+pub use xpro_wireless as wireless;

@@ -1,0 +1,70 @@
+//! Classification-quality integration tests: the generic framework learns
+//! all six Table-1 cases well above chance (the paper's implicit accuracy
+//! sanity requirement), and the random-subspace machinery behaves as §4.4
+//! describes.
+
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+fn quick_cfg(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 12,
+            keep_fraction: 0.25,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        },
+        seed,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn all_six_cases_classify_well_above_chance() {
+    for case in CaseId::ALL {
+        let data = generate_case_sized(case, 120, 31);
+        let p = XProPipeline::train(&data, &quick_cfg(31)).expect("trains");
+        assert!(
+            p.test_accuracy() >= 0.75,
+            "{case}: accuracy {}",
+            p.test_accuracy()
+        );
+    }
+}
+
+#[test]
+fn ensembles_survive_candidate_selection() {
+    let data = generate_case_sized(CaseId::E1, 100, 8);
+    let p = XProPipeline::train(&data, &quick_cfg(8)).expect("trains");
+    let bases = p.model().bases();
+    assert!(bases.len() >= 3);
+    for base in bases {
+        assert_eq!(base.feature_indices.len(), 12); // §4.4: 12 per base
+        assert!(base.validation_accuracy > 0.5, "{}", base.validation_accuracy);
+        assert!(base.svm.num_support_vectors() > 0);
+    }
+}
+
+#[test]
+fn different_modalities_prefer_different_features() {
+    // §2.1: ECG is time-domain salient, EEG wavelet-domain — the trained
+    // ensembles should not select identical feature subsets.
+    let ecg = XProPipeline::train(&generate_case_sized(CaseId::C1, 100, 2), &quick_cfg(2))
+        .expect("trains");
+    let eeg = XProPipeline::train(&generate_case_sized(CaseId::E1, 100, 2), &quick_cfg(2))
+        .expect("trains");
+    assert_ne!(ecg.model().used_features(), eeg.model().used_features());
+}
+
+#[test]
+fn cell_count_tracks_training_not_the_full_feature_set() {
+    // §2.2: "the number of functional cells is decided by the feature set
+    // and random subspace training" — unused features spawn no cells.
+    let data = generate_case_sized(CaseId::M2, 100, 6);
+    let p = XProPipeline::train(&data, &quick_cfg(6)).expect("trains");
+    let used = p.model().used_features().len();
+    assert_eq!(p.built().feature_cells.len(), used);
+    assert!(used < 56, "all 56 features in use — selection had no effect");
+}

@@ -1,0 +1,71 @@
+//! Functional-equivalence integration tests: partitioning changes *where*
+//! cells run, never *what* the system computes. The partitioned execution
+//! path (cell graph, Std→Var reuse edges, per-base feature wiring) must
+//! reproduce the monolithic classifier bit-for-bit on every engine design.
+
+use xpro::core::config::SystemConfig;
+use xpro::core::generator::{Engine, XProGenerator};
+use xpro::core::instance::XProInstance;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+fn trained(case: CaseId, seed: u64) -> XProPipeline {
+    let data = generate_case_sized(case, 90, seed);
+    let cfg = PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        },
+        seed,
+        ..PipelineConfig::default()
+    };
+    XProPipeline::train(&data, &cfg).expect("pipeline trains")
+}
+
+#[test]
+fn every_engine_partition_is_functionally_equivalent() {
+    for case in [CaseId::C1, CaseId::E2, CaseId::M2] {
+        let pipeline = trained(case, 3);
+        let instance = XProInstance::new(
+            pipeline.built().clone(),
+            SystemConfig::default(),
+            pipeline.segment_len(),
+        );
+        let generator = XProGenerator::new(&instance);
+        let data = generate_case_sized(case, 40, 77);
+        for engine in Engine::ALL {
+            let partition = generator.partition_for(engine);
+            for segment in &data.segments {
+                assert_eq!(
+                    pipeline.classify_partitioned(segment, &partition),
+                    pipeline.classify(segment),
+                    "{case}/{engine}: divergent classification"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn classification_is_deterministic_across_runs() {
+    let a = trained(CaseId::E1, 9);
+    let b = trained(CaseId::E1, 9);
+    let data = generate_case_sized(CaseId::E1, 20, 123);
+    for segment in &data.segments {
+        assert_eq!(a.classify(segment), b.classify(segment));
+    }
+}
+
+#[test]
+fn labels_are_plus_minus_one() {
+    let pipeline = trained(CaseId::M1, 4);
+    let data = generate_case_sized(CaseId::M1, 20, 55);
+    for segment in &data.segments {
+        let label = pipeline.classify(segment);
+        assert!(label == 1.0 || label == -1.0, "label {label}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the paper's headline claims (abstract + §5): the
+//! cross-end engine never loses to either single-end design on sensor
+//! battery life, meets the delay constraint, and the engine orderings of
+//! Figs. 10 and 11 hold.
+//!
+//! Datasets are subsampled and the ensemble scaled down so the tests run in
+//! debug mode; the full-scale numbers live in EXPERIMENTS.md.
+
+use xpro::core::config::SystemConfig;
+use xpro::core::generator::{Engine, XProGenerator};
+use xpro::core::instance::XProInstance;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::core::report::EngineComparison;
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+fn quick_instance(case: CaseId) -> XProInstance {
+    let data = generate_case_sized(case, 90, 5);
+    let cfg = PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let p = XProPipeline::train(&data, &cfg).expect("pipeline trains");
+    let len = p.segment_len();
+    XProInstance::new(p.into_built(), SystemConfig::default(), len)
+}
+
+#[test]
+fn cross_end_battery_life_never_loses() {
+    for case in [CaseId::C1, CaseId::E1, CaseId::M2] {
+        let inst = quick_instance(case);
+        let cmp = EngineComparison::evaluate(case.symbol(), &inst);
+        let c = cmp.of(Engine::CrossEnd).sensor_battery_hours;
+        let s = cmp.of(Engine::InSensor).sensor_battery_hours;
+        let a = cmp.of(Engine::InAggregator).sensor_battery_hours;
+        assert!(c >= s * (1.0 - 1e-9), "{case}: C {c} < S {s}");
+        assert!(c >= a * (1.0 - 1e-9), "{case}: C {c} < A {a}");
+    }
+}
+
+#[test]
+fn cross_end_meets_the_paper_delay_constraint() {
+    // §3.2.3 Eq. 4: T_XPro = min(T_F, T_B).
+    for case in [CaseId::C2, CaseId::E2] {
+        let inst = quick_instance(case);
+        let generator = XProGenerator::new(&inst);
+        let limit = generator.default_delay_limit();
+        let c = generator.evaluate_engine(Engine::CrossEnd);
+        assert!(
+            c.delay.total_s() <= limit * (1.0 + 1e-9),
+            "{case}: delay {} exceeds {}",
+            c.delay.total_s(),
+            limit
+        );
+    }
+}
+
+#[test]
+fn all_engines_meet_real_time_bounds() {
+    // §5.3: every engine processes an event within a few milliseconds —
+    // faster than the event period, i.e. real time.
+    let inst = quick_instance(CaseId::E1);
+    let cmp = EngineComparison::evaluate("E1", &inst);
+    let event_period = 1.0 / inst.events_per_second();
+    for engine in Engine::ALL {
+        let d = cmp.of(engine).delay.total_s();
+        assert!(d < 8.0e-3, "{engine}: delay {d}");
+        assert!(d < event_period, "{engine}: not real-time ({d} >= {event_period})");
+    }
+}
+
+#[test]
+fn aggregator_engine_sensor_energy_is_pure_transmission() {
+    // Fig. 11: A's sensor energy has no compute component, and equals the
+    // energy of uploading the raw segment.
+    let inst = quick_instance(CaseId::C1);
+    let cmp = EngineComparison::evaluate("C1", &inst);
+    let a = cmp.of(Engine::InAggregator).sensor;
+    assert_eq!(a.compute_pj, 0.0);
+    let raw_bits = 82 * 32 + 8;
+    let expected = raw_bits as f64 * 1.53 * 1000.0;
+    assert!(
+        (a.wireless_pj - expected).abs() < 1e-6,
+        "wireless {} vs raw upload {expected}",
+        a.wireless_pj
+    );
+}
+
+#[test]
+fn sensor_engine_wireless_energy_is_barely_visible() {
+    // Fig. 11: S transmits only the classification result.
+    let inst = quick_instance(CaseId::M1);
+    let cmp = EngineComparison::evaluate("M1", &inst);
+    let s = cmp.of(Engine::InSensor).sensor;
+    assert!(
+        s.wireless_pj < s.compute_pj / 10.0,
+        "wireless {} not negligible vs compute {}",
+        s.wireless_pj,
+        s.compute_pj
+    );
+}
+
+#[test]
+fn cross_end_aggregator_overhead_is_below_the_aggregator_engine() {
+    // Fig. 13 shape.
+    let inst = quick_instance(CaseId::E2);
+    let cmp = EngineComparison::evaluate("E2", &inst);
+    let a = cmp.of(Engine::InAggregator).aggregator_pj;
+    let c = cmp.of(Engine::CrossEnd).aggregator_pj;
+    assert!(c < a, "aggregator energy C {c} >= A {a}");
+}
+
+#[test]
+fn single_end_engines_are_extreme_cuts() {
+    // §2.2: the two existing approaches are the two extreme designs in the
+    // XPro space.
+    let inst = quick_instance(CaseId::C1);
+    let generator = XProGenerator::new(&inst);
+    let s = generator.partition_for(Engine::InSensor);
+    let a = generator.partition_for(Engine::InAggregator);
+    assert_eq!(s.sensor_count(), inst.num_cells());
+    assert_eq!(a.sensor_count(), 0);
+    assert!(!s.is_cross_end());
+    assert!(!a.is_cross_end());
+}

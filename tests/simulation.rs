@@ -1,0 +1,102 @@
+//! Integration tests between the analytic evaluator and the discrete-event
+//! simulator on real trained pipelines: energies must agree exactly, and
+//! the simulated (dataflow-overlapped) makespan must lower-bound the
+//! serialized Fig.-10 delay while preserving the engine ordering.
+
+use xpro::core::config::SystemConfig;
+use xpro::core::generator::{Engine, XProGenerator};
+use xpro::core::instance::XProInstance;
+use xpro::core::partition::evaluate;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+use xpro::sim::{simulate_event, simulate_stream};
+
+fn instance(case: CaseId) -> XProInstance {
+    let data = generate_case_sized(case, 100, 17);
+    let cfg = PipelineConfig {
+        subspace: SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let p = XProPipeline::train(&data, &cfg).expect("trains");
+    let len = p.segment_len();
+    XProInstance::new(p.into_built(), SystemConfig::default(), len)
+}
+
+#[test]
+fn simulated_energy_equals_analytic_energy_on_trained_graphs() {
+    let inst = instance(CaseId::E1);
+    let generator = XProGenerator::new(&inst);
+    for engine in Engine::ALL {
+        let p = generator.partition_for(engine);
+        let analytic = evaluate(&inst, &p).sensor.total_pj();
+        let simulated = simulate_event(&inst, &p).sensor_energy_pj;
+        assert!(
+            (analytic - simulated).abs() < 1e-5,
+            "{engine}: analytic {analytic} vs simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn simulated_makespan_bounds_and_ordering() {
+    let inst = instance(CaseId::M2);
+    let generator = XProGenerator::new(&inst);
+    let mut sim_delays = Vec::new();
+    for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
+        let p = generator.partition_for(engine);
+        let serialized = evaluate(&inst, &p).delay.total_s();
+        let trace = simulate_event(&inst, &p);
+        assert!(
+            trace.makespan_s <= serialized * (1.0 + 1e-9),
+            "{engine}: sim {} > serialized {serialized}",
+            trace.makespan_s
+        );
+        sim_delays.push((engine, trace.makespan_s));
+    }
+    // The asynchronous sensor cells overlap, so the dataflow execution keeps
+    // the aggregator engine slowest even under simulation.
+    let a = sim_delays[0].1;
+    let c = sim_delays[2].1;
+    assert!(c < a, "cross-end {c} not faster than aggregator {a}");
+}
+
+#[test]
+fn event_stream_is_stable_at_the_configured_rate() {
+    // At the configured sampling rate, back-to-back events must not queue:
+    // every event's makespan equals the first's (steady state).
+    let inst = instance(CaseId::C1);
+    let generator = XProGenerator::new(&inst);
+    let p = generator.partition_for(Engine::CrossEnd);
+    let period = 1.0 / inst.events_per_second();
+    let traces = simulate_stream(&inst, &p, 6, period);
+    let first = traces[0].makespan_s;
+    for t in &traces {
+        assert!(
+            (t.makespan_s - first).abs() < 1e-9,
+            "queueing at the nominal rate: {} vs {first}",
+            t.makespan_s
+        );
+    }
+}
+
+#[test]
+fn sensor_parallelism_is_real() {
+    // The in-sensor engine's simulated makespan should clearly undercut the
+    // serialized sum (independent per-cell ALUs, Fig. 3).
+    let inst = instance(CaseId::E2);
+    let p = xpro::core::Partition::all_sensor(inst.num_cells());
+    let serialized = evaluate(&inst, &p).delay.total_s();
+    let trace = simulate_event(&inst, &p);
+    assert!(
+        trace.makespan_s < serialized * 0.8,
+        "sim {} vs serialized {serialized}",
+        trace.makespan_s
+    );
+}
