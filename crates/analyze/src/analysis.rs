@@ -1,0 +1,726 @@
+//! Abstract interpretation of the functional-cell dataflow.
+//!
+//! [`analyze`] walks a topologically ordered list of [`CellSpec`]s and
+//! propagates a [`ValueRange`] — an [`Interval`] of possible Q16.16 values
+//! plus an accumulated rounding-error bound — through a transfer function
+//! that mirrors each cell's fixed-point implementation op by op:
+//!
+//! * features follow `xpro_signal::stats::feature_q16` (mean first, then
+//!   per-sample central moments, each term divided by `N` before
+//!   accumulation);
+//! * DWT levels follow `xpro_signal::dwt::dwt_single_q16` (quantized filter
+//!   taps, multiply-accumulate per output sample);
+//! * SVM cells follow `Svm::decision_q16`, with inputs pinned to `[0, 1]`
+//!   because the `MinMaxScaler` clamps every feature before the SVM sees it.
+//!
+//! Each cell receives a [`Verdict`]: [`Verdict::Proven`] when no operation
+//! can reach the saturation rails and rounding stays below the configured
+//! threshold, [`Verdict::MayOverflow`] when some reachable input drives an
+//! intermediate past ±32768 (with the offending op and its worst pre-clamp
+//! magnitude), and [`Verdict::PrecisionLoss`] when the range is safe but the
+//! error envelope is large (ill-conditioned cells: Std near zero variance,
+//! the standardized moments Skew/Kurt whose denominators quantize badly).
+
+use crate::interval::{Hazard, HazardOp, Interval, OpLog};
+use xpro_hw::ModuleKind;
+use xpro_signal::dwt::Wavelet;
+use xpro_signal::fixed::Q16;
+use xpro_signal::stats::FeatureKind;
+
+/// Bounds on the raw input signal, in value units.
+///
+/// For the normalized biosignal front-end this is `[-1, 1]`
+/// (`normalize_symmetric` maps every segment there); dataset metadata can
+/// tighten or widen it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SignalBounds {
+    /// Smallest possible sample value.
+    pub lo: f64,
+    /// Largest possible sample value.
+    pub hi: f64,
+}
+
+impl Default for SignalBounds {
+    fn default() -> Self {
+        SignalBounds { lo: -1.0, hi: 1.0 }
+    }
+}
+
+impl SignalBounds {
+    /// Bounds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite bound");
+        assert!(lo <= hi, "inverted bounds");
+        SignalBounds { lo, hi }
+    }
+}
+
+/// Analysis tunables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalyzeOptions {
+    /// Rounding-error threshold in ulps of 2^-16 *per unit of output
+    /// magnitude* (floored at one unit) above which a cell is reported as
+    /// [`Verdict::PrecisionLoss`] rather than proven.
+    pub precision_ulps: f64,
+    /// Input range of every SVM dimension. The pipeline's `MinMaxScaler`
+    /// clamps features to `[0, 1]` before classification, which decouples
+    /// SVM analysis from the (much wider) feature output ranges.
+    pub svm_input: SignalBounds,
+    /// Bound on the magnitude of each SVM dual coefficient `αᵢyᵢ` — the box
+    /// constraint `C` of the trainer (default 1).
+    pub svm_coef_bound: f64,
+    /// RBF kernel width γ assumed for RBF SVM cells.
+    pub svm_gamma: f64,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            precision_ulps: 256.0,
+            svm_input: SignalBounds::new(0.0, 1.0),
+            svm_coef_bound: 1.0,
+            svm_gamma: 1.0,
+        }
+    }
+}
+
+/// An interval of possible values plus an accumulated rounding-error bound
+/// (in ulps of 2^-16) relative to exact real arithmetic on the same inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueRange {
+    /// Possible values on the port.
+    pub interval: Interval,
+    /// Rounding-error envelope in ulps.
+    pub err_ulps: f64,
+}
+
+impl ValueRange {
+    fn new(interval: Interval, err_ulps: f64) -> Self {
+        ValueRange { interval, err_ulps }
+    }
+
+    /// Error envelope in value units (`err_ulps · 2^-16`).
+    pub fn err_value(&self) -> f64 {
+        self.err_ulps / f64::from(1u32 << 16)
+    }
+}
+
+/// The analyzer's view of one functional cell: what it computes and which
+/// upstream ports it reads. `inputs` entries are `(producer, port)` with
+/// `producer == None` denoting the raw sensed segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSpec {
+    /// The module the cell implements.
+    pub module: ModuleKind,
+    /// Consumed ports, `(producer cell, port index)`; `None` = raw input.
+    pub inputs: Vec<(Option<usize>, usize)>,
+    /// Human-readable label (e.g. `"Kurt@a5"`).
+    pub label: String,
+}
+
+/// Per-cell analysis outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Verdict {
+    /// No reachable input saturates any operation and the rounding envelope
+    /// stays below the threshold.
+    Proven,
+    /// Some reachable input drives an intermediate past the ±32768 rails.
+    MayOverflow {
+        /// The first-saturating operation class.
+        op: HazardOp,
+        /// Worst pre-saturation magnitude in value units.
+        bound: f64,
+    },
+    /// Ranges are safe but rounding error can exceed the threshold.
+    PrecisionLoss {
+        /// Worst-case rounding-error bound in ulps of 2^-16.
+        ulps: u32,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict rules out saturation.
+    pub fn is_overflow_free(&self) -> bool {
+        !matches!(self, Verdict::MayOverflow { .. })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Verdict::Proven => f.write_str("proven"),
+            Verdict::MayOverflow { op, bound } => {
+                write!(f, "MAY OVERFLOW ({op}, |x| ≤ {bound:.1})")
+            }
+            Verdict::PrecisionLoss { ulps } => write!(f, "precision loss ({ulps} ulps)"),
+        }
+    }
+}
+
+/// Analysis result for one cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// The cell's label.
+    pub label: String,
+    /// Display form of the module.
+    pub module: String,
+    /// Value ranges per output port (port 0 first).
+    pub ports: Vec<ValueRange>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl CellReport {
+    /// The primary (port-0) output range.
+    pub fn output(&self) -> ValueRange {
+        self.ports[0]
+    }
+}
+
+/// The full per-cell report of one analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// The raw-input bounds the analysis assumed.
+    pub input: SignalBounds,
+    /// One report per cell, in graph order.
+    pub cells: Vec<CellReport>,
+}
+
+impl AnalysisReport {
+    /// Whether every cell is free of possible saturation.
+    pub fn is_overflow_free(&self) -> bool {
+        self.cells.iter().all(|c| c.verdict.is_overflow_free())
+    }
+
+    /// Cells whose verdict is [`Verdict::MayOverflow`].
+    pub fn overflowing(&self) -> Vec<&CellReport> {
+        self.cells
+            .iter()
+            .filter(|c| !c.verdict.is_overflow_free())
+            .collect()
+    }
+
+    /// Verdict of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn verdict(&self, cell: usize) -> Verdict {
+        self.cells[cell].verdict
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "static range analysis over raw input [{:.3}, {:.3}]",
+            self.input.lo, self.input.hi
+        )?;
+        writeln!(
+            f,
+            "{:>4}  {:<12} {:<14} {:>22}  {:>10}  verdict",
+            "cell", "label", "module", "range", "err(ulps)"
+        )?;
+        for (i, c) in self.cells.iter().enumerate() {
+            let out = c.output();
+            writeln!(
+                f,
+                "{i:>4}  {:<12} {:<14} {:>22}  {:>10.1}  {}",
+                c.label,
+                c.module,
+                out.interval.to_string(),
+                out.err_ulps,
+                c.verdict
+            )?;
+        }
+        let flagged = self.overflowing().len();
+        if flagged == 0 {
+            write!(f, "all {} cells proven overflow-free", self.cells.len())
+        } else {
+            write!(f, "{flagged} of {} cells MAY OVERFLOW", self.cells.len())
+        }
+    }
+}
+
+/// Runs the range analysis over a topologically ordered cell list.
+///
+/// # Panics
+///
+/// Panics if a cell references a not-yet-analyzed producer or an
+/// out-of-range port (the list must be topologically ordered, as
+/// `CellGraph` guarantees by construction).
+pub fn analyze(cells: &[CellSpec], input: SignalBounds, opts: &AnalyzeOptions) -> AnalysisReport {
+    // Raw samples: quantized once on entry (±0.5 ulp); segments shorter than
+    // the DWT input are padded with their last sample (in range) or zeros
+    // for the defensive empty-segment path, so the hull with zero is sound.
+    let raw = ValueRange::new(
+        Interval::from_f64(input.lo, input.hi).hull(Interval::ZERO),
+        0.5,
+    );
+
+    let mut ports: Vec<Vec<ValueRange>> = Vec::with_capacity(cells.len());
+    let mut reports: Vec<CellReport> = Vec::with_capacity(cells.len());
+
+    for (i, cell) in cells.iter().enumerate() {
+        let fetch = |(producer, port): (Option<usize>, usize)| -> ValueRange {
+            match producer {
+                None => raw,
+                Some(p) => {
+                    assert!(p < i, "cell {i} references not-yet-analyzed cell {p}");
+                    ports[p][port]
+                }
+            }
+        };
+        let mut log = OpLog::new();
+        let outs = match cell.module {
+            ModuleKind::Feature {
+                kind,
+                input_len,
+                reuses_var,
+            } => {
+                let x = fetch(*cell.inputs.first().expect("feature cell has an input"));
+                vec![feature_transfer(kind, x, input_len, reuses_var, &mut log)]
+            }
+            ModuleKind::DwtLevel { taps, .. } => {
+                let x = fetch(*cell.inputs.first().expect("dwt cell has an input"));
+                dwt_transfer(x, taps, &mut log)
+            }
+            ModuleKind::Svm {
+                support_vectors,
+                dims,
+                rbf,
+            } => vec![svm_transfer(support_vectors, dims, rbf, opts, &mut log)],
+            ModuleKind::ScoreFusion { bases } => vec![fusion_transfer(bases, &mut log)],
+        };
+        let verdict = verdict_of(&log, &outs, opts);
+        reports.push(CellReport {
+            label: cell.label.clone(),
+            module: cell.module.to_string(),
+            ports: outs.clone(),
+            verdict,
+        });
+        ports.push(outs);
+    }
+
+    AnalysisReport {
+        input,
+        cells: reports,
+    }
+}
+
+fn verdict_of(log: &OpLog, outs: &[ValueRange], opts: &AnalyzeOptions) -> Verdict {
+    if let Some(Hazard { op, bound }) = log.worst() {
+        return Verdict::MayOverflow { op, bound };
+    }
+    // The precision threshold is relative: a cell may accumulate up to
+    // `precision_ulps` of rounding error per unit of output magnitude
+    // (floored at one unit), so wide-range cells like SVM decisions are not
+    // penalized for error that is proportionally tiny.
+    let exceeded = outs
+        .iter()
+        .any(|v| v.err_ulps > opts.precision_ulps * v.interval.max_abs().max(1.0));
+    let worst_err = outs.iter().map(|v| v.err_ulps).fold(0.0, f64::max);
+    if exceeded {
+        let ulps = if worst_err >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            worst_err.ceil() as u32
+        };
+        Verdict::PrecisionLoss { ulps }
+    } else {
+        Verdict::Proven
+    }
+}
+
+/// Error of `a · b` in ulps given operand envelopes and magnitudes:
+/// `e_a·|b| + e_b·|a| + e_a·e_b·2^-16` plus half an ulp of rounding.
+fn mul_err(ea: f64, amax: f64, eb: f64, bmax: f64) -> f64 {
+    ea * bmax + eb * amax + ea * eb / 65536.0 + 0.5
+}
+
+/// Abstract mean: sum of `n` samples (exact adds, saturation logged), one
+/// division by the exact integer `n` (≤ 1 ulp of rounding).
+fn mean_transfer(x: ValueRange, n: usize, log: &mut OpLog) -> ValueRange {
+    let sum = x.interval.accumulate(n as u32, log);
+    let mean = sum.div_int(n as i32, log);
+    ValueRange::new(mean, x.err_ulps + 1.0)
+}
+
+/// Abstract `central_moment_q16`: `acc += ((x−μ)^p) / n` over the window.
+/// Mirrors the implementation's op order; the first multiply `ONE · d` is
+/// exact, the square `d · d` is perfectly correlated (never negative), and
+/// higher powers fall back to interval products.
+fn central_moment_transfer(x: ValueRange, n: usize, p: u32, log: &mut OpLog) -> ValueRange {
+    let mu = mean_transfer(x, n, log);
+    let d_iv = x.interval.sub(mu.interval, log);
+    let d = ValueRange::new(d_iv, x.err_ulps + mu.err_ulps);
+
+    let mut term = d;
+    for step in 2..=p {
+        let iv = if step == 2 {
+            term.interval.sqr(log)
+        } else {
+            term.interval.mul(d.interval, log)
+        };
+        let err = mul_err(
+            term.err_ulps,
+            term.interval.max_abs(),
+            d.err_ulps,
+            d.interval.max_abs(),
+        );
+        term = ValueRange::new(iv, err);
+    }
+
+    let per_sample = term.interval.div_int(n as i32, log);
+    let acc = per_sample.accumulate(n as u32, log);
+    // Per-sample division rounds within 1 ulp; n of them accumulate.
+    ValueRange::new(acc, term.err_ulps + n as f64)
+}
+
+/// Error of `sqrt(v)` in ulps: `e/(2√v)` away from zero, `√e` at zero (the
+/// worst point of the square root's conditioning), plus one ulp for the
+/// integer Newton iteration.
+fn sqrt_err(v: ValueRange) -> f64 {
+    let e_val = v.err_value();
+    let lo = v.interval.lo_f64().max(0.0);
+    let e_out = if lo.sqrt() > e_val.sqrt() {
+        e_val / (2.0 * lo.sqrt())
+    } else {
+        e_val.sqrt()
+    };
+    e_out * 65536.0 + 1.0
+}
+
+/// Reference σ for the standardized-moment error estimate: an eighth of the
+/// worst-case deviation scale. Windows whose spread is far below this see
+/// proportionally worse error — which is exactly what the PrecisionLoss
+/// verdict communicates.
+fn sigma_ref(var: &ValueRange) -> f64 {
+    var.interval.hi_f64().max(0.0).sqrt() / 8.0
+}
+
+fn feature_transfer(
+    kind: FeatureKind,
+    x: ValueRange,
+    n: usize,
+    reuses_var: bool,
+    log: &mut OpLog,
+) -> ValueRange {
+    if reuses_var {
+        // Std reusing a Var cell: a lone square root of the upstream scalar.
+        return ValueRange::new(x.interval.sqrt(), sqrt_err(x));
+    }
+    let n = n.max(1);
+    match kind {
+        // Comparator folds return one of the inputs unchanged.
+        FeatureKind::Max | FeatureKind::Min => x,
+        FeatureKind::Mean => mean_transfer(x, n, log),
+        FeatureKind::Var => central_moment_transfer(x, n, 2, log),
+        FeatureKind::Std => {
+            let var = central_moment_transfer(x, n, 2, log);
+            ValueRange::new(var.interval.sqrt(), sqrt_err(var))
+        }
+        FeatureKind::Czero => {
+            // crossings ∈ [0, n−1], divided by the exact n. The comparator
+            // tests the sign bit only, so samples within the quantization
+            // envelope of zero can flip the count: allow two flips' worth
+            // of output error (2/n in value units).
+            let count = Interval::new(Q16::ZERO, Q16::from_int((n - 1) as i32));
+            let out = count.div_int(n as i32, log);
+            ValueRange::new(out, 2.0 * 65536.0 / n as f64)
+        }
+        FeatureKind::Skew => {
+            let var = central_moment_transfer(x, n, 2, log);
+            let m3 = central_moment_transfer(x, n, 3, log);
+            standardized_moment_range(n, 3, &var, &m3)
+        }
+        FeatureKind::Kurt => {
+            let var = central_moment_transfer(x, n, 2, log);
+            let m4 = central_moment_transfer(x, n, 4, log);
+            standardized_moment_range(n, 4, &var, &m4)
+        }
+    }
+}
+
+/// Range and error envelope of a standardized moment `m_p / σ^p`.
+///
+/// In exact arithmetic the relational bounds `|skew| ≤ √n` and
+/// `0 ≤ kurt ≤ n` hold for any data, but the fixed-point quotient does not
+/// honor them: on a near-constant window `σ^p` quantizes to a few ulps and
+/// the saturating division can land anywhere up to the rails. Unless the
+/// window is provably constant (→ exactly zero) the sound output range is
+/// therefore the full format — the division saturates rather than wraps,
+/// so this is a precision pathology, not an overflow hazard. The *error*
+/// is estimated at the reference spread [`sigma_ref`] via first-order
+/// perturbation of the quotient; windows with smaller σ see
+/// proportionally larger error, which the PrecisionLoss verdict reports.
+fn standardized_moment_range(n: usize, p: u32, var: &ValueRange, mp: &ValueRange) -> ValueRange {
+    let nf = n as f64;
+    let interval = Interval::FULL;
+    let sref = sigma_ref(var);
+    if sref <= 0.0 {
+        // Provably constant window: the implementation returns exactly zero.
+        return ValueRange::new(Interval::ZERO, 0.0);
+    }
+    let ratio_bound = if p == 3 { nf.sqrt() } else { nf };
+    // d(m/σ^p) ≤ e_m/σ^p + p·|m/σ^p|·e_σ/σ with e_σ = e_var/(2σ).
+    let e_val = mp.err_value() / sref.powi(p as i32)
+        + 0.5 * p as f64 * ratio_bound * var.err_value() / (sref * sref);
+    ValueRange::new(interval, e_val * 65536.0 + 1.0)
+}
+
+/// Abstract `dwt_single_q16`: per output sample, a `taps`-term
+/// multiply-accumulate against the quantized low-pass (port 0) and
+/// high-pass (port 1) filters.
+fn dwt_transfer(x: ValueRange, taps: usize, log: &mut OpLog) -> Vec<ValueRange> {
+    let wavelet = match taps {
+        2 => Wavelet::Haar,
+        4 => Wavelet::Db2,
+        _ => Wavelet::Db4,
+    };
+    let bank = |coeffs: &[f64], log: &mut OpLog| -> ValueRange {
+        let mut acc = Interval::ZERO;
+        let mut err = 0.0;
+        for &c in coeffs {
+            let cq = Interval::constant(Q16::from_f64(c));
+            acc = acc.add(cq.mul(x.interval, log), log);
+            // Quantized coefficient (±0.5 ulp against the real filter),
+            // input envelope scaled by |c|, mul rounding.
+            err += x.err_ulps * c.abs() + 0.5 * x.interval.max_abs() + 0.5;
+        }
+        ValueRange::new(acc, err)
+    };
+    let approx = bank(wavelet.lowpass(), log);
+    let detail = bank(&wavelet.highpass(), log);
+    vec![approx, detail]
+}
+
+/// Abstract `Svm::decision_q16` under scaler-clamped inputs.
+///
+/// Inputs and support-vector coordinates live in `opts.svm_input` (the
+/// `MinMaxScaler` clamps both at fit/transform time); dual coefficients are
+/// bounded by the box constraint, and the bias by `sv · C` (each SMO bias
+/// update moves within the coefficient scale). Non-RBF cells are analyzed
+/// as linear kernels — the builder only distinguishes RBF (needs the exp
+/// unit) from inner-product kernels.
+fn svm_transfer(
+    sv: usize,
+    dims: usize,
+    rbf: bool,
+    opts: &AnalyzeOptions,
+    log: &mut OpLog,
+) -> ValueRange {
+    let xiv = Interval::from_f64(opts.svm_input.lo, opts.svm_input.hi);
+    let x = ValueRange::new(xiv, 0.5);
+    let (k, ek) = if rbf {
+        // dist² = Σ (sᵢ − xᵢ)²  over dims, then e^(−γ·dist²).
+        let d_iv = x.interval.sub(x.interval, log);
+        let ed = x.err_ulps * 2.0;
+        let sq = d_iv.sqr(log);
+        let esq = mul_err(ed, d_iv.max_abs(), ed, d_iv.max_abs());
+        let dist2 = sq.accumulate(dims as u32, log);
+        let edist2 = esq * dims as f64;
+        let gamma = Interval::constant(Q16::from_f64(opts.svm_gamma));
+        let arg = -gamma.mul(dist2, log);
+        let earg = edist2 * opts.svm_gamma + 0.5 * dist2.max_abs() + 0.5;
+        let k = arg.exp(log);
+        // |d e^a| ≤ e^{a_hi} · e_a, plus the polynomial's own error (the
+        // fixed exp is accurate to ~3·10^-4 over its working range).
+        let ek = earg * arg.hi_f64().exp() + 32.0;
+        (k, ek)
+    } else {
+        // Inner product of two vectors in the scaler range.
+        let p = x.interval.mul(x.interval, log);
+        let ep = mul_err(
+            x.err_ulps,
+            x.interval.max_abs(),
+            x.err_ulps,
+            x.interval.max_abs(),
+        );
+        let dot = p.accumulate(dims as u32, log);
+        (dot, ep * dims as f64)
+    };
+    let coef = Interval::from_f64(-opts.svm_coef_bound, opts.svm_coef_bound);
+    let contrib = coef.mul(k, log);
+    let econtrib = mul_err(0.5, opts.svm_coef_bound, ek, k.max_abs());
+    let sum = contrib.accumulate(sv as u32, log);
+    let bias_bound = opts.svm_coef_bound * sv as f64;
+    let bias = Interval::from_f64(-bias_bound, bias_bound);
+    let acc = sum.add(bias, log);
+    ValueRange::new(acc, econtrib * sv as f64 + 0.5)
+}
+
+/// Abstract score fusion: a weighted vote over ±1 base decisions with
+/// weights in `[0, 1]` (normalized base accuracies).
+fn fusion_transfer(bases: usize, log: &mut OpLog) -> ValueRange {
+    let vote = Interval::from_f64(-1.0, 1.0);
+    let weight = Interval::from_f64(0.0, 1.0);
+    let product = weight.mul(vote, log);
+    let acc = product.accumulate(bases as u32, log);
+    ValueRange::new(acc, bases as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpro_signal::stats::feature_q16;
+
+    fn window_port() -> Vec<(Option<usize>, usize)> {
+        vec![(None, 0)]
+    }
+
+    fn feature_spec(kind: FeatureKind, n: usize) -> CellSpec {
+        CellSpec {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: n,
+                reuses_var: false,
+            },
+            inputs: window_port(),
+            label: format!("{kind}@time"),
+        }
+    }
+
+    #[test]
+    fn features_on_normalized_input_are_overflow_free() {
+        let cells: Vec<CellSpec> = FeatureKind::ALL
+            .iter()
+            .map(|&k| feature_spec(k, 128))
+            .collect();
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        assert!(report.is_overflow_free(), "{report}");
+    }
+
+    #[test]
+    fn kurt_overflows_on_wide_input() {
+        let cells = vec![feature_spec(FeatureKind::Kurt, 128)];
+        let report = analyze(
+            &cells,
+            SignalBounds::new(-16.0, 16.0),
+            &AnalyzeOptions::default(),
+        );
+        match report.verdict(0) {
+            Verdict::MayOverflow { op, bound } => {
+                assert_eq!(op, HazardOp::Mul);
+                assert!(bound > 32_768.0, "bound {bound}");
+            }
+            v => panic!("expected overflow, got {v}"),
+        }
+    }
+
+    #[test]
+    fn concrete_feature_values_stay_inside_abstract_ranges() {
+        // A worst-case-ish window spanning the full input range.
+        let window: Vec<Q16> = (0..128)
+            .map(|i| Q16::from_f64(if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let cells: Vec<CellSpec> = FeatureKind::ALL
+            .iter()
+            .map(|&k| feature_spec(k, 128))
+            .collect();
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        for (i, &kind) in FeatureKind::ALL.iter().enumerate() {
+            let v = feature_q16(kind, &window);
+            let range = report.cells[i].output().interval;
+            assert!(range.contains(v), "{kind}: {v} outside {range}");
+        }
+    }
+
+    #[test]
+    fn dwt_chain_amplifies_by_sqrt2_per_level() {
+        let mut cells = Vec::new();
+        let mut upstream = (None, 0);
+        for level in 0..5usize {
+            cells.push(CellSpec {
+                module: ModuleKind::DwtLevel {
+                    input_len: 128 >> level,
+                    taps: 2,
+                },
+                inputs: vec![upstream],
+                label: format!("DWT-L{}", level + 1),
+            });
+            upstream = (Some(level), 0);
+        }
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        assert!(report.is_overflow_free());
+        let growth: Vec<f64> = report
+            .cells
+            .iter()
+            .map(|c| c.output().interval.hi_f64())
+            .collect();
+        for (lvl, g) in growth.iter().enumerate() {
+            let want = 2.0_f64.sqrt().powi(lvl as i32 + 1);
+            assert!((g / want - 1.0).abs() < 0.01, "level {lvl}: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rbf_svm_is_proven_for_scaler_clamped_inputs() {
+        let cells = vec![CellSpec {
+            module: ModuleKind::Svm {
+                support_vectors: 40,
+                dims: 12,
+                rbf: true,
+            },
+            inputs: vec![],
+            label: "SVM-0".into(),
+        }];
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        assert_eq!(report.verdict(0), Verdict::Proven, "{report}");
+        // The exp argument stays on the safe side of the cliff, so each
+        // kernel output is at most 1 and the decision is bounded by
+        // bias (sv·C) plus the sv-fold coefficient sum.
+        assert!(report.cells[0].output().interval.hi_f64() <= 2.0 * 40.0 + 1.0);
+    }
+
+    #[test]
+    fn std_reusing_var_takes_a_square_root() {
+        let cells = vec![
+            feature_spec(FeatureKind::Var, 128),
+            CellSpec {
+                module: ModuleKind::Feature {
+                    kind: FeatureKind::Std,
+                    input_len: 128,
+                    reuses_var: true,
+                },
+                inputs: vec![(Some(0), 0)],
+                label: "Std@time".into(),
+            },
+        ];
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        let var_hi = report.cells[0].output().interval.hi_f64();
+        let std_hi = report.cells[1].output().interval.hi_f64();
+        assert!((std_hi * std_hi - var_hi).abs() / var_hi < 0.01);
+        // Std is ill-conditioned near zero variance.
+        assert!(matches!(report.verdict(1), Verdict::PrecisionLoss { .. }));
+    }
+
+    #[test]
+    fn report_renders_a_table() {
+        let cells = vec![feature_spec(FeatureKind::Mean, 64)];
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        let text = report.to_string();
+        assert!(text.contains("Mean@time"), "{text}");
+        assert!(text.contains("proven overflow-free"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-analyzed")]
+    fn forward_reference_panics() {
+        let cells = vec![CellSpec {
+            module: ModuleKind::Feature {
+                kind: FeatureKind::Max,
+                input_len: 4,
+                reuses_var: false,
+            },
+            inputs: vec![(Some(3), 0)],
+            label: "Max@time".into(),
+        }];
+        analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+    }
+}

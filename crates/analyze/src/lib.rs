@@ -1,0 +1,33 @@
+//! Static range and overflow analysis for the fixed-point cell dataflow.
+//!
+//! XPro executes its functional cells — windowed statistics, the discrete
+//! wavelet transform, and SVM scoring — in Q16.16 fixed point when they are
+//! mapped to the sensor end. Q16.16 saturates at ±32768, and two of the
+//! primitive operations have hard cliffs: the exponential overflows to
+//! `MAX` once its argument reaches 11, and the central-moment powers grow
+//! as the fourth power of the window's spread. Whether a given partition is
+//! numerically safe therefore depends on the *input signal's range*, the
+//! depth of the DWT chain feeding each cell, and which features the model
+//! selected.
+//!
+//! This crate answers that question statically. [`analyze`] abstractly
+//! interprets a cell list over an interval domain ([`interval::Interval`])
+//! that mirrors the Q16.16 semantics exactly — same rounding, same rails,
+//! same operation order as the concrete kernels — and augments it with a
+//! worst-case rounding-error envelope in ulps. Every cell gets a
+//! [`Verdict`]: proven safe, possible overflow (with the op and magnitude),
+//! or disproportionate precision loss.
+//!
+//! `xpro-core` runs this analysis when instantiating a deployment and uses
+//! it to reject partition candidates that would place an overflow-prone
+//! cell on the fixed-point sensor end; the `analyze` binary prints the
+//! per-cell report.
+
+pub mod analysis;
+pub mod interval;
+
+pub use analysis::{
+    analyze, AnalysisReport, AnalyzeOptions, CellReport, CellSpec, SignalBounds, ValueRange,
+    Verdict,
+};
+pub use interval::{Hazard, HazardOp, Interval};

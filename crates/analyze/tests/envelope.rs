@@ -1,0 +1,121 @@
+//! Property tests tying the analyzer to the real datapath: for random
+//! signals inside the analyzer-proven input bounds, every fixed-point
+//! output must land inside the abstract output interval, and — for the
+//! well-conditioned cells — within the reported error envelope of the
+//! `f64` reference implementation.
+
+use proptest::prelude::*;
+use xpro_analyze::{analyze, AnalyzeOptions, CellSpec, SignalBounds};
+use xpro_hw::ModuleKind;
+use xpro_signal::dwt::{dwt_single, dwt_single_q16, Wavelet};
+use xpro_signal::fixed::Q16;
+use xpro_signal::stats::{feature_f64, feature_q16, FeatureKind};
+
+fn feature_spec(kind: FeatureKind, n: usize) -> CellSpec {
+    CellSpec {
+        module: ModuleKind::Feature {
+            kind,
+            input_len: n,
+            reuses_var: false,
+        },
+        inputs: vec![(None, 0)],
+        label: kind.to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn feature_outputs_stay_inside_abstract_ranges_and_envelopes(
+        w in prop::collection::vec(-1.0f64..1.0, 16..129)
+    ) {
+        let n = w.len();
+        let wq: Vec<Q16> = w.iter().map(|&v| Q16::from_f64(v)).collect();
+        let cells: Vec<CellSpec> = FeatureKind::ALL
+            .iter()
+            .map(|&k| feature_spec(k, n))
+            .collect();
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        prop_assert!(report.is_overflow_free(), "{report}");
+
+        for (i, &kind) in FeatureKind::ALL.iter().enumerate() {
+            let fixed = feature_q16(kind, &wq);
+            let out = report.cells[i].output();
+            prop_assert!(
+                out.interval.contains(fixed),
+                "{kind}: {} outside {}",
+                fixed.to_f64(),
+                out.interval
+            );
+            // The error envelope is checked against the float reference for
+            // the well-conditioned features. Skew/Kurt envelopes are
+            // evaluated at the reference spread (a heuristic the analyzer
+            // reports as PrecisionLoss, not a sound bound), and Czero's
+            // sign comparator can legitimately flip on samples within half
+            // an ulp of zero — so Czero is only checked when every sample
+            // is comfortably signed.
+            let check_envelope = match kind {
+                FeatureKind::Skew | FeatureKind::Kurt => false,
+                FeatureKind::Czero => w.iter().all(|x| x.abs() > 1e-4),
+                _ => true,
+            };
+            if check_envelope {
+                let reference = feature_f64(kind, &w);
+                let err = (fixed.to_f64() - reference).abs();
+                prop_assert!(
+                    err <= out.err_value(),
+                    "{kind}: |{} - {reference}| = {err} exceeds envelope {}",
+                    fixed.to_f64(),
+                    out.err_value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dwt_outputs_stay_inside_abstract_ranges_and_envelopes(
+        w in prop::collection::vec(-1.0f64..1.0, 16..129),
+        wavelet in prop::sample::select(vec![Wavelet::Haar, Wavelet::Db2, Wavelet::Db4]),
+    ) {
+        let n = w.len();
+        let cells = vec![CellSpec {
+            module: ModuleKind::DwtLevel {
+                input_len: n,
+                taps: wavelet.taps(),
+            },
+            inputs: vec![(None, 0)],
+            label: format!("DWT-{}", wavelet.name()),
+        }];
+        let report = analyze(&cells, SignalBounds::default(), &AnalyzeOptions::default());
+        prop_assert!(report.is_overflow_free(), "{report}");
+
+        let wq: Vec<Q16> = w.iter().map(|&v| Q16::from_f64(v)).collect();
+        let (approx_q, detail_q) = dwt_single_q16(&wq, wavelet);
+        let reference = dwt_single(&w, wavelet);
+        let subbands = [
+            (0usize, &approx_q, &reference.approx),
+            (1usize, &detail_q, &reference.detail),
+        ];
+        for (port, fixed, float) in subbands {
+            let out = report.cells[0].ports[port];
+            for (&fq, &fr) in fixed.iter().zip(float.iter()) {
+                prop_assert!(
+                    out.interval.contains(fq),
+                    "{}[{port}]: {} outside {}",
+                    wavelet.name(),
+                    fq.to_f64(),
+                    out.interval
+                );
+                let err = (fq.to_f64() - fr).abs();
+                prop_assert!(
+                    err <= out.err_value(),
+                    "{}[{port}]: |{} - {fr}| = {err} exceeds envelope {}",
+                    wavelet.name(),
+                    fq.to_f64(),
+                    out.err_value()
+                );
+            }
+        }
+    }
+}

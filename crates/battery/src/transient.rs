@@ -233,7 +233,10 @@ mod tests {
         b.step(0.0, 600.0); // rest
         let recovered = b.terminal_v(0.0);
         assert!(sagged < before - 0.03, "no sag: {before} → {sagged}");
-        assert!(recovered > sagged + 0.02, "no recovery: {sagged} → {recovered}");
+        assert!(
+            recovered > sagged + 0.02,
+            "no recovery: {sagged} → {recovered}"
+        );
     }
 
     #[test]

@@ -40,14 +40,14 @@ fn bench_characterize(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
     c.bench_function("fig4_best_mode_selection", |b| {
         b.iter(|| {
             mods.iter()
                 .map(|m| model.best_mode(black_box(m), ProcessNode::N90).1.energy_pj)
                 .sum::<f64>()
-        })
+        });
     });
 }
 

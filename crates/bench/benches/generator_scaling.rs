@@ -74,20 +74,16 @@ fn bench_generator(c: &mut Criterion) {
     for &(features, bases) in &[(16usize, 4usize), (32, 8), (56, 16), (56, 32)] {
         let instance = synthetic_instance(features, bases);
         let cells = instance.num_cells();
-        group.bench_with_input(
-            BenchmarkId::new("min_cut", cells),
-            &instance,
-            |b, inst| {
-                let generator = XProGenerator::new(inst);
-                b.iter(|| generator.unconstrained_cut())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("min_cut", cells), &instance, |b, inst| {
+            let generator = XProGenerator::new(inst);
+            b.iter(|| generator.unconstrained_cut());
+        });
         group.bench_with_input(
             BenchmarkId::new("delay_constrained_sweep", cells),
             &instance,
             |b, inst| {
                 let generator = XProGenerator::new(inst);
-                b.iter(|| generator.generate())
+                b.iter(|| generator.generate());
             },
         );
     }

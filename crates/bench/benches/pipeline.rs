@@ -35,19 +35,19 @@ fn bench_pipeline(c: &mut Criterion) {
     let segment = data.segments[0].clone();
 
     c.bench_function("dwt_5level_128", |b| {
-        b.iter(|| dwt_multilevel(black_box(&segment), 5, Wavelet::Haar))
+        b.iter(|| dwt_multilevel(black_box(&segment), 5, Wavelet::Haar));
     });
     c.bench_function("features_time_domain", |b| {
-        b.iter(|| all_features_f64(black_box(&segment)))
+        b.iter(|| all_features_f64(black_box(&segment)));
     });
     c.bench_function("extract_features_56", |b| {
-        b.iter(|| extract_features(black_box(&segment), Wavelet::Haar))
+        b.iter(|| extract_features(black_box(&segment), Wavelet::Haar));
     });
     c.bench_function("classify_monolithic", |b| {
-        b.iter(|| pipeline.classify(black_box(&segment)))
+        b.iter(|| pipeline.classify(black_box(&segment)));
     });
     c.bench_function("classify_partitioned_cross_end", |b| {
-        b.iter(|| pipeline.classify_partitioned(black_box(&segment), &cut))
+        b.iter(|| pipeline.classify_partitioned(black_box(&segment), &cut));
     });
 }
 

@@ -24,7 +24,7 @@ fn main() {
         "in-sensor cells of C",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     let radios: Vec<TransceiverModel> = TransceiverModel::paper_models()

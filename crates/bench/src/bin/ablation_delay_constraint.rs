@@ -25,7 +25,7 @@ fn main() {
         "tight delay",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     for t in &cases {

@@ -25,7 +25,7 @@ fn main() {
         "sweep gap",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     for t in &cases {

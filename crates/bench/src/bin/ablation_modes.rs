@@ -58,7 +58,7 @@ fn main() {
 
     let header: Vec<String> = ["policy", "energy (uJ/event)", "vs best"]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let mut rows = vec![vec![
         "per-module optimal (rule 2)".to_string(),

@@ -26,7 +26,7 @@ fn main() {
         "C life, no reuse",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     for case in CaseId::ALL {

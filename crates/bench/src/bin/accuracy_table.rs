@@ -23,7 +23,7 @@ fn main() {
         "cut (in-sensor)",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     for t in &cases {

@@ -17,10 +17,15 @@ fn main() {
     let cases = train_all_cases(paper_mode());
 
     let header: Vec<String> = [
-        "case", "engine", "front-end", "wireless", "back-end", "total",
+        "case",
+        "engine",
+        "front-end",
+        "wireless",
+        "back-end",
+        "total",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     let mut red_a = Vec::new();

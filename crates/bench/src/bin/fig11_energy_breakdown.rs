@@ -18,7 +18,7 @@ fn main() {
 
     let header: Vec<String> = ["case", "engine", "compute uJ", "wireless uJ", "total uJ"]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let mut rows = Vec::new();
     let mut save_s_over_a = Vec::new();

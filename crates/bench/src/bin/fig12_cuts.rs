@@ -25,7 +25,7 @@ fn main() {
         "cross sensor-cells",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     let mut cross_always_best = true;

@@ -25,7 +25,7 @@ fn main() {
         "C battery (h)",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -39,7 +39,7 @@ fn main() {
             t.case.symbol().to_string(),
             fmt(a.aggregator_pj / 1e6),
             fmt(c.aggregator_pj / 1e6),
-            fmt(ratios.last().copied().unwrap()),
+            fmt(ratios.last().copied().expect("just pushed")),
             fmt(a.aggregator_battery_hours),
             fmt(c.aggregator_battery_hours),
         ]);

@@ -49,7 +49,7 @@ fn main() {
 
     let header: Vec<String> = ["module", "serial pJ", "parallel pJ", "pipeline pJ", "best"]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let mut rows = Vec::new();
     for (name, module) in &modules {

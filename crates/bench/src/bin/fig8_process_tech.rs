@@ -20,7 +20,7 @@ fn main() {
     for node in ProcessNode::ALL {
         let header: Vec<String> = ["case", "A", "S", "C", "C/A", "C/S"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let mut rows = Vec::new();
         let mut gains_a = Vec::new();
@@ -37,8 +37,8 @@ fn main() {
                 fmt(norm(Engine::InAggregator)),
                 fmt(norm(Engine::InSensor)),
                 fmt(norm(Engine::CrossEnd)),
-                fmt(gains_a.last().copied().unwrap()),
-                fmt(gains_s.last().copied().unwrap()),
+                fmt(gains_a.last().copied().expect("just pushed")),
+                fmt(gains_s.last().copied().expect("just pushed")),
             ]);
         }
         print_table(

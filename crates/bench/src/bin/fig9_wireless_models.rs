@@ -29,7 +29,7 @@ fn main() {
     for (mi, radio) in TransceiverModel::paper_models().into_iter().enumerate() {
         let header: Vec<String> = ["case", "A", "S", "C", "C/A", "C/S"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let mut rows = Vec::new();
         let mut gains_a = Vec::new();
@@ -46,8 +46,8 @@ fn main() {
                 fmt(norm(Engine::InAggregator)),
                 fmt(norm(Engine::InSensor)),
                 fmt(norm(Engine::CrossEnd)),
-                fmt(gains_a.last().copied().unwrap()),
-                fmt(gains_s.last().copied().unwrap()),
+                fmt(gains_a.last().copied().expect("just pushed")),
+                fmt(gains_s.last().copied().expect("just pushed")),
             ]);
         }
         print_table(

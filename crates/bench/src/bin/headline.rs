@@ -20,7 +20,7 @@ fn main() {
         "C/A", "C/S", "delay A", "delay S", "delay C", "dC vs A", "dC vs S",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .collect();
 
     let mut rows = Vec::new();
@@ -58,13 +58,19 @@ fn main() {
             fmt(a.sensor_battery_hours),
             fmt(s.sensor_battery_hours),
             fmt(c.sensor_battery_hours),
-            fmt(gain_a.last().copied().unwrap()),
-            fmt(gain_s.last().copied().unwrap()),
+            fmt(gain_a.last().copied().expect("just pushed")),
+            fmt(gain_s.last().copied().expect("just pushed")),
             format!("{:.2}ms", a.delay.total_s() * 1e3),
             format!("{:.2}ms", s.delay.total_s() * 1e3),
             format!("{:.2}ms", c.delay.total_s() * 1e3),
-            format!("{:.1}%", dred_a.last().copied().unwrap() * 100.0),
-            format!("{:.1}%", dred_s.last().copied().unwrap() * 100.0),
+            format!(
+                "{:.1}%",
+                dred_a.last().copied().expect("just pushed") * 100.0
+            ),
+            format!(
+                "{:.1}%",
+                dred_s.last().copied().expect("just pushed") * 100.0
+            ),
         ]);
     }
 

@@ -17,10 +17,16 @@ fn main() {
     let generator = XProGenerator::new(&inst);
     let default_limit = generator.default_delay_limit();
 
-    let header: Vec<String> = ["delay limit", "feasible", "energy (uJ)", "achieved delay", "cells in-sensor"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "delay limit",
+        "feasible",
+        "energy (uJ)",
+        "achieved delay",
+        "cells in-sensor",
+    ]
+    .iter()
+    .map(std::string::ToString::to_string)
+    .collect();
     let mut rows = Vec::new();
     for fraction in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.5, 2.0] {
         let limit = default_limit * fraction;

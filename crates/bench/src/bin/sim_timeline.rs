@@ -21,7 +21,7 @@ fn main() {
     let trace = simulate_event(&inst, &cut);
 
     println!("== Cross-end execution timeline, case E1 (times in µs) ==\n");
-    println!("{:>9} {:>9}  {:<10}  {}", "start", "finish", "end", "work");
+    println!("{:>9} {:>9}  {:<10}  work", "start", "finish", "end");
     let mut events: Vec<(f64, f64, String, String)> = trace
         .runs
         .iter()

@@ -8,10 +8,17 @@ use xpro_bench::print_table;
 use xpro_data::{generate_case, CaseId};
 
 fn main() {
-    let header: Vec<String> = ["case", "dataset", "modality", "seg len", "seg count", "positives"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "case",
+        "dataset",
+        "modality",
+        "seg len",
+        "seg count",
+        "positives",
+    ]
+    .iter()
+    .map(std::string::ToString::to_string)
+    .collect();
     let mut rows = Vec::new();
     for case in CaseId::ALL {
         let d = generate_case(case, 0);

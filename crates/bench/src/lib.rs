@@ -60,6 +60,7 @@ pub fn harness_dataset(case: CaseId, paper: bool) -> Dataset {
 }
 
 /// A trained case ready for instancing under different system configs.
+#[derive(Debug)]
 pub struct TrainedCase {
     /// The Table-1 case.
     pub case: CaseId,
@@ -150,7 +151,13 @@ fn write_csv(
     std::fs::create_dir_all(dir)?;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())
@@ -212,7 +219,7 @@ mod tests {
     fn fmt_adapts_precision() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.5), "1234");
-        assert_eq!(fmt(2.71828), "2.72");
+        assert_eq!(fmt(5.67891), "5.68");
         assert_eq!(fmt(0.1234), "0.123");
     }
 

@@ -1,0 +1,105 @@
+//! Bridges the cell graph to the static range analyzer.
+//!
+//! The analyzer ([`xpro_analyze`]) works on a plain, dependency-light cell
+//! IR so it can be reused outside of core; this module converts a
+//! [`CellGraph`] into that IR and runs the analysis. [`XProInstance`]
+//! invokes it at instantiation time, and the partition generator consults
+//! the per-cell verdicts to refuse mapping overflow-prone cells onto the
+//! fixed-point sensor end.
+//!
+//! [`XProInstance`]: crate::instance::XProInstance
+
+use crate::cellgraph::CellGraph;
+use xpro_analyze::{analyze, AnalysisReport, AnalyzeOptions, CellSpec, SignalBounds};
+
+/// Converts a cell graph into the analyzer's IR.
+///
+/// The conversion is structural: cell order, module kinds and port wiring
+/// carry over one to one, so verdict *i* of the resulting report refers to
+/// cell *i* of the graph.
+pub fn cell_specs(graph: &CellGraph) -> Vec<CellSpec> {
+    graph
+        .cells()
+        .iter()
+        .map(|cell| CellSpec {
+            module: cell.module,
+            inputs: cell
+                .inputs
+                .iter()
+                .map(|port| (port.producer, port.port))
+                .collect(),
+            label: cell.label.clone(),
+        })
+        .collect()
+}
+
+/// Runs the static range analysis over a cell graph.
+pub fn analyze_graph(
+    graph: &CellGraph,
+    bounds: SignalBounds,
+    opts: &AnalyzeOptions,
+) -> AnalysisReport {
+    analyze(&cell_specs(graph), bounds, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_full_cell_graph, BuildOptions};
+    use xpro_analyze::Verdict;
+
+    #[test]
+    fn full_framework_graph_is_overflow_free_on_normalized_input() {
+        let built = build_full_cell_graph(&BuildOptions::default(), 4, 40);
+        let report = analyze_graph(
+            &built.graph,
+            SignalBounds::default(),
+            &AnalyzeOptions::default(),
+        );
+        assert_eq!(report.cells.len(), built.graph.len());
+        assert!(report.is_overflow_free(), "{report}");
+    }
+
+    #[test]
+    fn out_of_range_input_flags_deep_moment_cells() {
+        let built = build_full_cell_graph(&BuildOptions::default(), 4, 40);
+        let report = analyze_graph(
+            &built.graph,
+            SignalBounds::new(-4.0, 4.0),
+            &AnalyzeOptions::default(),
+        );
+        assert!(!report.is_overflow_free());
+        // The fourth-power moment on the most-amplified domains is the
+        // first casualty of widening the input range.
+        let flagged: Vec<&str> = report
+            .overflowing()
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert!(
+            flagged.iter().any(|l| l.starts_with("Kurt@")),
+            "flagged: {flagged:?}"
+        );
+        // Every flagged verdict carries the offending op and magnitude.
+        for cell in report.overflowing() {
+            match cell.verdict {
+                Verdict::MayOverflow { bound, .. } => {
+                    assert!(bound > 32_768.0, "{}: bound {bound}", cell.label);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn specs_mirror_graph_structure() {
+        let built = build_full_cell_graph(&BuildOptions::default(), 2, 10);
+        let specs = cell_specs(&built.graph);
+        assert_eq!(specs.len(), built.graph.len());
+        for (spec, cell) in specs.iter().zip(built.graph.cells()) {
+            assert_eq!(spec.module, cell.module);
+            assert_eq!(spec.label, cell.label);
+            assert_eq!(spec.inputs.len(), cell.inputs.len());
+        }
+    }
+}

@@ -197,8 +197,133 @@ pub fn build_cell_graph(model: &RandomSubspaceModel, options: &BuildOptions) -> 
     }
 }
 
+/// Builds the *generic framework* graph: the full DWT chain, every feature
+/// of every domain, and `bases` RBF SVM cells each reading the whole
+/// feature vector with `support_vectors` support vectors apiece.
+///
+/// This is the worst-case superset of any trained instance — random
+/// subspace training only ever *removes* cells from it — which makes it the
+/// right graph for model-independent static analysis: a range proof over
+/// the full framework covers every model the trainer can produce.
+///
+/// # Panics
+///
+/// Panics if `bases == 0` or `support_vectors == 0`.
+pub fn build_full_cell_graph(
+    options: &BuildOptions,
+    bases: usize,
+    support_vectors: usize,
+) -> BuiltGraph {
+    assert!(bases > 0, "need at least one base");
+    assert!(support_vectors > 0, "need at least one support vector");
+
+    let mut graph = CellGraph::new(DWT_INPUT_LEN as u64);
+
+    // Full DWT chain.
+    let mut dwt_cells: Vec<CellId> = Vec::new();
+    let mut upstream = PortRef::RAW;
+    for level in 1..=DWT_LEVELS {
+        let input_len = DWT_INPUT_LEN >> (level - 1);
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::DwtLevel {
+                input_len,
+                taps: options.dwt_taps,
+            },
+            domain: Domain::Detail(level as u8),
+            output_samples: vec![(input_len / 2) as u64, (input_len / 2) as u64],
+            inputs: vec![upstream],
+            label: format!("DWT-L{level}"),
+        });
+        dwt_cells.push(id);
+        upstream = PortRef {
+            producer: Some(id),
+            port: 0,
+        };
+    }
+
+    let domain_source = |domain: Domain| -> PortRef {
+        match domain {
+            Domain::Time => PortRef::RAW,
+            Domain::Detail(l) => PortRef {
+                producer: Some(dwt_cells[l as usize - 1]),
+                port: 1,
+            },
+            Domain::Approx => PortRef {
+                producer: Some(dwt_cells[DWT_LEVELS - 1]),
+                port: 0,
+            },
+        }
+    };
+
+    // Every feature on every domain (FeatureKind order puts Var before Std,
+    // so the reuse edge can always point backwards).
+    let mut feature_cells: BTreeMap<usize, CellId> = BTreeMap::new();
+    for domain in Domain::all() {
+        let source = domain_source(domain);
+        let window = domain.window_len();
+        for kind in FeatureKind::ALL {
+            let reuses_var = options.cell_reuse && kind == FeatureKind::Std;
+            let inputs = if reuses_var {
+                let var_id = feature_cells[&FeatureLayout::index(domain, FeatureKind::Var)];
+                vec![PortRef::cell(var_id)]
+            } else {
+                vec![source]
+            };
+            let id = graph.add_cell(Cell {
+                module: ModuleKind::Feature {
+                    kind,
+                    input_len: window,
+                    reuses_var,
+                },
+                domain,
+                output_samples: vec![1],
+                inputs,
+                label: format!("{kind}@{domain}"),
+            });
+            feature_cells.insert(FeatureLayout::index(domain, kind), id);
+        }
+    }
+
+    let all_features: Vec<PortRef> = feature_cells
+        .values()
+        .map(|&id| PortRef::cell(id))
+        .collect();
+    let mut svm_cells = Vec::with_capacity(bases);
+    for bi in 0..bases {
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Svm {
+                support_vectors,
+                dims: all_features.len(),
+                rbf: true,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: all_features.clone(),
+            label: format!("SVM-{bi}"),
+        });
+        svm_cells.push(id);
+    }
+
+    let fusion_cell = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: svm_cells.iter().map(|&id| PortRef::cell(id)).collect(),
+        label: "Fusion".into(),
+    });
+
+    BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells,
+        fusion_cell,
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -298,8 +423,8 @@ mod tests {
                         ..BuildOptions::default()
                     },
                 );
-                let std_cell = &no_reuse.graph.cells()[no_reuse.feature_cells
-                    [&FeatureLayout::index(domain, FeatureKind::Std)]];
+                let std_cell = &no_reuse.graph.cells()
+                    [no_reuse.feature_cells[&FeatureLayout::index(domain, FeatureKind::Std)]];
                 assert!(matches!(
                     std_cell.module,
                     ModuleKind::Feature {

@@ -120,15 +120,24 @@ impl<'a> XProGenerator<'a> {
     }
 
     /// The paper's delay limit `T_XPro = min(T_F, T_B)` (Eq. 4).
+    ///
+    /// A single-end design only contributes its delay if it passes the
+    /// numeric validation stage: an in-sensor engine whose fixed-point
+    /// cells can overflow does not produce correct results, so its latency
+    /// cannot define the bar. The all-aggregator design always validates,
+    /// so the limit is always finite and feasible.
     pub fn default_delay_limit(&self) -> f64 {
         let n = self.instance.num_cells();
-        let t_f = evaluate(self.instance, &Partition::all_sensor(n))
-            .delay
-            .total_s();
         let t_b = evaluate(self.instance, &Partition::all_aggregator(n))
             .delay
             .total_s();
-        t_f.min(t_b)
+        let sensor = Partition::all_sensor(n);
+        if self.numerically_valid(&sensor) {
+            let t_f = evaluate(self.instance, &sensor).delay.total_s();
+            t_f.min(t_b)
+        } else {
+            t_b
+        }
     }
 
     /// The generator's default output: minimum sensor energy subject to
@@ -150,8 +159,27 @@ impl<'a> XProGenerator<'a> {
             .expect("no partition meets the delay limit")
     }
 
+    /// Whether a partition passes the numeric validation stage: no cell
+    /// that the instance's static range analysis marked as overflow-prone
+    /// is mapped to the fixed-point sensor end. The aggregator runs cells
+    /// in floating point, so aggregator-side cells are always valid.
+    pub fn numerically_valid(&self, partition: &Partition) -> bool {
+        partition
+            .in_sensor
+            .iter()
+            .enumerate()
+            .all(|(i, &on_sensor)| !on_sensor || self.instance.cell_numerically_safe(i))
+    }
+
     /// Like [`XProGenerator::delay_constrained_cut`], but returns `None`
     /// when no explored partition meets the limit.
+    ///
+    /// Candidates failing the numeric validation stage
+    /// ([`XProGenerator::numerically_valid`]) are rejected before costing.
+    /// The all-aggregator design always passes validation, so at the
+    /// paper's default delay limit a feasible design still always exists;
+    /// under widened input bounds *and* a delay limit only the sensor can
+    /// meet, the result can be `None`.
     ///
     /// # Panics
     ///
@@ -181,6 +209,7 @@ impl<'a> XProGenerator<'a> {
         let tol = t_limit_s * 1e-9;
         candidates
             .into_iter()
+            .filter(|p| self.numerically_valid(p))
             .map(|p| {
                 let e = evaluate(self.instance, &p);
                 (p, e)
@@ -285,6 +314,35 @@ mod tests {
         let e_loose = evaluate(&inst, &loose).sensor.total_pj();
         let e_tight = evaluate(&inst, &tight).sensor.total_pj();
         assert!(e_loose <= e_tight + 1e-6);
+    }
+
+    #[test]
+    fn wide_input_bounds_keep_flagged_cells_off_the_sensor() {
+        use crate::builder::{build_full_cell_graph, BuildOptions};
+        use crate::config::SystemConfig;
+        use crate::instance::XProInstance;
+        use xpro_analyze::SignalBounds;
+
+        let built = build_full_cell_graph(&BuildOptions::default(), 2, 10);
+        let inst = XProInstance::with_bounds(
+            built,
+            SystemConfig::default(),
+            128,
+            SignalBounds::new(-4.0, 4.0),
+        );
+        // The widened bounds make the deep fourth-moment cells unsafe…
+        assert!(!inst.analysis().is_overflow_free());
+        let gen = XProGenerator::new(&inst);
+        let n = inst.num_cells();
+        assert!(!gen.numerically_valid(&Partition::all_sensor(n)));
+        // …and the generator's output never maps one to the sensor end.
+        let cut = gen.generate();
+        assert!(gen.numerically_valid(&cut));
+        for (i, &on_sensor) in cut.in_sensor.iter().enumerate() {
+            if on_sensor {
+                assert!(inst.cell_numerically_safe(i));
+            }
+        }
     }
 
     #[test]

@@ -129,8 +129,14 @@ mod tests {
             let sweep = evaluate(&inst, &topological_sweep(&inst, limit))
                 .sensor
                 .total_pj();
-            assert!(cut <= greedy + 1e-6, "seed {seed}: cut {cut} > greedy {greedy}");
-            assert!(cut <= sweep + 1e-6, "seed {seed}: cut {cut} > sweep {sweep}");
+            assert!(
+                cut <= greedy + 1e-6,
+                "seed {seed}: cut {cut} > greedy {greedy}"
+            );
+            assert!(
+                cut <= sweep + 1e-6,
+                "seed {seed}: cut {cut} > sweep {sweep}"
+            );
         }
     }
 

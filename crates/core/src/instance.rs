@@ -5,8 +5,10 @@
 //! most energy-efficient monotonic ALU mode for its module, as chosen by the
 //! hardware library's Figure-4 characterization.
 
+use crate::analysis::analyze_graph;
 use crate::builder::BuiltGraph;
 use crate::config::SystemConfig;
+use xpro_analyze::{AnalysisReport, AnalyzeOptions, SignalBounds, Verdict};
 use xpro_hw::{AluMode, CellCost};
 
 /// A priced XPro instance ready for partitioning.
@@ -21,16 +23,35 @@ pub struct XProInstance {
     sensor_modes: Vec<AluMode>,
     agg_energy_pj: Vec<f64>,
     agg_time_s: Vec<f64>,
+    analysis: AnalysisReport,
 }
 
 impl XProInstance {
-    /// Prices a built graph under a system configuration.
+    /// Prices a built graph under a system configuration, assuming the
+    /// normalized `[-1, 1]` input range for the numeric analysis.
     ///
     /// # Panics
     ///
     /// Panics if `segment_len == 0`.
     pub fn new(built: BuiltGraph, config: SystemConfig, segment_len: usize) -> Self {
+        XProInstance::with_bounds(built, config, segment_len, SignalBounds::default())
+    }
+
+    /// Prices a built graph under a system configuration and runs the
+    /// static range analysis against explicit input-signal bounds (e.g.
+    /// from dataset metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len == 0`.
+    pub fn with_bounds(
+        built: BuiltGraph,
+        config: SystemConfig,
+        segment_len: usize,
+        bounds: SignalBounds,
+    ) -> Self {
         assert!(segment_len > 0, "segment length must be positive");
+        let analysis = analyze_graph(&built.graph, bounds, &AnalyzeOptions::default());
         let mut sensor_costs = Vec::with_capacity(built.graph.len());
         let mut sensor_modes = Vec::with_capacity(built.graph.len());
         let mut agg_energy_pj = Vec::with_capacity(built.graph.len());
@@ -51,7 +72,25 @@ impl XProInstance {
             sensor_modes,
             agg_energy_pj,
             agg_time_s,
+            analysis,
         }
+    }
+
+    /// The static range analysis of the graph under this instance's input
+    /// bounds.
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.analysis
+    }
+
+    /// Numeric verdict of a cell.
+    pub fn cell_verdict(&self, cell: usize) -> Verdict {
+        self.analysis.verdict(cell)
+    }
+
+    /// Whether a cell is safe to run on the fixed-point sensor end: the
+    /// analysis could not find a reachable input that saturates it.
+    pub fn cell_numerically_safe(&self, cell: usize) -> bool {
+        self.cell_verdict(cell).is_overflow_free()
     }
 
     /// The underlying graph and classifier wiring.

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod aggregator;
+pub mod analysis;
 pub mod builder;
 pub mod cellgraph;
 pub mod config;
@@ -72,7 +73,8 @@ pub mod stgraph;
 pub(crate) mod testutil;
 
 pub use aggregator::AggregatorModel;
-pub use builder::{build_cell_graph, BuildOptions, BuiltGraph};
+pub use analysis::{analyze_graph, cell_specs};
+pub use builder::{build_cell_graph, build_full_cell_graph, BuildOptions, BuiltGraph};
 pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
 pub use config::SystemConfig;
 pub use generator::{Engine, XProGenerator};

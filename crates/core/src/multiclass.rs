@@ -302,6 +302,8 @@ fn build_multiclass_graph(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use crate::config::SystemConfig;
     use crate::generator::{Engine, XProGenerator};

@@ -168,7 +168,9 @@ mod tests {
         let mut one = BsnSystem::new();
         one.add_node(tiny_instance(1));
         let h1 = one.evaluate(Engine::CrossEnd).aggregator_battery_hours;
-        let h3 = three_node_bsn().evaluate(Engine::CrossEnd).aggregator_battery_hours;
+        let h3 = three_node_bsn()
+            .evaluate(Engine::CrossEnd)
+            .aggregator_battery_hours;
         assert!(h3 < h1, "3-node {h3} !< 1-node {h1}");
     }
 

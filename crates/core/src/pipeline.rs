@@ -335,6 +335,8 @@ impl XProPipeline {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use xpro_data::{generate_case_sized, CaseId};
 

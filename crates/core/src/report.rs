@@ -71,6 +71,8 @@ pub fn normalized_lifetimes(cmp: &EngineComparison) -> Vec<(Engine, f64)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use crate::testutil::tiny_instance;
 

@@ -64,8 +64,8 @@ pub fn min_cut_partition(instance: &XProInstance, lambda_pj_per_s: f64) -> Parti
 
     // Compute edges: cell → B.
     for (c, &node) in cell_node.iter().enumerate() {
-        let weight = instance.sensor_cost(c).energy_pj
-            + lambda_pj_per_s * instance.sensor_time_s(c);
+        let weight =
+            instance.sensor_cost(c).energy_pj + lambda_pj_per_s * instance.sensor_time_s(c);
         net.add_edge(node, b, weight);
     }
 
@@ -191,7 +191,9 @@ mod tests {
         let cut = min_cut_partition(&instance, 1e18);
         let n = instance.num_cells();
         let e_cut = evaluate(&instance, &cut).delay.total_s();
-        let e_sensor = evaluate(&instance, &Partition::all_sensor(n)).delay.total_s();
+        let e_sensor = evaluate(&instance, &Partition::all_sensor(n))
+            .delay
+            .total_s();
         let e_agg = evaluate(&instance, &Partition::all_aggregator(n))
             .delay
             .total_s();

@@ -72,10 +72,6 @@ fn random_instance(
     XProInstance::new(built, SystemConfig::default(), segment_len)
 }
 
-fn arb_partition(n: usize) -> impl Strategy<Value = Partition> {
-    prop::collection::vec(any::<bool>(), n).prop_map(|in_sensor| Partition { in_sensor })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -95,6 +95,24 @@ impl Dataset {
     pub fn raw_segment_bits(&self, bits_per_sample: u32) -> u64 {
         self.segment_len as u64 * bits_per_sample as u64
     }
+
+    /// Smallest and largest sample value over every segment — the input
+    /// bounds the static range analyzer assumes when checking whether the
+    /// fixed-point dataflow can overflow on this dataset. The pipeline's
+    /// symmetric normalization keeps values in `[-1, 1]`; un-normalized
+    /// sensor data can exceed that, which is exactly what the analyzer
+    /// needs to know.
+    pub fn signal_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for segment in &self.segments {
+            for &v in segment {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +137,7 @@ mod tests {
         assert!(!d.is_empty());
         assert_eq!(d.positives(), 1);
         assert_eq!(d.raw_segment_bits(32), 64);
+        assert_eq!(d.signal_range(), (0.0, 1.0));
     }
 
     #[test]
@@ -137,14 +156,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "±1")]
     fn bad_labels_panic() {
-        Dataset::new(
-            "T",
-            "T1",
-            Modality::Ecg,
-            1,
-            vec![vec![0.0]],
-            vec![0.5],
-        );
+        Dataset::new("T", "T1", Modality::Ecg, 1, vec![vec![0.0]], vec![0.5]);
     }
 
     #[test]

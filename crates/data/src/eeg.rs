@@ -128,7 +128,8 @@ pub fn generate_eeg(params: &EegParams, len: usize, rng: &mut StdRng) -> Vec<f64
             // Sharp positive peak followed by a shallow rebound.
             *v += polarity
                 * params.spike_amp
-                * (gaussian_bump(x, center, width) - 0.4 * gaussian_bump(x, center + 2.5 * width, 2.0 * width));
+                * (gaussian_bump(x, center, width)
+                    - 0.4 * gaussian_bump(x, center + 2.5 * width, 2.0 * width));
         }
     }
 
@@ -164,7 +165,10 @@ mod tests {
 
     #[test]
     fn segment_has_requested_length() {
-        assert_eq!(generate_eeg(&EegParams::e1_rest(), 128, &mut rng()).len(), 128);
+        assert_eq!(
+            generate_eeg(&EegParams::e1_rest(), 128, &mut rng()).len(),
+            128
+        );
     }
 
     #[test]
@@ -202,7 +206,10 @@ mod tests {
         };
         let rest = deep_energy(&EegParams::e1_rest(), &mut r);
         let shifted = deep_energy(&EegParams::e1_shifted(), &mut r);
-        assert!(shifted > rest, "shifted deep energy {shifted} <= rest {rest}");
+        assert!(
+            shifted > rest,
+            "shifted deep energy {shifted} <= rest {rest}"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn segment_has_requested_length() {
-        assert_eq!(generate_emg(&EmgParams::m1_lateral(), 132, &mut rng()).len(), 132);
+        assert_eq!(
+            generate_emg(&EmgParams::m1_lateral(), 132, &mut rng()).len(),
+            132
+        );
     }
 
     #[test]
@@ -155,7 +158,10 @@ mod tests {
                 &generate_emg(&EmgParams::m1_spherical(), 132, &mut r),
             );
         }
-        assert!(max_sph > max_lat, "spherical {max_sph} <= lateral {max_lat}");
+        assert!(
+            max_sph > max_lat,
+            "spherical {max_sph} <= lateral {max_lat}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn generate_grasps(count: usize, seed: u64) -> MulticlassDataset {
         segment_len: GRASP_SEGMENT_LEN,
         segments,
         labels,
-        class_names: GRASP_NAMES.iter().map(|s| s.to_string()).collect(),
+        class_names: GRASP_NAMES
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
     }
 }
 

@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn ar1_darkens_alternating_signal() {
-        let mut sig: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut sig: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let raw_energy: f64 = sig.iter().map(|v| v * v).sum();
         ar1_filter(&mut sig, 0.9);
         let filt_energy: f64 = sig.iter().map(|v| v * v).sum();

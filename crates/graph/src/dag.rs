@@ -83,9 +83,8 @@ impl WeightedDag {
                 indegree[v] += 1;
             }
         }
-        let mut queue: std::collections::VecDeque<usize> = (0..n)
-            .filter(|&v| indegree[v] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&v| indegree[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -130,6 +129,8 @@ impl WeightedDag {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
 
     #[test]

@@ -118,7 +118,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "node out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "node out of range"
+        );
         assert_ne!(s, t, "source equals sink");
         let n = self.adj.len();
         let mut flow = 0.0f64;

@@ -128,7 +128,10 @@ impl CellUnit {
     ///
     /// Panics if `elapsed_cycles` is zero or less than the active count.
     pub fn duty_cycle(&self, elapsed_cycles: u64) -> f64 {
-        assert!(elapsed_cycles >= self.active_cycles.max(1), "bad elapsed count");
+        assert!(
+            elapsed_cycles >= self.active_cycles.max(1),
+            "bad elapsed count"
+        );
         self.active_cycles as f64 / elapsed_cycles as f64
     }
 

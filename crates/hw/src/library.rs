@@ -173,8 +173,7 @@ impl CellCostModel {
                 let issue = ops.total() - ops.exp + ops.exp * exp_latency;
                 let cycles = issue + self.pipeline_depth;
                 let depth_factor = self.dominant_latency(ops).min(16);
-                let structure =
-                    1.0 + self.pipeline_overhead_per_latency * depth_factor as f64;
+                let structure = 1.0 + self.pipeline_overhead_per_latency * depth_factor as f64;
                 let static_pj = self.static_pj_per_cycle * cycles as f64 * structure;
                 let regs = self.pipeline_reg_pj * ops.total() as f64;
                 (cycles, static_pj, regs, self.glitch[2])
@@ -333,8 +332,12 @@ mod tests {
     #[test]
     fn std_reuse_saves_energy() {
         let m = model();
-        let full = m.best_mode(&feature(FeatureKind::Std, 128, false), ProcessNode::N90).1;
-        let reused = m.best_mode(&feature(FeatureKind::Std, 128, true), ProcessNode::N90).1;
+        let full = m
+            .best_mode(&feature(FeatureKind::Std, 128, false), ProcessNode::N90)
+            .1;
+        let reused = m
+            .best_mode(&feature(FeatureKind::Std, 128, true), ProcessNode::N90)
+            .1;
         assert!(
             reused.energy_pj < full.energy_pj / 10.0,
             "reused {} vs full {}",
@@ -369,7 +372,9 @@ mod tests {
             .iter()
             .map(|&k| {
                 let reuse = k == FeatureKind::Std;
-                m.best_mode(&feature(k, 128, reuse), ProcessNode::N90).1.energy_pj
+                m.best_mode(&feature(k, 128, reuse), ProcessNode::N90)
+                    .1
+                    .energy_pj
             })
             .sum();
         assert!(

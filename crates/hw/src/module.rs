@@ -106,7 +106,10 @@ impl ModuleKind {
     pub fn lanes(&self) -> u64 {
         match *self {
             ModuleKind::Feature {
-                input_len, reuses_var, kind, ..
+                input_len,
+                reuses_var,
+                kind,
+                ..
             } => {
                 if reuses_var && kind == FeatureKind::Std {
                     1 // the reused Std cell is a lone square root

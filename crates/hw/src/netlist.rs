@@ -33,7 +33,13 @@ fn unit_name(op: Op) -> &'static str {
 fn ident(label: &str) -> String {
     let mut out: String = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.starts_with(|c: char| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -71,8 +77,7 @@ pub fn emit_cell_verilog(
         num_inputs - 1
     ));
     v.push_str(&format!(
-        "    input  wire [{}*WIDTH-1:0]   data_in,\n",
-        num_inputs
+        "    input  wire [{num_inputs}*WIDTH-1:0]   data_in,\n"
     ));
     v.push_str("    output wire [WIDTH-1:0]     data_out,\n");
     v.push_str("    output wire                 ack\n");
@@ -100,9 +105,7 @@ pub fn emit_cell_verilog(
             AluMode::Parallel => lanes.min(count),
             _ => 1,
         };
-        v.push_str(&format!(
-            "    //   {count} × {op:?} ops per event\n"
-        ));
+        v.push_str(&format!("    //   {count} × {op:?} ops per event\n"));
         for i in 0..n.min(4) {
             v.push_str(&format!(
                 "    {} #(.WIDTH(WIDTH)) u_{}_{i} (.clk(clk));\n",
@@ -154,7 +157,15 @@ mod tests {
 
     #[test]
     fn pipeline_mode_adds_stage_registers() {
-        let v = emit_cell_verilog("DWT-L1", &ModuleKind::DwtLevel { input_len: 128, taps: 2 }, AluMode::Pipeline, 1);
+        let v = emit_cell_verilog(
+            "DWT-L1",
+            &ModuleKind::DwtLevel {
+                input_len: 128,
+                taps: 2,
+            },
+            AluMode::Pipeline,
+            1,
+        );
         assert!(v.contains("xpro_pipe_regs"));
     }
 

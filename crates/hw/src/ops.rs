@@ -33,7 +33,15 @@ pub enum Op {
 
 impl Op {
     /// All operation classes.
-    pub const ALL: [Op; 7] = [Op::Add, Op::Cmp, Op::Mul, Op::Div, Op::Sqrt, Op::Exp, Op::Mem];
+    pub const ALL: [Op; 7] = [
+        Op::Add,
+        Op::Cmp,
+        Op::Mul,
+        Op::Div,
+        Op::Sqrt,
+        Op::Exp,
+        Op::Mem,
+    ];
 }
 
 /// Operation counts of one functional cell per event (one segment analysis).

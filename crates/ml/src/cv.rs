@@ -132,7 +132,10 @@ mod tests {
     fn split_is_deterministic_per_seed() {
         let l = labels(20, 20);
         assert_eq!(stratified_split(&l, 0.75, 9), stratified_split(&l, 0.75, 9));
-        assert_ne!(stratified_split(&l, 0.75, 9), stratified_split(&l, 0.75, 10));
+        assert_ne!(
+            stratified_split(&l, 0.75, 9),
+            stratified_split(&l, 0.75, 10)
+        );
     }
 
     #[test]

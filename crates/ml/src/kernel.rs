@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn poly_matches_closed_form() {
-        let k = Kernel::Poly { degree: 2, coef0: 1.0 };
+        let k = Kernel::Poly {
+            degree: 2,
+            coef0: 1.0,
+        };
         assert_eq!(k.eval(&[1.0, 1.0], &[1.0, 1.0]), 9.0); // (2+1)^2
     }
 
@@ -106,7 +109,11 @@ mod tests {
     fn only_rbf_needs_exp() {
         assert!(Kernel::Rbf { gamma: 1.0 }.needs_exp_unit());
         assert!(!Kernel::Linear.needs_exp_unit());
-        assert!(!Kernel::Poly { degree: 3, coef0: 0.0 }.needs_exp_unit());
+        assert!(!Kernel::Poly {
+            degree: 3,
+            coef0: 0.0
+        }
+        .needs_exp_unit());
     }
 
     #[test]

@@ -81,9 +81,9 @@ impl Matrix {
     pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "vector length mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * v[r];
+        for (r, &vr) in v.iter().enumerate() {
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += self.get(r, c) * vr;
             }
         }
         out
@@ -97,12 +97,12 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for c in 0..self.cols {
-                acc += self.get(r, c) * v[c];
+            for (c, &vc) in v.iter().enumerate() {
+                acc += self.get(r, c) * vc;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -175,8 +175,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
     let mut x = vec![0.0; n];
     for r in (0..n).rev() {
         let mut acc = rhs[r];
-        for c in (r + 1)..n {
-            acc -= m.get(r, c) * x[c];
+        for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+            acc -= m.get(r, c) * xc;
         }
         x[r] = acc / m.get(r, r);
     }
@@ -209,6 +209,8 @@ pub fn least_squares(a: &Matrix, b: &[f64], lambda: f64) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
 
     #[test]

@@ -8,11 +8,7 @@
 pub fn accuracy(predicted: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     assert!(!predicted.is_empty(), "no predictions");
-    let correct = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     correct as f64 / predicted.len() as f64
 }
 

@@ -140,7 +140,7 @@ impl OneVsRestModel {
     pub fn used_features(&self) -> BTreeSet<usize> {
         self.models
             .iter()
-            .flat_map(|m| m.used_features())
+            .flat_map(super::subspace::RandomSubspaceModel::used_features)
             .collect()
     }
 
@@ -153,6 +153,8 @@ impl OneVsRestModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -153,7 +153,7 @@ impl RandomSubspaceModel {
         }
         let per_base = cfg.features_per_base.min(dim);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let folds = stratified_k_fold(ys, cfg.folds.max(2), cfg.seed ^ 0x00f0_1d5);
+        let folds = stratified_k_fold(ys, cfg.folds.max(2), cfg.seed ^ 0x000f_01d5);
 
         // Draw candidate subsets.
         let all_features: Vec<usize> = (0..dim).collect();
@@ -291,10 +291,9 @@ fn cv_votes(
             .into_iter()
             .map(|x| project(&x, subset))
             .collect();
-        let train_y = gather(&ys.to_vec(), &train_idx);
-        let svm = match Svm::train(&train_x, &train_y, svm_cfg) {
-            Ok(svm) => svm,
-            Err(_) => continue,
+        let train_y = gather(ys, &train_idx);
+        let Ok(svm) = Svm::train(&train_x, &train_y, svm_cfg) else {
+            continue;
         };
         for &i in fold {
             let vote = svm.predict(&project(&xs[i], subset));
@@ -318,6 +317,8 @@ fn project(features: &[f64], indices: &[usize]) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use rand::Rng;
 
@@ -367,7 +368,11 @@ mod tests {
     fn survivors_are_sorted_by_validation_accuracy() {
         let (xs, ys) = sparse_informative(100, 3);
         let model = RandomSubspaceModel::train(&xs, &ys, &quick_cfg()).unwrap();
-        let accs: Vec<f64> = model.bases().iter().map(|b| b.validation_accuracy).collect();
+        let accs: Vec<f64> = model
+            .bases()
+            .iter()
+            .map(|b| b.validation_accuracy)
+            .collect();
         for pair in accs.windows(2) {
             assert!(pair[0] >= pair[1], "accs {accs:?}");
         }

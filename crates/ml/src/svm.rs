@@ -201,10 +201,12 @@ impl Svm {
                 alpha[i] = ai_new;
                 alpha[j] = aj_new;
                 // Update bias.
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - ys[i] * (ai_new - ai_old) * kij(i, i)
                     - ys[j] * (aj_new - aj_old) * kij(i, j);
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - ys[i] * (ai_new - ai_old) * kij(i, j)
                     - ys[j] * (aj_new - aj_old) * kij(j, j);
                 b = if 0.0 < ai_new && ai_new < cfg.c {
@@ -343,6 +345,8 @@ impl Svm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use rand::Rng;
 

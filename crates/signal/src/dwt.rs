@@ -202,8 +202,16 @@ pub fn dwt_multilevel(signal: &[f64], levels: usize, wavelet: Wavelet) -> DwtDec
 /// Panics if `signal` is empty.
 pub fn dwt_single_q16(signal: &[Q16], wavelet: Wavelet) -> (Vec<Q16>, Vec<Q16>) {
     assert!(!signal.is_empty(), "dwt of an empty signal");
-    let lo: Vec<Q16> = wavelet.lowpass().iter().map(|&c| Q16::from_f64(c)).collect();
-    let hi: Vec<Q16> = wavelet.highpass().iter().map(|&c| Q16::from_f64(c)).collect();
+    let lo: Vec<Q16> = wavelet
+        .lowpass()
+        .iter()
+        .map(|&c| Q16::from_f64(c))
+        .collect();
+    let hi: Vec<Q16> = wavelet
+        .highpass()
+        .iter()
+        .map(|&c| Q16::from_f64(c))
+        .collect();
     let n = signal.len();
     let half = n.div_ceil(2);
     let mut approx = Vec::with_capacity(half);
@@ -306,10 +314,7 @@ mod tests {
                 .chain(level.detail.iter())
                 .map(|x| x * x)
                 .sum();
-            assert!(
-                (e_in - e_out).abs() < 1e-9,
-                "{wavelet}: {e_in} vs {e_out}"
-            );
+            assert!((e_in - e_out).abs() < 1e-9, "{wavelet}: {e_in} vs {e_out}");
         }
     }
 

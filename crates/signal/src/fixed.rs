@@ -257,16 +257,31 @@ fn clamp_i64(v: i64) -> i32 {
 }
 
 /// Multiplies two Q16.16 numbers held in i64, with rounding.
+///
+/// Unlike [`Q16::saturating_mul`] this raw helper has no rails: operands
+/// must stay within the extended 32-bit datapath range or the wide product
+/// wraps `i64` silently in release builds.
 #[inline]
 fn mul_q(a: i64, b: i64) -> i64 {
+    debug_assert!(
+        a.unsigned_abs() < 1 << 31 && b.unsigned_abs() < 1 << 31,
+        "mul_q operand outside the extended datapath range: {a} * {b}"
+    );
     let wide = a * b;
     (wide + (1 << (FRAC_BITS - 1))) >> FRAC_BITS
 }
 
 /// Division rounded to the nearest integer (ties away from zero).
+///
+/// The pre-division bias `a ± b/2` is unguarded raw arithmetic: it wraps
+/// silently in release builds if `a` sits within `b/2` of the `i64` rails.
 #[inline]
 fn div_round_nearest(a: i64, b: i64) -> i64 {
-    debug_assert!(b > 0);
+    debug_assert!(b > 0, "divisor must be positive: {b}");
+    debug_assert!(
+        a.checked_add(b / 2).is_some() && a.checked_sub(b / 2).is_some(),
+        "div_round_nearest bias would wrap: {a} / {b}"
+    );
     if a >= 0 {
         (a + b / 2) / b
     } else {
@@ -409,7 +424,10 @@ mod tests {
             // Compare against the exact product of the *quantized* inputs;
             // the multiply itself introduces at most one ulp of rounding.
             let want = qa.to_f64() * qb.to_f64();
-            assert!((got - want).abs() <= 1.0 / SCALE as f64, "{a} * {b} = {got}");
+            assert!(
+                (got - want).abs() <= 1.0 / SCALE as f64,
+                "{a} * {b} = {got}"
+            );
         }
     }
 

@@ -301,9 +301,7 @@ mod tests {
     #[test]
     fn fixed_point_tracks_float_on_normalized_data() {
         // Values in [-1, 1], the range cells see after normalization (§4.4).
-        let w: Vec<f64> = (0..64)
-            .map(|i| ((i as f64) * 0.37).sin() * 0.8)
-            .collect();
+        let w: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.37).sin() * 0.8).collect();
         let wq: Vec<Q16> = w.iter().map(|&v| Q16::from_f64(v)).collect();
         for kind in [
             FeatureKind::Max,

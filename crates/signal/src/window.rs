@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn fit_length_pads_with_last_sample() {
-        assert_eq!(fit_length(&[1.0, 2.0, 3.0], 5), vec![1.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(
+            fit_length(&[1.0, 2.0, 3.0], 5),
+            vec![1.0, 2.0, 3.0, 3.0, 3.0]
+        );
     }
 
     #[test]

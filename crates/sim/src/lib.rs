@@ -274,6 +274,8 @@ fn simulate_event_at(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use xpro_core::cellgraph::PortRef;
     use xpro_core::generator::{Engine, XProGenerator};
@@ -380,7 +382,11 @@ mod tests {
         let inst = tiny_instance(1);
         let p = xpro_core::Partition::all_sensor(inst.num_cells());
         let trace = simulate_event(&inst, &p);
-        assert!(trace.overlap_factor() > 1.2, "overlap {}", trace.overlap_factor());
+        assert!(
+            trace.overlap_factor() > 1.2,
+            "overlap {}",
+            trace.overlap_factor()
+        );
     }
 
     #[test]

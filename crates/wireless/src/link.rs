@@ -139,8 +139,8 @@ impl Link {
 
 #[cfg(test)]
 mod tests {
-    use crate::frame::HEADER_BITS;
     use super::*;
+    use crate::frame::HEADER_BITS;
 
     fn ideal_link() -> Link {
         Link::new(TransceiverModel::model2(), LinkConfig::ideal())
@@ -165,7 +165,10 @@ mod tests {
         assert_eq!(frames.len(), 3); // 2048 + 2048 + 904
         assert_eq!(frames[0].payload_bits(), 2048);
         assert_eq!(frames[2].payload_bits(), 904);
-        let total: u64 = frames.iter().map(|f| f.payload_bits()).sum();
+        let total: u64 = frames
+            .iter()
+            .map(super::super::frame::Frame::payload_bits)
+            .sum();
         assert_eq!(total, 5000);
     }
 

@@ -38,7 +38,11 @@ fn binary_node(case: CaseId, seed: u64) -> Result<XProInstance, Box<dyn std::err
         p.test_accuracy() * 100.0
     );
     let len = p.segment_len();
-    Ok(XProInstance::new(p.into_built(), SystemConfig::default(), len))
+    Ok(XProInstance::new(
+        p.into_built(),
+        SystemConfig::default(),
+        len,
+    ))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The EMG armband classifies four grasps (multi-class extension).
     let grasp_data = generate_grasps(240, 3);
-    let grasp =
-        MulticlassPipeline::train(&grasp_data, &subspace(), &BuildOptions::default(), 3)?;
+    let grasp = MulticlassPipeline::train(&grasp_data, &subspace(), &BuildOptions::default(), 3)?;
     println!(
         "  grasps: {} cells ({} bases across 4 classes), accuracy {:.0}%",
         grasp.built().graph.len(),
@@ -62,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bsn = BsnSystem::new();
     bsn.add_node(ecg).add_node(eeg).add_node(emg);
 
-    println!("\n{:<18} {:>16} {:>14} {:>12} {:>12}", "engine", "weakest sensor", "aggregator", "channel", "fits");
+    println!(
+        "\n{:<18} {:>16} {:>14} {:>12} {:>12}",
+        "engine", "weakest sensor", "aggregator", "channel", "fits"
+    );
     for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
         let eval = bsn.evaluate(engine);
         println!(

@@ -45,11 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 radio,
                 ..SystemConfig::default()
             };
-            let instance = XProInstance::new(
-                pipeline.built().clone(),
-                config,
-                pipeline.segment_len(),
-            );
+            let instance =
+                XProInstance::new(pipeline.built().clone(), config, pipeline.segment_len());
             let generator = XProGenerator::new(&instance);
             let cut = generator.partition_for(Engine::CrossEnd);
             let c = generator.evaluate_engine(Engine::CrossEnd);

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cmp = EngineComparison::evaluate("C1", &instance);
-    println!("\n{:<22} {:>12} {:>12} {:>12}", "engine", "energy/event", "delay", "battery");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>12}",
+        "engine", "energy/event", "delay", "battery"
+    );
     for engine in Engine::ALL {
         let e = cmp.of(engine);
         println!(

@@ -1,0 +1,217 @@
+//! `analyze` — static range & overflow report for the fixed-point cell
+//! dataflow.
+//!
+//! By default the tool analyzes the *generic framework* graph (full DWT
+//! chain, every feature on every domain, an RBF SVM ensemble) over the
+//! normalized `[-1, 1]` input range and prints a per-cell verdict table.
+//! Input bounds can instead be taken from a Table-1 dataset's metadata
+//! (`--case`), widened explicitly (`--lo/--hi/--scale`), and the analysis
+//! can run against a trained pipeline's graph rather than the framework
+//! superset (`--trained`).
+//!
+//! Exit status: 0 on success, 1 on bad usage, 2 if `--fail-on-overflow`
+//! was given and some cell may overflow — the mode CI uses to gate merges
+//! on the default configuration staying provably in range.
+
+use std::process::ExitCode;
+use xpro::analyze::SignalBounds;
+use xpro::core::builder::{build_full_cell_graph, BuildOptions};
+use xpro::core::config::SystemConfig;
+use xpro::core::generator::XProGenerator;
+use xpro::core::instance::XProInstance;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+const USAGE: &str = "\
+usage: analyze [options]
+
+Static range & overflow analysis of the Q16.16 functional-cell dataflow.
+
+options:
+  --case <SYM>          take input bounds from a Table-1 dataset
+                        (C1, C2, E1, E2, M1, M2)
+  --segments <N>        dataset size for --case (default 80)
+  --lo <X> --hi <Y>     explicit input bounds (default -1 1)
+  --scale <S>           shorthand for --lo -S --hi S
+  --bases <N>           SVM bases in the framework graph (default 4)
+  --sv <N>              support vectors per base (default 40)
+  --trained             with --case: train the pipeline on the dataset and
+                        analyze the trained graph instead of the framework
+                        superset (also reports the generator's verdict)
+  --fail-on-overflow    exit with status 2 if any cell may overflow
+  -h, --help            this message";
+
+struct Args {
+    case: Option<CaseId>,
+    segments: usize,
+    lo: Option<f64>,
+    hi: Option<f64>,
+    scale: Option<f64>,
+    bases: usize,
+    sv: usize,
+    trained: bool,
+    fail_on_overflow: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        case: None,
+        segments: 80,
+        lo: None,
+        hi: None,
+        scale: None,
+        bases: 4,
+        sv: 40,
+        trained: false,
+        fail_on_overflow: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--case" => {
+                let sym = value("--case")?;
+                args.case = Some(
+                    CaseId::ALL
+                        .into_iter()
+                        .find(|c| c.symbol().eq_ignore_ascii_case(&sym))
+                        .ok_or_else(|| format!("unknown case {sym:?}"))?,
+                );
+            }
+            "--segments" => {
+                args.segments = value("--segments")?
+                    .parse()
+                    .map_err(|e| format!("--segments: {e}"))?;
+            }
+            "--lo" => args.lo = Some(value("--lo")?.parse().map_err(|e| format!("--lo: {e}"))?),
+            "--hi" => args.hi = Some(value("--hi")?.parse().map_err(|e| format!("--hi: {e}"))?),
+            "--scale" => {
+                args.scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                );
+            }
+            "--bases" => {
+                args.bases = value("--bases")?
+                    .parse()
+                    .map_err(|e| format!("--bases: {e}"))?;
+            }
+            "--sv" => args.sv = value("--sv")?.parse().map_err(|e| format!("--sv: {e}"))?,
+            "--trained" => args.trained = true,
+            "--fail-on-overflow" => args.fail_on_overflow = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.trained && args.case.is_none() {
+        return Err("--trained requires --case".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    // Resolve input bounds: explicit flags beat dataset metadata beats the
+    // normalized default.
+    let dataset = args
+        .case
+        .map(|case| generate_case_sized(case, args.segments, 42));
+    let mut bounds = match &dataset {
+        Some(data) => {
+            let (lo, hi) = data.signal_range();
+            println!(
+                "dataset {} ({}): {} segments of {} samples, range [{lo:.3}, {hi:.3}]",
+                data.symbol,
+                data.name,
+                data.len(),
+                data.segment_len
+            );
+            SignalBounds::new(lo, hi)
+        }
+        None => SignalBounds::default(),
+    };
+    if let Some(s) = args.scale {
+        if s <= 0.0 {
+            return Err("--scale must be positive".into());
+        }
+        bounds = SignalBounds::new(-s, s);
+    }
+    if args.lo.is_some() || args.hi.is_some() {
+        let (lo, hi) = (args.lo.unwrap_or(bounds.lo), args.hi.unwrap_or(bounds.hi));
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(format!("invalid bounds: --lo {lo} --hi {hi}"));
+        }
+        bounds = SignalBounds::new(lo, hi);
+    }
+
+    let (built, segment_len, label) = if args.trained {
+        let data = dataset.as_ref().expect("--trained requires --case");
+        let cfg = PipelineConfig {
+            subspace: SubspaceConfig {
+                candidates: 10,
+                keep_fraction: 0.3,
+                min_keep: 3,
+                folds: 2,
+                ..SubspaceConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let pipeline =
+            XProPipeline::train(data, &cfg).map_err(|e| format!("training failed: {e}"))?;
+        let len = pipeline.segment_len();
+        (pipeline.into_built(), len, "trained pipeline graph")
+    } else {
+        (
+            build_full_cell_graph(&BuildOptions::default(), args.bases, args.sv),
+            128,
+            "generic framework graph",
+        )
+    };
+
+    println!("analyzing {label} ({} cells)", built.graph.len());
+    let instance = XProInstance::with_bounds(built, SystemConfig::default(), segment_len, bounds);
+    let report = instance.analysis();
+    println!("{report}");
+
+    if args.trained {
+        let generator = XProGenerator::new(&instance);
+        let cut = generator.generate();
+        println!(
+            "generator: cross-end cut maps {} of {} cells to the sensor; numerically valid: {}",
+            cut.sensor_count(),
+            instance.num_cells(),
+            generator.numerically_valid(&cut)
+        );
+    }
+
+    Ok(report.is_overflow_free())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(overflow_free) => {
+            if !overflow_free && args.fail_on_overflow {
+                eprintln!("error: some cells may overflow (see report above)");
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

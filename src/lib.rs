@@ -56,6 +56,7 @@
 //! # }
 //! ```
 
+pub use xpro_analyze as analyze;
 pub use xpro_battery as battery;
 pub use xpro_core as core;
 pub use xpro_data as data;

@@ -42,7 +42,11 @@ fn ensembles_survive_candidate_selection() {
     assert!(bases.len() >= 3);
     for base in bases {
         assert_eq!(base.feature_indices.len(), 12); // §4.4: 12 per base
-        assert!(base.validation_accuracy > 0.5, "{}", base.validation_accuracy);
+        assert!(
+            base.validation_accuracy > 0.5,
+            "{}",
+            base.validation_accuracy
+        );
         assert!(base.svm.num_support_vectors() > 0);
     }
 }
@@ -66,5 +70,8 @@ fn cell_count_tracks_training_not_the_full_feature_set() {
     let p = XProPipeline::train(&data, &quick_cfg(6)).expect("trains");
     let used = p.model().used_features().len();
     assert_eq!(p.built().feature_cells.len(), used);
-    assert!(used < 56, "all 56 features in use — selection had no effect");
+    assert!(
+        used < 56,
+        "all 56 features in use — selection had no effect"
+    );
 }

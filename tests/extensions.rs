@@ -124,7 +124,11 @@ fn transient_battery_survives_cross_end_duty_cycle() {
         cell.step(0.005, 0.5e-3); // burst
         cell.step(0.0, 60e-3); // sleep
     }
-    assert!(cell.terminal_v(0.005) > 3.5, "sagged to {}", cell.terminal_v(0.005));
+    assert!(
+        cell.terminal_v(0.005) > 3.5,
+        "sagged to {}",
+        cell.terminal_v(0.005)
+    );
     assert!(cell.soc() > 0.99);
 }
 

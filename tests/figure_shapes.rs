@@ -164,8 +164,7 @@ fn fig13_aggregator_overhead() {
     let p = pipeline(CaseId::C2);
     let inst = instance_with(&p, SystemConfig::default());
     let cmp = EngineComparison::evaluate("C2", &inst);
-    let ratio =
-        cmp.of(Engine::CrossEnd).aggregator_pj / cmp.of(Engine::InAggregator).aggregator_pj;
+    let ratio = cmp.of(Engine::CrossEnd).aggregator_pj / cmp.of(Engine::InAggregator).aggregator_pj;
     assert!(ratio < 0.8, "aggregator overhead ratio {ratio}");
     // And the aggregator battery comfortably outlives the sensor battery
     // (§5.6: the aggregator side is not the bottleneck).

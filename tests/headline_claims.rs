@@ -71,7 +71,10 @@ fn all_engines_meet_real_time_bounds() {
     for engine in Engine::ALL {
         let d = cmp.of(engine).delay.total_s();
         assert!(d < 8.0e-3, "{engine}: delay {d}");
-        assert!(d < event_period, "{engine}: not real-time ({d} >= {event_period})");
+        assert!(
+            d < event_period,
+            "{engine}: not real-time ({d} >= {event_period})"
+        );
     }
 }
 

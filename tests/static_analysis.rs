@@ -1,0 +1,79 @@
+//! End-to-end checks of the static range analysis through the `xpro`
+//! facade: the default full framework is proven overflow-free on
+//! normalized input, out-of-range input is demonstrably flagged, and the
+//! Automatic XPro Generator refuses to place flagged cells on the sensor.
+
+use xpro::analyze::{SignalBounds, Verdict};
+use xpro::core::config::SystemConfig;
+use xpro::core::instance::XProInstance;
+use xpro::core::XProGenerator;
+use xpro::core::{build_full_cell_graph, BuildOptions};
+use xpro::data::{generate_case_sized, CaseId};
+
+fn full_instance(bounds: SignalBounds) -> XProInstance {
+    let built = build_full_cell_graph(&BuildOptions::default(), 2, 10);
+    XProInstance::with_bounds(built, SystemConfig::default(), 100, bounds)
+}
+
+#[test]
+fn default_framework_is_proven_overflow_free() {
+    let instance = full_instance(SignalBounds::default());
+    let report = instance.analysis();
+    assert!(report.is_overflow_free(), "{report}");
+    // Every cell is individually safe to place on the sensor.
+    assert!((0..instance.num_cells()).all(|c| instance.cell_numerically_safe(c)));
+}
+
+#[test]
+fn out_of_range_input_is_flagged() {
+    let instance = full_instance(SignalBounds::new(-4.0, 4.0));
+    let report = instance.analysis();
+    assert!(!report.is_overflow_free(), "{report}");
+    let flagged: Vec<usize> = (0..instance.num_cells())
+        .filter(|&c| !instance.cell_numerically_safe(c))
+        .collect();
+    assert!(!flagged.is_empty());
+    for &cell in &flagged {
+        assert!(
+            matches!(instance.cell_verdict(cell), Verdict::MayOverflow { bound, .. } if bound > 32_768.0)
+        );
+    }
+}
+
+#[test]
+fn generator_keeps_flagged_cells_off_the_sensor() {
+    let instance = full_instance(SignalBounds::new(-4.0, 4.0));
+    let generator = XProGenerator::new(&instance);
+    let partition = generator.generate();
+    assert!(generator.numerically_valid(&partition));
+    for cell in (0..instance.num_cells()).filter(|&c| !instance.cell_numerically_safe(c)) {
+        assert!(!partition.in_sensor[cell], "flagged cell {cell} on sensor");
+    }
+}
+
+#[test]
+fn dataset_bounds_feed_the_analyzer() {
+    // C1 (TwoLeadECG) is near-normalized: the generic framework is
+    // deployable on its real amplitude range.
+    let data = generate_case_sized(CaseId::C1, 40, 7);
+    let (lo, hi) = data.signal_range();
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+    assert!(instanceable(lo, hi), "C1 range [{lo}, {hi}] should be safe");
+
+    // M2 (EMGHandTip) swings past ±2.5, which genuinely endangers the
+    // higher standardized moments — the analyzer must say so rather than
+    // wave the design through.
+    let data = generate_case_sized(CaseId::M2, 40, 7);
+    let (lo, hi) = data.signal_range();
+    assert!(hi > 2.0, "M2 range [{lo}, {hi}] expected to be wide");
+    assert!(
+        !instanceable(lo, hi),
+        "M2 range [{lo}, {hi}] should be flagged"
+    );
+}
+
+fn instanceable(lo: f64, hi: f64) -> bool {
+    full_instance(SignalBounds::new(lo, hi))
+        .analysis()
+        .is_overflow_free()
+}
