@@ -66,7 +66,7 @@ fn synthetic_instance(features: usize, bases: usize) -> XProInstance {
         svm_cells,
         fusion_cell,
     };
-    XProInstance::new(built, SystemConfig::default(), 128)
+    XProInstance::try_new(built, SystemConfig::default(), 128).expect("valid instance")
 }
 
 fn bench_generator(c: &mut Criterion) {
@@ -83,7 +83,7 @@ fn bench_generator(c: &mut Criterion) {
             &instance,
             |b, inst| {
                 let generator = XProGenerator::new(inst);
-                b.iter(|| generator.generate());
+                b.iter(|| generator.generate().expect("partition"));
             },
         );
     }

@@ -15,23 +15,26 @@ use xpro_signal::stats::all_features_f64;
 
 fn bench_pipeline(c: &mut Criterion) {
     let data = generate_case_sized(CaseId::E1, 160, 3);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 12,
             keep_fraction: 0.3,
             min_keep: 4,
             folds: 2,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()
+        .expect("valid config");
     let pipeline = XProPipeline::train(&data, &cfg).expect("trains");
-    let instance = XProInstance::new(
+    let instance = XProInstance::try_new(
         pipeline.built().clone(),
         SystemConfig::default(),
         pipeline.segment_len(),
-    );
-    let cut = XProGenerator::new(&instance).partition_for(Engine::CrossEnd);
+    )
+    .expect("valid instance");
+    let cut = XProGenerator::new(&instance)
+        .partition_for(Engine::CrossEnd)
+        .expect("partition");
     let segment = data.segments[0].clone();
 
     c.bench_function("dwt_5level_128", |b| {

@@ -1,0 +1,146 @@
+//! Criterion bench for the streaming executor: wall-clock cost of
+//! simulating a fleet through the discrete-event runtime, at zero loss and
+//! under fault injection. Besides the ns/iter report, writes
+//! `BENCH_runtime.json` at the workspace root (virtual-seconds-per-wall-
+//! second and segment throughput per scenario) for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+use xpro_core::{Partition, XProGenerator};
+use xpro_data::{generate_case_sized, CaseId};
+use xpro_ml::SubspaceConfig;
+use xpro_runtime::{Executor, RuntimeConfig};
+
+fn trained_instance() -> XProInstance {
+    let data = generate_case_sized(CaseId::C1, 60, 42);
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        })
+        .build()
+        .expect("valid config");
+    let pipeline = XProPipeline::train(&data, &cfg).expect("trains");
+    let segment_len = pipeline.segment_len();
+    XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)
+        .expect("valid instance")
+}
+
+fn run_config(nodes: usize, drop_rate: f64, virtual_s: f64) -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .nodes(nodes)
+        .duration_s(virtual_s)
+        .drop_rate(drop_rate)
+        .seed(7)
+        .build()
+        .expect("valid config")
+}
+
+/// One measured scenario for `BENCH_runtime.json`.
+struct Scenario {
+    name: &'static str,
+    nodes: usize,
+    drop_rate: f64,
+    virtual_s: f64,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "lossless_1node",
+        nodes: 1,
+        drop_rate: 0.0,
+        virtual_s: 10.0,
+    },
+    Scenario {
+        name: "fleet4_drop10",
+        nodes: 4,
+        drop_rate: 0.1,
+        virtual_s: 10.0,
+    },
+    Scenario {
+        name: "fleet16_drop30",
+        nodes: 16,
+        drop_rate: 0.3,
+        virtual_s: 10.0,
+    },
+];
+
+/// Times each scenario directly (the vendored criterion stand-in keeps no
+/// machine-readable output) and writes the JSON trajectory file.
+fn write_trajectory(inst: &XProInstance, cut: &Partition) {
+    let mut entries = Vec::new();
+    for s in SCENARIOS {
+        let cfg = run_config(s.nodes, s.drop_rate, s.virtual_s);
+        // Warm-up run, then median of five timed runs.
+        let _ = Executor::new(inst, cut, cfg.clone())
+            .expect("executor")
+            .run();
+        let mut wall_ns = Vec::new();
+        let mut completed = 0u64;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let report = Executor::new(inst, cut, cfg.clone())
+                .expect("executor")
+                .run();
+            wall_ns.push(start.elapsed().as_nanos() as f64);
+            completed = report.total_completed();
+        }
+        wall_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = wall_ns[wall_ns.len() / 2];
+        entries.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"nodes\": {}, \"drop_rate\": {}, ",
+                "\"virtual_s\": {}, \"wall_ns_per_run\": {:.0}, ",
+                "\"segments_completed\": {}, \"segments_per_wall_s\": {:.0}, ",
+                "\"speedup_over_realtime\": {:.1}}}"
+            ),
+            s.name,
+            s.nodes,
+            s.drop_rate,
+            s.virtual_s,
+            median_ns,
+            completed,
+            completed as f64 / (median_ns * 1e-9),
+            s.virtual_s / (median_ns * 1e-9),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let inst = trained_instance();
+    let cut = XProGenerator::new(&inst).generate().expect("cross-end cut");
+
+    let mut group = c.benchmark_group("runtime_executor");
+    for s in SCENARIOS {
+        let cfg = run_config(s.nodes, s.drop_rate, 2.0);
+        group.bench_with_input(BenchmarkId::new("run", s.name), &cfg, |b, cfg| {
+            b.iter(|| {
+                Executor::new(&inst, &cut, cfg.clone())
+                    .expect("executor")
+                    .run()
+            });
+        });
+    }
+    group.finish();
+
+    write_trajectory(&inst, &cut);
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

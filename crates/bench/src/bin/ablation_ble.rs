@@ -34,10 +34,12 @@ fn main() {
     for radio in radios {
         let name = radio.name().to_string();
         let inst = t.instance(SystemConfig::with_radio(radio));
-        let cmp = EngineComparison::evaluate("E1", &inst);
+        let cmp = EngineComparison::evaluate("E1", &inst).expect("evaluates");
         let c = cmp.of(Engine::CrossEnd);
         let generator = xpro_core::XProGenerator::new(&inst);
-        let cut = generator.partition_for(Engine::CrossEnd);
+        let cut = generator
+            .partition_for(Engine::CrossEnd)
+            .expect("partition");
         rows.push(vec![
             name,
             fmt(cmp.of(Engine::InAggregator).sensor_battery_hours),

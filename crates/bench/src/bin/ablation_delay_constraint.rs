@@ -41,10 +41,14 @@ fn main() {
             )
         };
         let unconstrained = show(&generator.unconstrained_cut());
-        let constrained = show(&generator.delay_constrained_cut(limit));
-        let tight = match generator.try_delay_constrained_cut(limit * 0.8) {
-            Some(p) => show(&p),
-            None => ("-".to_string(), "infeasible".to_string()),
+        let constrained = show(
+            &generator
+                .delay_constrained_cut(limit)
+                .expect("default limit is feasible"),
+        );
+        let tight = match generator.delay_constrained_cut(limit * 0.8) {
+            Ok(p) => show(&p),
+            Err(_) => ("-".to_string(), "infeasible".to_string()),
         };
         rows.push(vec![
             t.case.symbol().to_string(),

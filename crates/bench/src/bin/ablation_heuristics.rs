@@ -32,7 +32,9 @@ fn main() {
         let inst = t.instance(SystemConfig::default());
         let generator = XProGenerator::new(&inst);
         let limit = generator.default_delay_limit();
-        let cut = evaluate(&inst, &generator.generate()).sensor.total_pj();
+        let cut = evaluate(&inst, &generator.generate().expect("partition"))
+            .sensor
+            .total_pj();
         let greedy = evaluate(&inst, &greedy_migration(&inst, limit))
             .sensor
             .total_pj();

@@ -11,7 +11,7 @@ use xpro_core::builder::BuildOptions;
 use xpro_core::config::SystemConfig;
 use xpro_core::generator::Engine;
 use xpro_core::instance::XProInstance;
-use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+use xpro_core::pipeline::XProPipeline;
 use xpro_core::report::EngineComparison;
 use xpro_data::CaseId;
 
@@ -33,17 +33,20 @@ fn main() {
         let data = harness_dataset(case, paper);
         let base_cfg = harness_pipeline_config();
         let eval = |reuse: bool| {
-            let cfg = PipelineConfig {
-                build: BuildOptions {
+            let cfg = base_cfg
+                .clone()
+                .into_builder()
+                .build_options(BuildOptions {
                     cell_reuse: reuse,
                     ..BuildOptions::default()
-                },
-                ..base_cfg.clone()
-            };
+                })
+                .build()
+                .expect("valid config");
             let p = XProPipeline::train(&data, &cfg).expect("trains");
             let inst =
-                XProInstance::new(p.built().clone(), SystemConfig::default(), p.segment_len());
-            EngineComparison::evaluate(case.symbol(), &inst)
+                XProInstance::try_new(p.built().clone(), SystemConfig::default(), p.segment_len())
+                    .expect("valid instance");
+            EngineComparison::evaluate(case.symbol(), &inst).expect("evaluates")
         };
         let with = eval(true);
         let without = eval(false);

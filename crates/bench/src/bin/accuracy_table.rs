@@ -30,7 +30,9 @@ fn main() {
         let bases = t.pipeline.model().bases();
         let svs: Vec<usize> = bases.iter().map(|b| b.svm.num_support_vectors()).collect();
         let inst = t.instance(SystemConfig::default());
-        let cut = XProGenerator::new(&inst).partition_for(Engine::CrossEnd);
+        let cut = XProGenerator::new(&inst)
+            .partition_for(Engine::CrossEnd)
+            .expect("partition");
         rows.push(vec![
             t.case.symbol().to_string(),
             fmt(t.pipeline.test_accuracy()),

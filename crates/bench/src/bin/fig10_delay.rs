@@ -32,7 +32,7 @@ fn main() {
     let mut red_s = Vec::new();
     for t in &cases {
         let inst = t.instance(SystemConfig::default());
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
             let d = cmp.of(engine).delay;
             rows.push(vec![

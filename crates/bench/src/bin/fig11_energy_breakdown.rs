@@ -26,7 +26,7 @@ fn main() {
     let mut save_c_over_a = Vec::new();
     for t in &cases {
         let inst = t.instance(SystemConfig::default());
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
             let e = cmp.of(engine).sensor;
             rows.push(vec![

@@ -31,7 +31,7 @@ fn main() {
     let mut cross_always_best = true;
     for t in &cases {
         let inst = t.instance(SystemConfig::default());
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         let base = cmp.of(Engine::InAggregator).sensor_battery_hours;
         let norm = |e: Engine| cmp.of(e).sensor_battery_hours / base;
         let cross = norm(Engine::CrossEnd);
@@ -41,7 +41,9 @@ fn main() {
             }
         }
         let generator = xpro_core::XProGenerator::new(&inst);
-        let cut = generator.partition_for(Engine::CrossEnd);
+        let cut = generator
+            .partition_for(Engine::CrossEnd)
+            .expect("partition");
         rows.push(vec![
             t.case.symbol().to_string(),
             fmt(norm(Engine::InAggregator)),

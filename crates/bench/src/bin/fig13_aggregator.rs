@@ -31,7 +31,7 @@ fn main() {
     let mut ratios = Vec::new();
     for t in &cases {
         let inst = t.instance(SystemConfig::default());
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         let a = cmp.of(Engine::InAggregator);
         let c = cmp.of(Engine::CrossEnd);
         ratios.push(c.aggregator_pj / a.aggregator_pj);

@@ -27,7 +27,7 @@ fn main() {
         let mut gains_s = Vec::new();
         for t in &cases {
             let inst = t.instance(SystemConfig::with_node(node));
-            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
             let base = cmp.of(Engine::InAggregator).sensor_battery_hours;
             let norm = |e: Engine| cmp.of(e).sensor_battery_hours / base;
             gains_a.push(cmp.lifetime_gain_over(Engine::InAggregator));

@@ -22,7 +22,7 @@ fn main() {
     let mut model1_agg_hours = std::collections::BTreeMap::new();
     for t in &cases {
         let inst = t.instance(SystemConfig::with_radio(TransceiverModel::model1()));
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         model1_agg_hours.insert(t.case, cmp.of(Engine::InAggregator).sensor_battery_hours);
     }
 
@@ -36,7 +36,7 @@ fn main() {
         let mut gains_s = Vec::new();
         for t in &cases {
             let inst = t.instance(SystemConfig::with_radio(radio.clone()));
-            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+            let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
             let base = model1_agg_hours[&t.case];
             let norm = |e: Engine| cmp.of(e).sensor_battery_hours / base;
             gains_a.push(cmp.lifetime_gain_over(Engine::InAggregator));

@@ -31,7 +31,7 @@ fn main() {
 
     for t in &cases {
         let inst = t.instance(SystemConfig::default());
-        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(t.case.symbol(), &inst).expect("evaluates");
         let a = cmp.of(Engine::InAggregator);
         let s = cmp.of(Engine::InSensor);
         let c = cmp.of(Engine::CrossEnd);

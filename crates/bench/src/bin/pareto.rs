@@ -30,8 +30,8 @@ fn main() {
     let mut rows = Vec::new();
     for fraction in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.5, 2.0] {
         let limit = default_limit * fraction;
-        match generator.try_delay_constrained_cut(limit) {
-            Some(p) => {
+        match generator.delay_constrained_cut(limit) {
+            Ok(p) => {
                 let e = evaluate(&inst, &p);
                 rows.push(vec![
                     format!("{:.2}ms ({fraction:.1}x)", limit * 1e3),
@@ -41,7 +41,7 @@ fn main() {
                     format!("{}/{}", p.sensor_count(), inst.num_cells()),
                 ]);
             }
-            None => rows.push(vec![
+            Err(_) => rows.push(vec![
                 format!("{:.2}ms ({fraction:.1}x)", limit * 1e3),
                 "no".into(),
                 "-".into(),

@@ -11,13 +11,15 @@ use xpro_core::config::SystemConfig;
 use xpro_core::generator::{Engine, XProGenerator};
 use xpro_core::partition::evaluate;
 use xpro_data::CaseId;
-use xpro_sim::{simulate_event, End};
+use xpro_runtime::trace::{simulate_event, End};
 
 fn main() {
     let t = train_case(CaseId::E1, paper_mode());
     let inst = t.instance(SystemConfig::default());
     let generator = XProGenerator::new(&inst);
-    let cut = generator.partition_for(Engine::CrossEnd);
+    let cut = generator
+        .partition_for(Engine::CrossEnd)
+        .expect("partition");
     let trace = simulate_event(&inst, &cut);
 
     println!("== Cross-end execution timeline, case E1 (times in µs) ==\n");

@@ -24,25 +24,25 @@ pub const HARNESS_SEED: u64 = 20170624; // ISCA'17 opening day
 
 /// The scaled-down training configuration used by default in the harness.
 pub fn harness_pipeline_config() -> PipelineConfig {
-    PipelineConfig {
-        subspace: SubspaceConfig {
+    PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 24,
             features_per_base: 12,
             keep_fraction: 0.25,
             min_keep: 4,
             folds: 3,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    }
+        })
+        .build()
+        .expect("harness config is valid")
 }
 
 /// The paper's full §4.4 training configuration.
 pub fn paper_pipeline_config() -> PipelineConfig {
-    PipelineConfig {
-        subspace: SubspaceConfig::paper(),
-        ..PipelineConfig::default()
-    }
+    PipelineConfig::builder()
+        .subspace(SubspaceConfig::paper())
+        .build()
+        .expect("paper config is valid")
 }
 
 /// Whether `--paper` was passed on the command line.
@@ -71,11 +71,12 @@ pub struct TrainedCase {
 impl TrainedCase {
     /// Prices this case's cell graph under a system configuration.
     pub fn instance(&self, config: SystemConfig) -> XProInstance {
-        XProInstance::new(
+        XProInstance::try_new(
             self.pipeline.built().clone(),
             config,
             self.pipeline.segment_len(),
         )
+        .expect("trained case prices under any valid system config")
     }
 }
 

@@ -45,6 +45,25 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
+    /// Starts a fluent builder seeded with the paper's default system.
+    ///
+    /// ```
+    /// use xpro_core::config::SystemConfig;
+    /// use xpro_hw::ProcessNode;
+    ///
+    /// let cfg = SystemConfig::builder()
+    ///     .node(ProcessNode::N45)
+    ///     .sampling_hz(1024.0)
+    ///     .build()?;
+    /// assert_eq!(cfg.node, ProcessNode::N45);
+    /// # Ok::<(), xpro_core::XProError>(())
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::default(),
+        }
+    }
+
     /// Convenience: the default system at a different process node.
     pub fn with_node(node: ProcessNode) -> Self {
         SystemConfig {
@@ -73,9 +92,102 @@ impl SystemConfig {
     }
 }
 
+/// Fluent builder for [`SystemConfig`]; validated once, at
+/// [`SystemConfigBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        SystemConfig::builder()
+    }
+}
+
+impl SystemConfigBuilder {
+    /// Functional-cell cost model (sensor hardware).
+    pub fn cost_model(mut self, cost_model: CellCostModel) -> Self {
+        self.cfg.cost_model = cost_model;
+        self
+    }
+
+    /// Sensor process technology.
+    pub fn node(mut self, node: ProcessNode) -> Self {
+        self.cfg.node = node;
+        self
+    }
+
+    /// Inter-end radio.
+    pub fn radio(mut self, radio: TransceiverModel) -> Self {
+        self.cfg.radio = radio;
+        self
+    }
+
+    /// Aggregator CPU model.
+    pub fn aggregator(mut self, aggregator: AggregatorModel) -> Self {
+        self.cfg.aggregator = aggregator;
+        self
+    }
+
+    /// Sensor-node battery.
+    pub fn sensor_battery(mut self, battery: BatteryModel) -> Self {
+        self.cfg.sensor_battery = battery;
+        self
+    }
+
+    /// Aggregator battery.
+    pub fn aggregator_battery(mut self, battery: BatteryModel) -> Self {
+        self.cfg.aggregator_battery = battery;
+        self
+    }
+
+    /// Biosignal sampling rate in Hz (must be positive and finite).
+    pub fn sampling_hz(mut self, hz: f64) -> Self {
+        self.cfg.sampling_hz = hz;
+        self
+    }
+
+    /// Validates the accumulated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::XProError::Config`] when the sampling rate is not a
+    /// positive finite number.
+    pub fn build(self) -> Result<SystemConfig, crate::XProError> {
+        if !(self.cfg.sampling_hz.is_finite() && self.cfg.sampling_hz > 0.0) {
+            return Err(crate::XProError::config(format!(
+                "sampling_hz must be positive and finite, got {}",
+                self.cfg.sampling_hz
+            )));
+        }
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
+
+    #[test]
+    fn builder_defaults_match_default_impl() {
+        assert_eq!(
+            SystemConfig::builder().build().unwrap(),
+            SystemConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_sampling_rate() {
+        assert!(SystemConfig::builder().sampling_hz(0.0).build().is_err());
+        assert!(SystemConfig::builder()
+            .sampling_hz(f64::NAN)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder().sampling_hz(-1.0).build().is_err());
+    }
 
     #[test]
     fn default_matches_paper_setup() {

@@ -16,6 +16,7 @@
 //! meets the bound. The two single-end designs are always candidates, so a
 //! feasible solution always exists — the same guarantee the paper gives.
 
+use crate::error::XProError;
 use crate::instance::XProInstance;
 use crate::partition::{evaluate, Evaluation, Partition};
 use crate::stgraph::min_cut_partition;
@@ -23,6 +24,7 @@ use xpro_hw::ModuleKind;
 
 /// The four engine designs compared throughout the paper's §5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
 pub enum Engine {
     /// Everything on the aggregator (state of the art "A").
     InAggregator,
@@ -80,19 +82,28 @@ impl<'a> XProGenerator<'a> {
     }
 
     /// The partition realizing a given engine design.
-    pub fn partition_for(&self, engine: Engine) -> Partition {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Partition`] when the cross-end generator finds
+    /// no feasible cut (cannot happen at the paper's default delay limit).
+    pub fn partition_for(&self, engine: Engine) -> Result<Partition, XProError> {
         let n = self.instance.num_cells();
-        match engine {
+        Ok(match engine {
             Engine::InAggregator => Partition::all_aggregator(n),
             Engine::InSensor => Partition::all_sensor(n),
             Engine::TrivialCut => self.trivial_cut(),
-            Engine::CrossEnd => self.generate(),
-        }
+            Engine::CrossEnd => self.generate()?,
+        })
     }
 
     /// Evaluates an engine design under the instance's configuration.
-    pub fn evaluate_engine(&self, engine: Engine) -> Evaluation {
-        evaluate(self.instance, &self.partition_for(engine))
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XProGenerator::partition_for`] failures.
+    pub fn evaluate_engine(&self, engine: Engine) -> Result<Evaluation, XProError> {
+        Ok(evaluate(self.instance, &self.partition_for(engine)?))
     }
 
     /// The intuitive feature/classifier cut: everything up to and including
@@ -142,21 +153,15 @@ impl<'a> XProGenerator<'a> {
 
     /// The generator's default output: minimum sensor energy subject to
     /// `delay ≤ min(T_F, T_B)`.
-    pub fn generate(&self) -> Partition {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Partition`] when no candidate meets the limit —
+    /// impossible at the default limit (the all-aggregator design always
+    /// validates and defines the bound), but the signature is fallible so
+    /// the whole generator surface composes with `?`.
+    pub fn generate(&self) -> Result<Partition, XProError> {
         self.delay_constrained_cut(self.default_delay_limit())
-    }
-
-    /// Minimum-energy partition with measured delay at most `t_limit_s`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `t_limit_s` is not positive, or if no candidate (including
-    /// the single-end designs) meets the limit. At the paper's default limit
-    /// (Eq. 4) a feasible design always exists; for tighter limits prefer
-    /// [`XProGenerator::try_delay_constrained_cut`].
-    pub fn delay_constrained_cut(&self, t_limit_s: f64) -> Partition {
-        self.try_delay_constrained_cut(t_limit_s)
-            .expect("no partition meets the delay limit")
     }
 
     /// Whether a partition passes the numeric validation stage: no cell
@@ -171,21 +176,25 @@ impl<'a> XProGenerator<'a> {
             .all(|(i, &on_sensor)| !on_sensor || self.instance.cell_numerically_safe(i))
     }
 
-    /// Like [`XProGenerator::delay_constrained_cut`], but returns `None`
-    /// when no explored partition meets the limit.
+    /// Minimum-energy partition with measured delay at most `t_limit_s`.
     ///
     /// Candidates failing the numeric validation stage
     /// ([`XProGenerator::numerically_valid`]) are rejected before costing.
     /// The all-aggregator design always passes validation, so at the
-    /// paper's default delay limit a feasible design still always exists;
-    /// under widened input bounds *and* a delay limit only the sensor can
-    /// meet, the result can be `None`.
+    /// paper's default delay limit a feasible design always exists; under
+    /// widened input bounds *and* a delay limit only the sensor can meet,
+    /// the search can come up empty.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t_limit_s` is not positive.
-    pub fn try_delay_constrained_cut(&self, t_limit_s: f64) -> Option<Partition> {
-        assert!(t_limit_s > 0.0, "delay limit must be positive");
+    /// Returns [`XProError::Config`] when `t_limit_s` is not positive and
+    /// [`XProError::Partition`] when no explored candidate meets the limit.
+    pub fn delay_constrained_cut(&self, t_limit_s: f64) -> Result<Partition, XProError> {
+        if t_limit_s.is_nan() || t_limit_s <= 0.0 {
+            return Err(XProError::config(format!(
+                "delay limit must be positive, got {t_limit_s}"
+            )));
+        }
         let n = self.instance.num_cells();
         let mut candidates = vec![
             Partition::all_aggregator(n),
@@ -222,11 +231,18 @@ impl<'a> XProGenerator<'a> {
                     .expect("energies are finite")
             })
             .map(|(p, _)| p)
+            .ok_or_else(|| {
+                XProError::partition(format!(
+                    "no numerically valid partition meets the {t_limit_s} s delay limit"
+                ))
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use crate::testutil::tiny_instance;
 
@@ -235,9 +251,17 @@ mod tests {
         let inst = tiny_instance(1);
         let gen = XProGenerator::new(&inst);
         let n = inst.num_cells();
-        assert_eq!(gen.partition_for(Engine::InSensor).sensor_count(), n);
-        assert_eq!(gen.partition_for(Engine::InAggregator).sensor_count(), 0);
-        let trivial = gen.partition_for(Engine::TrivialCut);
+        assert_eq!(
+            gen.partition_for(Engine::InSensor).unwrap().sensor_count(),
+            n
+        );
+        assert_eq!(
+            gen.partition_for(Engine::InAggregator)
+                .unwrap()
+                .sensor_count(),
+            0
+        );
+        let trivial = gen.partition_for(Engine::TrivialCut).unwrap();
         // 2 SVMs + fusion on the aggregator.
         assert_eq!(trivial.sensor_count(), n - 3);
     }
@@ -247,9 +271,9 @@ mod tests {
         for seed in 0..8 {
             let inst = tiny_instance(seed);
             let gen = XProGenerator::new(&inst);
-            let c = gen.evaluate_engine(Engine::CrossEnd);
-            let s = gen.evaluate_engine(Engine::InSensor);
-            let a = gen.evaluate_engine(Engine::InAggregator);
+            let c = gen.evaluate_engine(Engine::CrossEnd).unwrap();
+            let s = gen.evaluate_engine(Engine::InSensor).unwrap();
+            let a = gen.evaluate_engine(Engine::InAggregator).unwrap();
             assert!(
                 c.sensor.total_pj() <= s.sensor.total_pj() + 1e-6,
                 "seed {seed}: C {} > S {}",
@@ -271,7 +295,7 @@ mod tests {
             let inst = tiny_instance(seed);
             let gen = XProGenerator::new(&inst);
             let limit = gen.default_delay_limit();
-            let c = gen.evaluate_engine(Engine::CrossEnd);
+            let c = gen.evaluate_engine(Engine::CrossEnd).unwrap();
             assert!(
                 c.delay.total_s() <= limit * (1.0 + 1e-9),
                 "seed {seed}: delay {} > limit {limit}",
@@ -309,8 +333,10 @@ mod tests {
         let gen = XProGenerator::new(&inst);
         // A generous limit (2× the default) must also be satisfiable, and
         // can only lower (or keep) the energy found under the default.
-        let loose = gen.delay_constrained_cut(gen.default_delay_limit() * 2.0);
-        let tight = gen.generate();
+        let loose = gen
+            .delay_constrained_cut(gen.default_delay_limit() * 2.0)
+            .unwrap();
+        let tight = gen.generate().unwrap();
         let e_loose = evaluate(&inst, &loose).sensor.total_pj();
         let e_tight = evaluate(&inst, &tight).sensor.total_pj();
         assert!(e_loose <= e_tight + 1e-6);
@@ -324,19 +350,20 @@ mod tests {
         use xpro_analyze::SignalBounds;
 
         let built = build_full_cell_graph(&BuildOptions::default(), 2, 10);
-        let inst = XProInstance::with_bounds(
+        let inst = XProInstance::try_with_bounds(
             built,
             SystemConfig::default(),
             128,
             SignalBounds::new(-4.0, 4.0),
-        );
+        )
+        .unwrap();
         // The widened bounds make the deep fourth-moment cells unsafe…
         assert!(!inst.analysis().is_overflow_free());
         let gen = XProGenerator::new(&inst);
         let n = inst.num_cells();
         assert!(!gen.numerically_valid(&Partition::all_sensor(n)));
         // …and the generator's output never maps one to the sensor end.
-        let cut = gen.generate();
+        let cut = gen.generate().unwrap();
         assert!(gen.numerically_valid(&cut));
         for (i, &on_sensor) in cut.in_sensor.iter().enumerate() {
             if on_sensor {

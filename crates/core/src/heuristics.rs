@@ -112,6 +112,8 @@ pub fn topological_sweep(instance: &XProInstance, t_limit_s: f64) -> Partition {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use crate::generator::XProGenerator;
     use crate::testutil::tiny_instance;
@@ -122,7 +124,9 @@ mod tests {
             let inst = tiny_instance(seed);
             let generator = XProGenerator::new(&inst);
             let limit = generator.default_delay_limit();
-            let cut = evaluate(&inst, &generator.generate()).sensor.total_pj();
+            let cut = evaluate(&inst, &generator.generate().unwrap())
+                .sensor
+                .total_pj();
             let greedy = evaluate(&inst, &greedy_migration(&inst, limit))
                 .sensor
                 .total_pj();

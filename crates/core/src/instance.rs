@@ -8,6 +8,7 @@
 use crate::analysis::analyze_graph;
 use crate::builder::BuiltGraph;
 use crate::config::SystemConfig;
+use crate::error::XProError;
 use xpro_analyze::{AnalysisReport, AnalyzeOptions, SignalBounds, Verdict};
 use xpro_hw::{AluMode, CellCost};
 
@@ -30,27 +31,48 @@ impl XProInstance {
     /// Prices a built graph under a system configuration, assuming the
     /// normalized `[-1, 1]` input range for the numeric analysis.
     ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] if `segment_len == 0` or the graph is
+    /// empty.
+    pub fn try_new(
+        built: BuiltGraph,
+        config: SystemConfig,
+        segment_len: usize,
+    ) -> Result<Self, XProError> {
+        XProInstance::try_with_bounds(built, config, segment_len, SignalBounds::default())
+    }
+
+    /// Deprecated panicking constructor; use [`XProInstance::try_new`].
+    ///
     /// # Panics
     ///
-    /// Panics if `segment_len == 0`.
+    /// Panics if `segment_len == 0` or the graph is empty.
+    #[deprecated(since = "0.2.0", note = "use `XProInstance::try_new` instead")]
     pub fn new(built: BuiltGraph, config: SystemConfig, segment_len: usize) -> Self {
-        XProInstance::with_bounds(built, config, segment_len, SignalBounds::default())
+        XProInstance::try_new(built, config, segment_len).expect("valid instance")
     }
 
     /// Prices a built graph under a system configuration and runs the
     /// static range analysis against explicit input-signal bounds (e.g.
     /// from dataset metadata).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `segment_len == 0`.
-    pub fn with_bounds(
+    /// Returns [`XProError::Config`] if `segment_len == 0` or the graph is
+    /// empty.
+    pub fn try_with_bounds(
         built: BuiltGraph,
         config: SystemConfig,
         segment_len: usize,
         bounds: SignalBounds,
-    ) -> Self {
-        assert!(segment_len > 0, "segment length must be positive");
+    ) -> Result<Self, XProError> {
+        if segment_len == 0 {
+            return Err(XProError::config("segment length must be positive"));
+        }
+        if built.graph.is_empty() {
+            return Err(XProError::config("cell graph has no cells"));
+        }
         let analysis = analyze_graph(&built.graph, bounds, &AnalyzeOptions::default());
         let mut sensor_costs = Vec::with_capacity(built.graph.len());
         let mut sensor_modes = Vec::with_capacity(built.graph.len());
@@ -64,7 +86,7 @@ impl XProInstance {
             agg_energy_pj.push(config.aggregator.energy_pj(&ops));
             agg_time_s.push(config.aggregator.time_s(&ops));
         }
-        XProInstance {
+        Ok(XProInstance {
             built,
             config,
             segment_len,
@@ -73,7 +95,23 @@ impl XProInstance {
             agg_energy_pj,
             agg_time_s,
             analysis,
-        }
+        })
+    }
+
+    /// Deprecated panicking constructor; use
+    /// [`XProInstance::try_with_bounds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len == 0` or the graph is empty.
+    #[deprecated(since = "0.2.0", note = "use `XProInstance::try_with_bounds` instead")]
+    pub fn with_bounds(
+        built: BuiltGraph,
+        config: SystemConfig,
+        segment_len: usize,
+        bounds: SignalBounds,
+    ) -> Self {
+        XProInstance::try_with_bounds(built, config, segment_len, bounds).expect("valid instance")
     }
 
     /// The static range analysis of the graph under this instance's input

@@ -27,28 +27,23 @@
 //! Train on a Table-1 case and compare the four engine designs:
 //!
 //! ```
-//! use xpro_core::config::SystemConfig;
-//! use xpro_core::generator::Engine;
-//! use xpro_core::instance::XProInstance;
-//! use xpro_core::pipeline::{PipelineConfig, XProPipeline};
-//! use xpro_core::report::EngineComparison;
+//! use xpro_core::prelude::*;
 //! use xpro_data::{generate_case_sized, CaseId};
 //! use xpro_ml::SubspaceConfig;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), XProError> {
 //! let data = generate_case_sized(CaseId::C1, 80, 42);
-//! let cfg = PipelineConfig {
-//!     subspace: SubspaceConfig { candidates: 8, folds: 2, ..Default::default() },
-//!     ..Default::default()
-//! };
+//! let cfg = PipelineConfig::builder()
+//!     .subspace(SubspaceConfig { candidates: 8, folds: 2, ..Default::default() })
+//!     .build()?;
 //! let pipeline = XProPipeline::train(&data, &cfg)?;
 //! let segment_len = pipeline.segment_len();
-//! let instance = XProInstance::new(
+//! let instance = XProInstance::try_new(
 //!     pipeline.into_built(),
 //!     SystemConfig::default(),
 //!     segment_len,
-//! );
-//! let cmp = EngineComparison::evaluate("C1", &instance);
+//! )?;
+//! let cmp = EngineComparison::evaluate("C1", &instance)?;
 //! assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0);
 //! # Ok(())
 //! # }
@@ -59,6 +54,7 @@ pub mod analysis;
 pub mod builder;
 pub mod cellgraph;
 pub mod config;
+pub mod error;
 pub mod generator;
 pub mod heuristics;
 pub mod instance;
@@ -67,6 +63,7 @@ pub mod multiclass;
 pub mod multinode;
 pub mod partition;
 pub mod pipeline;
+pub mod prelude;
 pub mod report;
 pub mod stgraph;
 #[cfg(test)]
@@ -77,6 +74,7 @@ pub use analysis::{analyze_graph, cell_specs};
 pub use builder::{build_cell_graph, build_full_cell_graph, BuildOptions, BuiltGraph};
 pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
 pub use config::SystemConfig;
+pub use error::XProError;
 pub use generator::{Engine, XProGenerator};
 pub use instance::XProInstance;
 pub use layout::{Domain, FeatureLayout};

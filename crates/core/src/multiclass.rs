@@ -14,6 +14,7 @@
 
 use crate::builder::{BuildOptions, BuiltGraph};
 use crate::cellgraph::{Cell, CellGraph, CellId, PortRef};
+use crate::error::XProError;
 use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
 use crate::partition::Partition;
 use std::collections::BTreeMap;
@@ -44,13 +45,13 @@ impl MulticlassPipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainMulticlassError`] when any per-class ensemble fails.
+    /// Returns [`XProError::Train`] when any per-class ensemble fails.
     pub fn train(
         dataset: &MulticlassDataset,
         subspace: &SubspaceConfig,
         options: &BuildOptions,
         seed: u64,
-    ) -> Result<Self, TrainMulticlassError> {
+    ) -> Result<Self, XProError> {
         let wavelet = Wavelet::Haar;
         let features: Vec<Vec<f64>> = dataset
             .segments
@@ -63,7 +64,11 @@ impl MulticlassPipeline {
         let train_x = gather(&features, &split.train);
         let train_y = gather(&dataset.labels, &split.train);
         let scaler = MinMaxScaler::fit(&train_x);
-        let model = OneVsRestModel::train(&scaler.transform(&train_x), &train_y, subspace)?;
+        let model = OneVsRestModel::train(&scaler.transform(&train_x), &train_y, subspace)
+            .map_err(|e| match e {
+                TrainMulticlassError::Ensemble(_, inner) => XProError::Train(inner),
+                other => XProError::config(other.to_string()),
+            })?;
 
         let test_x = scaler.transform(&gather(&features, &split.test));
         let test_y = gather(&dataset.labels, &split.test);
@@ -358,11 +363,12 @@ mod tests {
         let p =
             MulticlassPipeline::train(&data, &quick_cfg(), &BuildOptions::default(), 3).unwrap();
         let seg_len = p.segment_len();
-        let inst = XProInstance::new(p.built().clone(), SystemConfig::default(), seg_len);
+        let inst =
+            XProInstance::try_new(p.built().clone(), SystemConfig::default(), seg_len).unwrap();
         let generator = XProGenerator::new(&inst);
-        let c = generator.evaluate_engine(Engine::CrossEnd);
-        let s = generator.evaluate_engine(Engine::InSensor);
-        let a = generator.evaluate_engine(Engine::InAggregator);
+        let c = generator.evaluate_engine(Engine::CrossEnd).unwrap();
+        let s = generator.evaluate_engine(Engine::InSensor).unwrap();
+        let a = generator.evaluate_engine(Engine::InAggregator).unwrap();
         let limit = generator.default_delay_limit();
         assert!(c.delay.total_s() <= limit * (1.0 + 1e-9));
         for (other, name) in [(s, "S"), (a, "A")] {

@@ -13,6 +13,7 @@
 //! checked for airtime feasibility (the "information conflict" §5.7 defers
 //! to MIMO when a plain TDMA share does not fit).
 
+use crate::error::XProError;
 use crate::generator::{Engine, XProGenerator};
 use crate::instance::XProInstance;
 use crate::partition::{evaluate, Evaluation, Partition};
@@ -86,18 +87,21 @@ impl BsnSystem {
     /// Evaluates the whole BSN with every node running the given engine
     /// design (per-node cross-end cuts are generated independently).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the BSN has no nodes.
-    pub fn evaluate(&self, engine: Engine) -> BsnEvaluation {
-        assert!(!self.nodes.is_empty(), "BSN has no sensor nodes");
+    /// Returns [`XProError::Config`] for an empty BSN and propagates
+    /// generator failures.
+    pub fn evaluate(&self, engine: Engine) -> Result<BsnEvaluation, XProError> {
+        if self.nodes.is_empty() {
+            return Err(XProError::config("BSN has no sensor nodes"));
+        }
         let mut partitions = Vec::with_capacity(self.nodes.len());
         let mut per_node = Vec::with_capacity(self.nodes.len());
         let mut aggregator_pj_per_s = 0.0;
         let mut channel_utilization = 0.0;
         for node in &self.nodes {
             let generator = XProGenerator::new(node);
-            let partition = generator.partition_for(engine);
+            let partition = generator.partition_for(engine)?;
             let eval = evaluate(node, &partition);
             let rate = node.events_per_second();
             aggregator_pj_per_s += eval.aggregator_pj * rate;
@@ -110,33 +114,36 @@ impl BsnSystem {
         // aggregator is shared, so configurations should agree).
         let battery = &self.nodes[0].config().aggregator_battery;
         let aggregator_battery_hours = battery.lifetime_hours(aggregator_pj_per_s, 1.0);
-        BsnEvaluation {
+        Ok(BsnEvaluation {
             partitions,
             per_node,
             aggregator_pj_per_s,
             aggregator_battery_hours,
             channel_utilization,
-        }
+        })
     }
 
     /// Largest number of *cross-end* nodes a plain shared (TDMA) channel
     /// supports before airtime saturates, under the given engine.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the BSN has no nodes.
-    pub fn max_nodes_on_shared_channel(&self, engine: Engine) -> usize {
-        let eval = self.evaluate(engine);
+    /// Returns [`XProError::Config`] for an empty BSN and propagates
+    /// generator failures.
+    pub fn max_nodes_on_shared_channel(&self, engine: Engine) -> Result<usize, XProError> {
+        let eval = self.evaluate(engine)?;
         if eval.channel_utilization <= 0.0 {
-            return usize::MAX;
+            return Ok(usize::MAX);
         }
         let per_node = eval.channel_utilization / self.nodes.len() as f64;
-        (1.0 / per_node).floor() as usize
+        Ok((1.0 / per_node).floor() as usize)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
     use super::*;
     use crate::testutil::tiny_instance;
 
@@ -151,7 +158,7 @@ mod tests {
     #[test]
     fn aggregator_load_sums_over_nodes() {
         let bsn = three_node_bsn();
-        let combined = bsn.evaluate(Engine::CrossEnd);
+        let combined = bsn.evaluate(Engine::CrossEnd).unwrap();
         let individual: f64 = bsn
             .nodes()
             .iter()
@@ -167,9 +174,13 @@ mod tests {
     fn more_nodes_shorten_aggregator_battery() {
         let mut one = BsnSystem::new();
         one.add_node(tiny_instance(1));
-        let h1 = one.evaluate(Engine::CrossEnd).aggregator_battery_hours;
+        let h1 = one
+            .evaluate(Engine::CrossEnd)
+            .unwrap()
+            .aggregator_battery_hours;
         let h3 = three_node_bsn()
             .evaluate(Engine::CrossEnd)
+            .unwrap()
             .aggregator_battery_hours;
         assert!(h3 < h1, "3-node {h3} !< 1-node {h1}");
     }
@@ -177,7 +188,7 @@ mod tests {
     #[test]
     fn channel_utilization_is_sane_for_small_bsns() {
         let bsn = three_node_bsn();
-        let cross = bsn.evaluate(Engine::CrossEnd);
+        let cross = bsn.evaluate(Engine::CrossEnd).unwrap();
         assert!(cross.channel_utilization > 0.0);
         assert!(
             cross.channel_utilization < 1.0,
@@ -185,15 +196,17 @@ mod tests {
             cross.channel_utilization
         );
         // Raw streaming (in-aggregator) burns far more airtime.
-        let agg = bsn.evaluate(Engine::InAggregator);
+        let agg = bsn.evaluate(Engine::InAggregator).unwrap();
         assert!(agg.channel_utilization > cross.channel_utilization);
     }
 
     #[test]
     fn cross_end_supports_more_nodes_than_raw_streaming() {
         let bsn = three_node_bsn();
-        let n_cross = bsn.max_nodes_on_shared_channel(Engine::CrossEnd);
-        let n_raw = bsn.max_nodes_on_shared_channel(Engine::InAggregator);
+        let n_cross = bsn.max_nodes_on_shared_channel(Engine::CrossEnd).unwrap();
+        let n_raw = bsn
+            .max_nodes_on_shared_channel(Engine::InAggregator)
+            .unwrap();
         assert!(
             n_cross > n_raw,
             "cross-end {n_cross} nodes vs raw {n_raw} nodes"
@@ -202,7 +215,7 @@ mod tests {
 
     #[test]
     fn weakest_sensor_is_the_minimum() {
-        let eval = three_node_bsn().evaluate(Engine::CrossEnd);
+        let eval = three_node_bsn().evaluate(Engine::CrossEnd).unwrap();
         let min = eval
             .per_node
             .iter()
@@ -212,8 +225,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no sensor nodes")]
-    fn empty_bsn_panics() {
-        BsnSystem::new().evaluate(Engine::CrossEnd);
+    fn empty_bsn_is_a_config_error() {
+        let err = BsnSystem::new().evaluate(Engine::CrossEnd).unwrap_err();
+        assert!(matches!(err, XProError::Config(_)), "{err}");
     }
 }

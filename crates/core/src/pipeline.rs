@@ -8,6 +8,7 @@
 //! because a cut changes *where* cells run, never *what* they compute.
 
 use crate::builder::{build_cell_graph, BuildOptions, BuiltGraph};
+use crate::error::XProError;
 use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
 use crate::partition::Partition;
 use xpro_data::Dataset;
@@ -45,6 +46,113 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Starts a fluent builder seeded with the default configuration.
+    ///
+    /// ```
+    /// use xpro_core::pipeline::PipelineConfig;
+    ///
+    /// let cfg = PipelineConfig::builder().train_fraction(0.8).seed(3).build()?;
+    /// assert_eq!(cfg.seed, 3);
+    /// # Ok::<(), xpro_core::XProError>(())
+    /// ```
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::default()
+    }
+
+    /// Re-opens this configuration as a builder, for deriving variants.
+    ///
+    /// ```
+    /// use xpro_core::pipeline::PipelineConfig;
+    ///
+    /// let base = PipelineConfig::builder().seed(3).build()?;
+    /// let variant = base.into_builder().train_fraction(0.8).build()?;
+    /// assert_eq!(variant.seed, 3);
+    /// # Ok::<(), xpro_core::XProError>(())
+    /// ```
+    pub fn into_builder(self) -> PipelineConfigBuilder {
+        PipelineConfigBuilder { cfg: self }
+    }
+}
+
+/// Fluent builder for [`PipelineConfig`]; ranges are validated once, at
+/// [`PipelineConfigBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Random-subspace training configuration.
+    pub fn subspace(mut self, subspace: SubspaceConfig) -> Self {
+        self.cfg.subspace = subspace;
+        self
+    }
+
+    /// Fraction of segments used for training (must land in `(0, 1)`).
+    pub fn train_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.train_fraction = fraction;
+        self
+    }
+
+    /// Wavelet family for the DWT cells.
+    pub fn wavelet(mut self, wavelet: Wavelet) -> Self {
+        self.cfg.wavelet = wavelet;
+        self
+    }
+
+    /// Cell-graph construction options.
+    pub fn build_options(mut self, build: BuildOptions) -> Self {
+        self.cfg.build = build;
+        self
+    }
+
+    /// Train/test split seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates the accumulated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when the train fraction leaves either
+    /// split empty, the subspace has no candidates or features, the kept
+    /// fraction is out of `(0, 1]`, or cross-validation has fewer than two
+    /// folds.
+    pub fn build(self) -> Result<PipelineConfig, XProError> {
+        let c = &self.cfg;
+        if !(c.train_fraction > 0.0 && c.train_fraction < 1.0) {
+            return Err(XProError::config(format!(
+                "train_fraction must be in (0, 1), got {}",
+                c.train_fraction
+            )));
+        }
+        if c.subspace.candidates == 0 {
+            return Err(XProError::config("subspace.candidates must be positive"));
+        }
+        if c.subspace.features_per_base == 0 {
+            return Err(XProError::config(
+                "subspace.features_per_base must be positive",
+            ));
+        }
+        if !(c.subspace.keep_fraction > 0.0 && c.subspace.keep_fraction <= 1.0) {
+            return Err(XProError::config(format!(
+                "subspace.keep_fraction must be in (0, 1], got {}",
+                c.subspace.keep_fraction
+            )));
+        }
+        if c.subspace.folds < 2 {
+            return Err(XProError::config("subspace.folds must be at least 2"));
+        }
+        if c.build.dwt_taps < 2 {
+            return Err(XProError::config("build.dwt_taps must be at least 2"));
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Extracts the 56-entry feature vector of the generic framework from one
 /// raw segment (any length; padded/truncated to the 128-sample DWT input).
 pub fn extract_features(segment: &[f64], wavelet: Wavelet) -> Vec<f64> {
@@ -77,23 +185,6 @@ pub struct XProPipeline {
     segment_len: usize,
 }
 
-/// Error returned by [`XProPipeline::train`].
-#[derive(Debug)]
-pub enum TrainPipelineError {
-    /// The ensemble trainer failed.
-    Ensemble(xpro_ml::subspace::TrainEnsembleError),
-}
-
-impl std::fmt::Display for TrainPipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TrainPipelineError::Ensemble(e) => write!(f, "pipeline training failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for TrainPipelineError {}
-
 impl XProPipeline {
     /// Trains the full pipeline on a dataset: 75/25 stratified split,
     /// feature extraction, scaling, random-subspace training, cell-graph
@@ -101,9 +192,12 @@ impl XProPipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainPipelineError`] when ensemble training fails (e.g. a
-    /// degenerate dataset).
-    pub fn train(dataset: &Dataset, cfg: &PipelineConfig) -> Result<Self, TrainPipelineError> {
+    /// Returns [`XProError::Train`] when ensemble training fails (e.g. a
+    /// degenerate dataset) and [`XProError::Config`] for an empty dataset.
+    pub fn train(dataset: &Dataset, cfg: &PipelineConfig) -> Result<Self, XProError> {
+        if dataset.segments.is_empty() {
+            return Err(XProError::config("dataset has no segments"));
+        }
         let features: Vec<Vec<f64>> = dataset
             .segments
             .iter()
@@ -114,8 +208,7 @@ impl XProPipeline {
         let train_y = gather(&dataset.labels, &split.train);
         let scaler = MinMaxScaler::fit(&train_x);
         let train_x = scaler.transform(&train_x);
-        let model = RandomSubspaceModel::train(&train_x, &train_y, &cfg.subspace)
-            .map_err(TrainPipelineError::Ensemble)?;
+        let model = RandomSubspaceModel::train(&train_x, &train_y, &cfg.subspace)?;
 
         let test_x = scaler.transform(&gather(&features, &split.test));
         let test_y = gather(&dataset.labels, &split.test);
@@ -341,16 +434,52 @@ mod tests {
     use xpro_data::{generate_case_sized, CaseId};
 
     fn quick_cfg() -> PipelineConfig {
-        PipelineConfig {
-            subspace: SubspaceConfig {
+        PipelineConfig::builder()
+            .subspace(SubspaceConfig {
                 candidates: 10,
                 features_per_base: 8,
                 keep_fraction: 0.3,
                 min_keep: 3,
                 folds: 2,
                 ..SubspaceConfig::default()
-            },
-            ..PipelineConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_match_default_impl() {
+        assert_eq!(
+            PipelineConfig::builder().build().unwrap(),
+            PipelineConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        for bad in [
+            PipelineConfig::builder().train_fraction(0.0).build(),
+            PipelineConfig::builder().train_fraction(1.0).build(),
+            PipelineConfig::builder()
+                .subspace(SubspaceConfig {
+                    candidates: 0,
+                    ..SubspaceConfig::default()
+                })
+                .build(),
+            PipelineConfig::builder()
+                .subspace(SubspaceConfig {
+                    keep_fraction: 0.0,
+                    ..SubspaceConfig::default()
+                })
+                .build(),
+            PipelineConfig::builder()
+                .subspace(SubspaceConfig {
+                    folds: 1,
+                    ..SubspaceConfig::default()
+                })
+                .build(),
+        ] {
+            assert!(matches!(bad, Err(crate::XProError::Config(_))), "{bad:?}");
         }
     }
 

@@ -1,0 +1,21 @@
+//! One-line import for the types every XPro program touches.
+//!
+//! ```
+//! use xpro_core::prelude::*;
+//! ```
+//!
+//! brings in the training front door ([`XProPipeline`], [`PipelineConfig`]),
+//! system pricing ([`SystemConfig`], [`XProInstance`]), the Automatic XPro
+//! Generator ([`XProGenerator`], [`Engine`]), partition evaluation
+//! ([`Partition`], [`Evaluation`], [`evaluate`]), reporting
+//! ([`EngineComparison`]) and the workspace error type ([`XProError`]).
+
+pub use crate::config::SystemConfig;
+pub use crate::error::XProError;
+pub use crate::generator::{Engine, XProGenerator};
+pub use crate::instance::XProInstance;
+pub use crate::multiclass::MulticlassPipeline;
+pub use crate::multinode::{BsnEvaluation, BsnSystem};
+pub use crate::partition::{evaluate, Evaluation, Partition};
+pub use crate::pipeline::{PipelineConfig, XProPipeline};
+pub use crate::report::EngineComparison;

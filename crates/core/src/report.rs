@@ -2,6 +2,7 @@
 //! harness: evaluate all four engines on one case and format the paper's
 //! comparison rows.
 
+use crate::error::XProError;
 use crate::generator::{Engine, XProGenerator};
 use crate::instance::XProInstance;
 use crate::partition::Evaluation;
@@ -17,16 +18,20 @@ pub struct EngineComparison {
 
 impl EngineComparison {
     /// Evaluates all four engines on an instance.
-    pub fn evaluate(case: impl Into<String>, instance: &XProInstance) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XProGenerator::evaluate_engine`] failures.
+    pub fn evaluate(case: impl Into<String>, instance: &XProInstance) -> Result<Self, XProError> {
         let generator = XProGenerator::new(instance);
         let engines = Engine::ALL
             .iter()
-            .map(|&e| (e, generator.evaluate_engine(e)))
-            .collect();
-        EngineComparison {
+            .map(|&e| Ok((e, generator.evaluate_engine(e)?)))
+            .collect::<Result<Vec<_>, XProError>>()?;
+        Ok(EngineComparison {
             case: case.into(),
             engines,
-        }
+        })
     }
 
     /// The evaluation of one engine.
@@ -79,7 +84,7 @@ mod tests {
     #[test]
     fn comparison_covers_all_engines() {
         let inst = tiny_instance(1);
-        let cmp = EngineComparison::evaluate("T1", &inst);
+        let cmp = EngineComparison::evaluate("T1", &inst).unwrap();
         assert_eq!(cmp.engines.len(), 4);
         assert_eq!(cmp.case, "T1");
         for &e in &Engine::ALL {
@@ -90,7 +95,7 @@ mod tests {
     #[test]
     fn normalization_puts_aggregator_at_one() {
         let inst = tiny_instance(2);
-        let cmp = EngineComparison::evaluate("T", &inst);
+        let cmp = EngineComparison::evaluate("T", &inst).unwrap();
         let rows = normalized_lifetimes(&cmp);
         let agg = rows
             .iter()
@@ -103,7 +108,7 @@ mod tests {
     #[test]
     fn cross_end_gains_are_at_least_parity() {
         let inst = tiny_instance(3);
-        let cmp = EngineComparison::evaluate("T", &inst);
+        let cmp = EngineComparison::evaluate("T", &inst).unwrap();
         assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0 - 1e-9);
         assert!(cmp.lifetime_gain_over(Engine::InSensor) >= 1.0 - 1e-9);
     }

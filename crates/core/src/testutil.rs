@@ -94,5 +94,5 @@ pub(crate) fn tiny_instance(seed: u64) -> XProInstance {
         fusion_cell: fusion,
     };
     let segment_len = 82 + (seed % 3) as usize * 25;
-    XProInstance::new(built, SystemConfig::default(), segment_len)
+    XProInstance::try_new(built, SystemConfig::default(), segment_len).expect("valid test instance")
 }

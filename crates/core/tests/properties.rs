@@ -1,6 +1,8 @@
 //! Property tests for partition evaluation and the Automatic XPro Generator
 //! on randomized cell graphs.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use xpro_core::builder::BuiltGraph;
@@ -69,7 +71,7 @@ fn random_instance(
         svm_cells,
         fusion_cell,
     };
-    XProInstance::new(built, SystemConfig::default(), segment_len)
+    XProInstance::try_new(built, SystemConfig::default(), segment_len).expect("valid instance")
 }
 
 proptest! {
@@ -126,7 +128,7 @@ proptest! {
         let inst = random_instance(nf, ns, seed, 100);
         let generator = XProGenerator::new(&inst);
         let limit = generator.default_delay_limit();
-        let chosen = evaluate(&inst, &generator.generate());
+        let chosen = evaluate(&inst, &generator.generate().unwrap());
         prop_assert!(chosen.delay.total_s() <= limit * (1.0 + 1e-9));
         // Exhaustive optimum over the delay-feasible set. The Lagrangian
         // sweep is not guaranteed optimal for the constrained problem

@@ -1,0 +1,247 @@
+//! Fleet/runtime configuration with a validating fluent builder.
+
+use xpro_core::XProError;
+
+/// Configuration of one streaming executor run.
+///
+/// Defaults model a small healthy fleet: 4 nodes, 10 simulated seconds, a
+/// lossless link, up to 3 retransmissions with 1 ms exponential backoff,
+/// and a 1 s per-segment deadline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of sensor nodes sharing the aggregator and the channel.
+    pub nodes: usize,
+    /// Simulated (virtual) duration in seconds; segments arriving within
+    /// `[0, duration_s)` are offered to the fleet.
+    pub duration_s: f64,
+    /// Probability that any single frame transmission attempt is lost.
+    pub drop_rate: f64,
+    /// Retransmissions allowed per frame before the segment is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub backoff_base_s: f64,
+    /// Per-segment deadline from its arrival; a segment that cannot finish
+    /// its wireless transfers by then is skipped (graceful degradation).
+    pub timeout_s: f64,
+    /// Seed for the fault-injection RNG; equal seeds reproduce runs bit-
+    /// for-bit.
+    pub seed: u64,
+    /// Extra aggregator CPU time when a batch starts (wake-up/DMA setup);
+    /// zero keeps the energy/delay model aligned with the analytic
+    /// evaluator.
+    pub batch_wake_s: f64,
+    /// Phase-stagger node arrivals across one segment period instead of
+    /// releasing every node at t = 0.
+    pub stagger: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            nodes: 4,
+            duration_s: 10.0,
+            drop_rate: 0.0,
+            max_retries: 3,
+            backoff_base_s: 1e-3,
+            timeout_s: 1.0,
+            seed: 1,
+            batch_wake_s: 0.0,
+            stagger: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Starts a fluent builder seeded with the defaults.
+    ///
+    /// ```
+    /// use xpro_runtime::RuntimeConfig;
+    ///
+    /// let cfg = RuntimeConfig::builder()
+    ///     .nodes(8)
+    ///     .drop_rate(0.05)
+    ///     .seed(7)
+    ///     .build()?;
+    /// assert_eq!(cfg.nodes, 8);
+    /// # Ok::<(), xpro_core::XProError>(())
+    /// ```
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: RuntimeConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`RuntimeConfig`]; validated once, at
+/// [`RuntimeConfigBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl Default for RuntimeConfigBuilder {
+    fn default() -> Self {
+        RuntimeConfig::builder()
+    }
+}
+
+impl RuntimeConfigBuilder {
+    /// Number of sensor nodes in the fleet.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Simulated duration in seconds.
+    pub fn duration_s(mut self, seconds: f64) -> Self {
+        self.cfg.duration_s = seconds;
+        self
+    }
+
+    /// Per-attempt frame loss probability.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        self.cfg.drop_rate = p;
+        self
+    }
+
+    /// Retransmissions allowed per frame.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// Base backoff before the first retransmission (doubles per attempt).
+    pub fn backoff_base_s(mut self, seconds: f64) -> Self {
+        self.cfg.backoff_base_s = seconds;
+        self
+    }
+
+    /// Per-segment deadline from arrival.
+    pub fn timeout_s(mut self, seconds: f64) -> Self {
+        self.cfg.timeout_s = seconds;
+        self
+    }
+
+    /// Fault-injection RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Aggregator wake-up overhead charged at each batch start.
+    pub fn batch_wake_s(mut self, seconds: f64) -> Self {
+        self.cfg.batch_wake_s = seconds;
+        self
+    }
+
+    /// Whether node arrivals are phase-staggered across one period.
+    pub fn stagger(mut self, stagger: bool) -> Self {
+        self.cfg.stagger = stagger;
+        self
+    }
+
+    /// Validates the accumulated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when any field is out of range: zero
+    /// nodes, non-positive duration or timeout, a drop rate outside
+    /// `[0, 1)`, or a negative/non-finite backoff or batch overhead.
+    pub fn build(self) -> Result<RuntimeConfig, XProError> {
+        let c = &self.cfg;
+        if c.nodes == 0 {
+            return Err(XProError::config("fleet needs at least one node"));
+        }
+        if !(c.duration_s.is_finite() && c.duration_s > 0.0) {
+            return Err(XProError::config(format!(
+                "duration_s must be positive and finite, got {}",
+                c.duration_s
+            )));
+        }
+        if !(c.drop_rate >= 0.0 && c.drop_rate < 1.0) {
+            return Err(XProError::config(format!(
+                "drop_rate must be in [0, 1), got {}",
+                c.drop_rate
+            )));
+        }
+        if !(c.backoff_base_s.is_finite() && c.backoff_base_s >= 0.0) {
+            return Err(XProError::config(format!(
+                "backoff_base_s must be non-negative and finite, got {}",
+                c.backoff_base_s
+            )));
+        }
+        if !(c.timeout_s.is_finite() && c.timeout_s > 0.0) {
+            return Err(XProError::config(format!(
+                "timeout_s must be positive and finite, got {}",
+                c.timeout_s
+            )));
+        }
+        if !(c.batch_wake_s.is_finite() && c.batch_wake_s >= 0.0) {
+            return Err(XProError::config(format!(
+                "batch_wake_s must be non-negative and finite, got {}",
+                c.batch_wake_s
+            )));
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default_impl() {
+        assert_eq!(
+            RuntimeConfig::builder().build().unwrap(),
+            RuntimeConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        assert!(RuntimeConfig::builder().nodes(0).build().is_err());
+        assert!(RuntimeConfig::builder().duration_s(0.0).build().is_err());
+        assert!(RuntimeConfig::builder()
+            .duration_s(f64::INFINITY)
+            .build()
+            .is_err());
+        assert!(RuntimeConfig::builder().drop_rate(1.0).build().is_err());
+        assert!(RuntimeConfig::builder().drop_rate(-0.1).build().is_err());
+        assert!(RuntimeConfig::builder()
+            .backoff_base_s(-1e-3)
+            .build()
+            .is_err());
+        assert!(RuntimeConfig::builder().timeout_s(0.0).build().is_err());
+        assert!(RuntimeConfig::builder().batch_wake_s(-1.0).build().is_err());
+        let err = RuntimeConfig::builder().drop_rate(2.0).build().unwrap_err();
+        assert!(matches!(err, XProError::Config(_)));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = RuntimeConfig::builder()
+            .nodes(2)
+            .duration_s(3.0)
+            .drop_rate(0.25)
+            .max_retries(9)
+            .backoff_base_s(0.5)
+            .timeout_s(4.0)
+            .seed(99)
+            .batch_wake_s(0.125)
+            .stagger(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.nodes, 2);
+        assert_eq!(cfg.duration_s, 3.0);
+        assert_eq!(cfg.drop_rate, 0.25);
+        assert_eq!(cfg.max_retries, 9);
+        assert_eq!(cfg.backoff_base_s, 0.5);
+        assert_eq!(cfg.timeout_s, 4.0);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.batch_wake_s, 0.125);
+        assert!(!cfg.stagger);
+    }
+}

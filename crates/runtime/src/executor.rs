@@ -1,0 +1,603 @@
+//! The streaming cross-end executor: a fleet of sensor nodes running one
+//! partitioned engine against a shared lossy channel and one aggregator.
+//!
+//! Each node produces a segment every `segment_len / sampling_hz` seconds.
+//! A segment flows through three serialized phases, priced exactly as the
+//! analytic evaluator ([`xpro_core::partition::evaluate`]) prices them:
+//!
+//! 1. **front end** — the node's in-sensor cells (a per-node resource;
+//!    consecutive segments of one node queue on it);
+//! 2. **wireless** — every cross-end producer port becomes one frame
+//!    (transmitted once per the grouped-cells rule), plus the one-sample
+//!    result frame when the classifier output is produced on the sensor.
+//!    Frames from all nodes contend FIFO for the single half-duplex
+//!    channel; each attempt may be lost, retransmissions back off
+//!    exponentially and are bounded, and a segment that cannot finish by
+//!    its deadline is skipped — the stream degrades gracefully instead of
+//!    stalling;
+//! 3. **back end** — the node's in-aggregator cells on the shared serial
+//!    CPU. Segments arriving while the CPU is busy are served back-to-back
+//!    as one batch.
+//!
+//! With a lossless link every completed segment therefore spends exactly
+//! the analytic energy and (uncontended) the analytic delay; loss adds
+//! retransmission energy and latency on top, which is the point of the
+//! fault injection.
+
+use crate::config::RuntimeConfig;
+use crate::link::LossyLink;
+use crate::metrics::MetricsRegistry;
+use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::BITS_PER_SAMPLE;
+use xpro_core::partition::Partition;
+use xpro_core::XProError;
+use xpro_wireless::Frame;
+
+/// One planned wireless transfer of a segment.
+#[derive(Clone, Copy, Debug)]
+struct FramePlan {
+    /// Channel occupancy per attempt.
+    airtime_s: f64,
+    /// Sensor radio energy per attempt (tx when uplink, rx when downlink).
+    sensor_pj: f64,
+    /// Aggregator radio energy per attempt.
+    agg_pj: f64,
+}
+
+/// The per-segment execution plan, identical for every segment and node:
+/// the streaming equivalent of one `evaluate` call.
+#[derive(Clone, Debug)]
+struct SegmentPlan {
+    front_s: f64,
+    back_s: f64,
+    sensor_compute_pj: f64,
+    agg_compute_pj: f64,
+    frames: Vec<FramePlan>,
+}
+
+impl SegmentPlan {
+    fn build(instance: &XProInstance, partition: &Partition) -> Self {
+        let graph = &instance.built().graph;
+        let radio = &instance.config().radio;
+        let mut plan = SegmentPlan {
+            front_s: 0.0,
+            back_s: 0.0,
+            sensor_compute_pj: 0.0,
+            agg_compute_pj: 0.0,
+            frames: Vec::new(),
+        };
+        for c in 0..instance.num_cells() {
+            if partition.in_sensor[c] {
+                plan.sensor_compute_pj += instance.sensor_cost(c).energy_pj;
+                plan.front_s += instance.sensor_time_s(c);
+            } else {
+                plan.agg_compute_pj += instance.aggregator_energy_pj(c);
+                plan.back_s += instance.aggregator_time_s(c);
+            }
+        }
+        // Cross-end transfers: once per producer port with a cross-end
+        // consumer (the grouped-cells rule), exactly as `evaluate`.
+        let side_of = |producer: Option<usize>| -> bool {
+            match producer {
+                None => true, // raw data originates at the sensor
+                Some(c) => partition.in_sensor[c],
+            }
+        };
+        let mut push = |samples: u64, producer_sensor: bool| {
+            let frame = Frame::for_samples(samples, BITS_PER_SAMPLE);
+            let (sensor_pj, agg_pj) = if producer_sensor {
+                (radio.tx_frame_pj(frame), radio.rx_frame_pj(frame))
+            } else {
+                (radio.rx_frame_pj(frame), radio.tx_frame_pj(frame))
+            };
+            plan.frames.push(FramePlan {
+                airtime_s: radio.frame_airtime_s(frame),
+                sensor_pj,
+                agg_pj,
+            });
+        };
+        for port in graph.active_ports() {
+            let producer_sensor = side_of(port.producer);
+            let any_cross = graph
+                .consumers_of(port)
+                .iter()
+                .any(|&c| partition.in_sensor[c] != producer_sensor);
+            if !any_cross {
+                continue;
+            }
+            let samples = match port.producer {
+                None => instance.segment_len() as u64,
+                Some(_) => graph.port_samples(port),
+            };
+            push(samples, producer_sensor);
+        }
+        let result = graph.result_cell();
+        if partition.in_sensor[result] {
+            push(1, true);
+        }
+        plan
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    /// A new segment at a node.
+    Arrival { node: usize },
+    /// A frame transmission attempt for a segment.
+    FrameTx {
+        node: usize,
+        arrival_s: f64,
+        frame: usize,
+        attempt: u32,
+    },
+    /// The segment's back-end work is ready for the aggregator CPU.
+    AggJob { node: usize, arrival_s: f64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // BinaryHeap is a max-heap: invert so the earliest event pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    offered: u64,
+    completed: u64,
+    dropped: u64,
+    timed_out: u64,
+    frame_attempts: u64,
+    frame_drops: u64,
+    retries: u64,
+    compute_pj: f64,
+    wireless_pj: f64,
+    sensor_free_s: f64,
+    latencies_s: Vec<f64>,
+}
+
+/// A configured streaming run over one instance and partition.
+#[derive(Clone, Debug)]
+pub struct Executor<'a> {
+    instance: &'a XProInstance,
+    partition: &'a Partition,
+    config: RuntimeConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Binds an instance, a partition and a runtime configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when the partition size does not match
+    /// the instance's cell count.
+    pub fn new(
+        instance: &'a XProInstance,
+        partition: &'a Partition,
+        config: RuntimeConfig,
+    ) -> Result<Self, XProError> {
+        if partition.in_sensor.len() != instance.num_cells() {
+            return Err(XProError::config(format!(
+                "partition covers {} cells but the instance has {}",
+                partition.in_sensor.len(),
+                instance.num_cells()
+            )));
+        }
+        Ok(Executor {
+            instance,
+            partition,
+            config,
+        })
+    }
+
+    /// Runs the fleet to completion and digests the result.
+    ///
+    /// The simulation is in virtual time: arrivals are generated for
+    /// `[0, duration_s)` and every in-flight segment is drained, so the
+    /// run always terminates — loss and overload surface as skipped
+    /// segments and latency, never as a stall.
+    pub fn run(&self) -> RunReport {
+        let cfg = &self.config;
+        let plan = SegmentPlan::build(self.instance, self.partition);
+        let period_s = self.instance.segment_len() as f64 / self.instance.config().sampling_hz;
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Event>, time_s: f64, kind: EventKind| {
+            heap.push(Event {
+                time_s,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                kind,
+            });
+        };
+
+        for node in 0..cfg.nodes {
+            let offset = if cfg.stagger {
+                period_s * node as f64 / cfg.nodes as f64
+            } else {
+                0.0
+            };
+            let mut t = offset;
+            while t < cfg.duration_s {
+                push(&mut heap, t, EventKind::Arrival { node });
+                t += period_s;
+            }
+        }
+
+        let mut nodes: Vec<NodeState> = vec![NodeState::default(); cfg.nodes];
+        let mut link = LossyLink::new(cfg.drop_rate, cfg.seed);
+        let mut metrics = MetricsRegistry::new();
+        let mut cpu_free_s = 0.0f64;
+        let mut cpu_busy_s = 0.0f64;
+        let mut agg_pj = 0.0f64;
+        let mut batches = 0u64;
+        let mut batch_len = 0u64;
+        let mut max_batch = 0u64;
+
+        while let Some(ev) = heap.pop() {
+            match ev.kind {
+                EventKind::Arrival { node } => {
+                    let st = &mut nodes[node];
+                    st.offered += 1;
+                    metrics.inc("segments_offered", 1);
+                    // The node's front end is serial across its own
+                    // segments.
+                    let start = ev.time_s.max(st.sensor_free_s);
+                    let done = start + plan.front_s;
+                    st.sensor_free_s = done;
+                    st.compute_pj += plan.sensor_compute_pj;
+                    let next = if plan.frames.is_empty() {
+                        EventKind::AggJob {
+                            node,
+                            arrival_s: ev.time_s,
+                        }
+                    } else {
+                        EventKind::FrameTx {
+                            node,
+                            arrival_s: ev.time_s,
+                            frame: 0,
+                            attempt: 0,
+                        }
+                    };
+                    push(&mut heap, done, next);
+                }
+                EventKind::FrameTx {
+                    node,
+                    arrival_s,
+                    frame,
+                    attempt,
+                } => {
+                    let deadline = arrival_s + cfg.timeout_s;
+                    if ev.time_s > deadline {
+                        nodes[node].timed_out += 1;
+                        metrics.inc("segments_timed_out", 1);
+                        continue;
+                    }
+                    let fp = plan.frames[frame];
+                    let sent = link.transmit(ev.time_s, fp.airtime_s);
+                    let st = &mut nodes[node];
+                    st.frame_attempts += 1;
+                    // The radio energy is spent whether or not the frame
+                    // survives the channel: the receiver listens through
+                    // corrupted frames too.
+                    st.wireless_pj += fp.sensor_pj;
+                    agg_pj += fp.agg_pj;
+                    metrics.inc("frame_attempts", 1);
+                    if sent.delivered {
+                        let next = if frame + 1 < plan.frames.len() {
+                            EventKind::FrameTx {
+                                node,
+                                arrival_s,
+                                frame: frame + 1,
+                                attempt: 0,
+                            }
+                        } else {
+                            EventKind::AggJob { node, arrival_s }
+                        };
+                        push(&mut heap, sent.finish_s, next);
+                    } else {
+                        st.frame_drops += 1;
+                        metrics.inc("frame_drops", 1);
+                        if attempt >= cfg.max_retries {
+                            st.dropped += 1;
+                            metrics.inc("segments_dropped", 1);
+                            continue;
+                        }
+                        let retry_at =
+                            sent.finish_s + cfg.backoff_base_s * f64::from(1u32 << attempt.min(20));
+                        if retry_at > deadline {
+                            st.timed_out += 1;
+                            metrics.inc("segments_timed_out", 1);
+                            continue;
+                        }
+                        st.retries += 1;
+                        metrics.inc("retries", 1);
+                        push(
+                            &mut heap,
+                            retry_at,
+                            EventKind::FrameTx {
+                                node,
+                                arrival_s,
+                                frame,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    }
+                }
+                EventKind::AggJob { node, arrival_s } => {
+                    let idle = ev.time_s >= cpu_free_s;
+                    let wake = if idle {
+                        if batch_len > 0 {
+                            metrics.observe("batch_size", batch_len as f64);
+                        }
+                        max_batch = max_batch.max(batch_len);
+                        batches += 1;
+                        batch_len = 1;
+                        cfg.batch_wake_s
+                    } else {
+                        batch_len += 1;
+                        0.0
+                    };
+                    let start = ev.time_s.max(cpu_free_s);
+                    let done = start + wake + plan.back_s;
+                    cpu_busy_s += done - start;
+                    cpu_free_s = done;
+                    agg_pj += plan.agg_compute_pj;
+                    let st = &mut nodes[node];
+                    st.completed += 1;
+                    let latency = done - arrival_s;
+                    st.latencies_s.push(latency);
+                    metrics.inc("segments_completed", 1);
+                    metrics.observe("latency_s", latency);
+                }
+            }
+        }
+        max_batch = max_batch.max(batch_len);
+        if batch_len > 0 {
+            metrics.observe("batch_size", batch_len as f64);
+        }
+
+        self.digest(
+            nodes, &link, metrics, cpu_busy_s, agg_pj, batches, max_batch,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn digest(
+        &self,
+        nodes: Vec<NodeState>,
+        link: &LossyLink,
+        mut metrics: MetricsRegistry,
+        cpu_busy_s: f64,
+        agg_pj: f64,
+        batches: u64,
+        max_batch: u64,
+    ) -> RunReport {
+        let cfg = &self.config;
+        let sys = self.instance.config();
+        let duration = cfg.duration_s;
+        let channel_utilization = link.busy_s() / duration;
+        metrics.set_gauge("channel_utilization", channel_utilization);
+        metrics.set_gauge("aggregator_utilization", cpu_busy_s / duration);
+
+        let node_reports: Vec<NodeReport> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let total_pj = st.compute_pj + st.wireless_pj;
+                let avg_power_w = total_pj * 1e-12 / duration;
+                let battery = &sys.sensor_battery;
+                NodeReport {
+                    node: i,
+                    segments_offered: st.offered,
+                    segments_completed: st.completed,
+                    segments_dropped: st.dropped,
+                    segments_timed_out: st.timed_out,
+                    frame_attempts: st.frame_attempts,
+                    frame_drops: st.frame_drops,
+                    retries: st.retries,
+                    throughput_hz: st.completed as f64 / duration,
+                    latency: LatencyStats::from_samples(st.latencies_s),
+                    compute_pj: st.compute_pj,
+                    wireless_pj: st.wireless_pj,
+                    battery_hours: battery.runtime_hours(avg_power_w),
+                    battery_drawdown: total_pj * 1e-12 / battery.energy_j(),
+                }
+            })
+            .collect();
+
+        let agg_power_w = agg_pj * 1e-12 / duration;
+        let aggregator = AggregatorReport {
+            batches,
+            max_batch,
+            busy_s: cpu_busy_s,
+            utilization: cpu_busy_s / duration,
+            energy_pj: agg_pj,
+            battery_hours: sys.aggregator_battery.runtime_hours(agg_power_w),
+        };
+
+        RunReport {
+            duration_s: duration,
+            nodes: node_reports,
+            aggregator,
+            channel_busy_s: link.busy_s(),
+            channel_utilization,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+    use crate::testutil::tiny_instance;
+    use xpro_core::generator::{Engine, XProGenerator};
+    use xpro_core::partition::evaluate;
+
+    fn cross_end(inst: &XProInstance) -> Partition {
+        XProGenerator::new(inst)
+            .partition_for(Engine::CrossEnd)
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_partition() {
+        let inst = tiny_instance(0);
+        let p = Partition::all_sensor(inst.num_cells() + 1);
+        let err = Executor::new(&inst, &p, RuntimeConfig::default()).unwrap_err();
+        assert!(matches!(err, XProError::Config(_)));
+    }
+
+    #[test]
+    fn zero_loss_run_matches_analytic_evaluator() {
+        let inst = tiny_instance(1);
+        for p in [
+            cross_end(&inst),
+            Partition::all_sensor(inst.num_cells()),
+            Partition::all_aggregator(inst.num_cells()),
+        ] {
+            let analytic = evaluate(&inst, &p);
+            // One uncontended node: per-segment latency and energy must
+            // reproduce the analytic serialized model within 1 %.
+            let cfg = RuntimeConfig::builder()
+                .nodes(1)
+                .duration_s(1.0)
+                .drop_rate(0.0)
+                .build()
+                .unwrap();
+            let report = Executor::new(&inst, &p, cfg).unwrap().run();
+            let node = &report.nodes[0];
+            assert_eq!(node.segments_offered, node.segments_completed);
+            assert_eq!(
+                node.retries + node.segments_dropped + node.segments_timed_out,
+                0
+            );
+            let energy_per_event = node.total_pj() / node.segments_completed as f64;
+            let rel_e =
+                (energy_per_event - analytic.sensor.total_pj()).abs() / analytic.sensor.total_pj();
+            assert!(rel_e < 0.01, "energy off by {rel_e}");
+            let rel_d =
+                (node.latency.p50_s - analytic.delay.total_s()).abs() / analytic.delay.total_s();
+            assert!(rel_d < 0.01, "delay off by {rel_d}");
+        }
+    }
+
+    #[test]
+    fn retries_grow_monotonically_with_drop_rate() {
+        let inst = tiny_instance(2);
+        let p = cross_end(&inst);
+        let mut last = 0u64;
+        for (i, rate) in [0.0, 0.05, 0.15, 0.3].into_iter().enumerate() {
+            let cfg = RuntimeConfig::builder()
+                .nodes(4)
+                .duration_s(2.0)
+                .drop_rate(rate)
+                .seed(1234)
+                .build()
+                .unwrap();
+            let retries = Executor::new(&inst, &p, cfg).unwrap().run().total_retries();
+            assert!(
+                retries >= last,
+                "rate {rate}: retries {retries} < previous {last} (step {i})"
+            );
+            last = retries;
+        }
+        assert!(last > 0, "the sweep never retried");
+    }
+
+    #[test]
+    fn heavy_loss_degrades_gracefully() {
+        let inst = tiny_instance(3);
+        let p = Partition::all_aggregator(inst.num_cells());
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.9)
+            .max_retries(2)
+            .timeout_s(0.05)
+            .seed(7)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let offered: u64 = report.nodes.iter().map(|n| n.segments_offered).sum();
+        let accounted = report.total_completed() + report.total_lost();
+        // Every offered segment terminates — completed or skipped, never
+        // stuck.
+        assert_eq!(offered, accounted);
+        assert!(report.total_lost() > 0, "no loss at 90 % drop rate");
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_the_run() {
+        let inst = tiny_instance(4);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(3)
+            .duration_s(1.0)
+            .drop_rate(0.2)
+            .seed(99)
+            .build()
+            .unwrap();
+        let a = Executor::new(&inst, &p, cfg.clone()).unwrap().run();
+        let b = Executor::new(&inst, &p, cfg).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_report_is_consistent() {
+        let inst = tiny_instance(5);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.05)
+            .seed(5)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        assert_eq!(report.nodes.len(), 4);
+        assert!(report.total_completed() > 0);
+        for n in &report.nodes {
+            assert!(n.segments_offered > 0);
+            assert!(n.battery_hours > 0.0);
+            assert!(n.battery_drawdown >= 0.0);
+            assert!(n.latency.p50_s <= n.latency.p99_s + 1e-12);
+        }
+        assert_eq!(
+            report.metrics.counter("segments_completed"),
+            report.total_completed()
+        );
+        assert!(report.channel_utilization >= 0.0);
+        assert!(!report.render().is_empty());
+        assert!(report.to_json().starts_with('{'));
+    }
+}

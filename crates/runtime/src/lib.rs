@@ -1,0 +1,71 @@
+//! Streaming cross-end executor for partitioned XPro engines.
+//!
+//! `xpro-core` answers the *static* question — where should each
+//! functional cell run, and what does one event cost there. This crate
+//! answers the *dynamic* one: what happens when a fleet of sensor nodes
+//! streams segments through that partition continuously, sharing one
+//! lossy wireless channel and one aggregator.
+//!
+//! The centrepiece is [`Executor`], a deterministic virtual-time
+//! discrete-event simulation:
+//!
+//! * per-node segment windowing at the configured sampling rate;
+//! * per-cell sensor/aggregator execution using the instance's energy and
+//!   delay prices (the same numbers as `xpro_core::partition::evaluate`);
+//! * the wireless link as a lossy FIFO queue ([`LossyLink`]) with seeded
+//!   Bernoulli drops, bounded exponential-backoff retransmission and a
+//!   per-segment deadline — overload and loss degrade the stream
+//!   gracefully instead of stalling it;
+//! * aggregator batching across nodes on the shared serial CPU;
+//! * per-node battery drawdown.
+//!
+//! A run yields a [`RunReport`] — per-node throughput, p50/p95/p99
+//! latency, drop/retry counters, the energy split and a battery-life
+//! estimate — plus a [`MetricsRegistry`] of raw counters, gauges and
+//! histograms.
+//!
+//! The single-event dataflow simulator that used to live in `xpro-sim` is
+//! absorbed here as [`trace`]; `xpro-sim` remains as deprecated wrappers.
+//!
+//! ```
+//! use xpro_runtime::{Executor, RuntimeConfig};
+//! # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+//! # use xpro_core::config::SystemConfig;
+//! # use xpro_core::generator::{Engine, XProGenerator};
+//! # use xpro_core::instance::XProInstance;
+//! # use xpro_data::{generate_case_sized, CaseId};
+//! # fn main() -> Result<(), xpro_core::XProError> {
+//! # let data = generate_case_sized(CaseId::C1, 60, 7);
+//! # let cfg = PipelineConfig::builder().seed(7).build()?;
+//! # let pipeline = XProPipeline::train(&data, &cfg)?;
+//! # let instance = XProInstance::try_new(
+//! #     pipeline.built().clone(), SystemConfig::default(), pipeline.segment_len())?;
+//! let partition = XProGenerator::new(&instance).generate()?;
+//! let config = RuntimeConfig::builder()
+//!     .nodes(4)
+//!     .duration_s(2.0)
+//!     .drop_rate(0.05)
+//!     .seed(42)
+//!     .build()?;
+//! let report = Executor::new(&instance, &partition, config)?.run();
+//! assert!(report.total_completed() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod executor;
+pub mod link;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod trace;
+
+#[cfg(test)]
+mod testutil;
+
+pub use config::{RuntimeConfig, RuntimeConfigBuilder};
+pub use executor::Executor;
+pub use link::LossyLink;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport};

@@ -1,0 +1,134 @@
+//! The shared wireless channel as a lossy FIFO queue.
+//!
+//! All nodes of the fleet contend for one half-duplex channel. A
+//! transmission attempt occupies the channel for the frame's airtime
+//! whether or not it is delivered (the receiver still has to wait out the
+//! corrupted frame); delivery is a Bernoulli trial with the configured
+//! drop rate, drawn from a seeded generator so runs are reproducible.
+
+use crate::rng::XorShiftRng;
+
+/// Outcome of one transmission attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Attempt {
+    /// When the frame started occupying the channel.
+    pub start_s: f64,
+    /// When the channel freed up again.
+    pub finish_s: f64,
+    /// Whether the frame was delivered.
+    pub delivered: bool,
+}
+
+/// A lossy, contended FIFO channel.
+#[derive(Clone, Debug)]
+pub struct LossyLink {
+    drop_rate: f64,
+    rng: XorShiftRng,
+    free_at_s: f64,
+    busy_s: f64,
+    attempts: u64,
+    drops: u64,
+}
+
+impl LossyLink {
+    /// A channel with a per-attempt loss probability and an RNG seed.
+    pub fn new(drop_rate: f64, seed: u64) -> Self {
+        LossyLink {
+            drop_rate,
+            rng: XorShiftRng::new(seed),
+            free_at_s: 0.0,
+            busy_s: 0.0,
+            attempts: 0,
+            drops: 0,
+        }
+    }
+
+    /// Transmits one frame of `airtime_s` requested at `now_s`: the frame
+    /// waits for the channel (FIFO), occupies it for the full airtime, and
+    /// is delivered unless the loss draw fails.
+    pub fn transmit(&mut self, now_s: f64, airtime_s: f64) -> Attempt {
+        let start = now_s.max(self.free_at_s);
+        let finish = start + airtime_s;
+        self.free_at_s = finish;
+        self.busy_s += airtime_s;
+        self.attempts += 1;
+        let delivered = !self.rng.chance(self.drop_rate);
+        if !delivered {
+            self.drops += 1;
+        }
+        Attempt {
+            start_s: start,
+            finish_s: finish,
+            delivered,
+        }
+    }
+
+    /// Earliest time the channel is idle again.
+    pub fn free_at_s(&self) -> f64 {
+        self.free_at_s
+    }
+
+    /// Cumulative time the channel carried frames.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Total transmission attempts so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Attempts lost to the configured drop rate.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_delivers_everything_fifo() {
+        let mut link = LossyLink::new(0.0, 1);
+        let a = link.transmit(0.0, 2.0);
+        let b = link.transmit(1.0, 2.0); // requested while busy: queues
+        assert!(a.delivered && b.delivered);
+        assert_eq!(a.finish_s, 2.0);
+        assert_eq!(b.start_s, 2.0);
+        assert_eq!(b.finish_s, 4.0);
+        assert_eq!(link.busy_s(), 4.0);
+        assert_eq!(link.drops(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut link = LossyLink::new(0.2, 42);
+        for _ in 0..10_000 {
+            link.transmit(0.0, 1e-6);
+        }
+        let rate = link.drops() as f64 / link.attempts() as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn dropped_frames_still_occupy_the_channel() {
+        let mut link = LossyLink::new(0.999, 3);
+        let before = link.free_at_s();
+        link.transmit(before, 0.5);
+        assert_eq!(link.free_at_s(), before + 0.5);
+        assert_eq!(link.busy_s(), 0.5);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_drop_pattern() {
+        let mut a = LossyLink::new(0.5, 9);
+        let mut b = LossyLink::new(0.5, 9);
+        for _ in 0..200 {
+            assert_eq!(
+                a.transmit(0.0, 1e-6).delivered,
+                b.transmit(0.0, 1e-6).delivered
+            );
+        }
+    }
+}

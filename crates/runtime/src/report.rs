@@ -1,0 +1,325 @@
+//! Structured results of a streaming run: per-node statistics, aggregator
+//! and channel utilization, and the raw metrics registry.
+
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Latency percentiles over the completed segments of one node, computed
+/// exactly from the recorded samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst observed.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Exact order statistics of a sample set (all zeros when empty).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = samples.len();
+        let at = |q: f64| -> f64 {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            samples[rank - 1]
+        };
+        LatencyStats {
+            count: n as u64,
+            mean_s: samples.iter().sum::<f64>() / n as f64,
+            p50_s: at(0.50),
+            p95_s: at(0.95),
+            p99_s: at(0.99),
+            max_s: samples[n - 1],
+        }
+    }
+}
+
+/// One sensor node's view of the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// Node index in the fleet.
+    pub node: usize,
+    /// Segments that arrived during the run.
+    pub segments_offered: u64,
+    /// Segments whose classification result reached the aggregator.
+    pub segments_completed: u64,
+    /// Segments abandoned after exhausting frame retries.
+    pub segments_dropped: u64,
+    /// Segments skipped at their deadline (graceful degradation).
+    pub segments_timed_out: u64,
+    /// Frame transmission attempts, including retransmissions.
+    pub frame_attempts: u64,
+    /// Attempts lost on the link.
+    pub frame_drops: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Completed segments per simulated second.
+    pub throughput_hz: f64,
+    /// End-to-end latency of completed segments.
+    pub latency: LatencyStats,
+    /// In-sensor compute energy spent over the run (pJ).
+    pub compute_pj: f64,
+    /// Sensor radio energy spent over the run (pJ), retransmissions
+    /// included.
+    pub wireless_pj: f64,
+    /// Sensor battery life at this run's average power draw (hours).
+    pub battery_hours: f64,
+    /// Fraction of the sensor battery consumed during the run.
+    pub battery_drawdown: f64,
+}
+
+impl NodeReport {
+    /// Total sensor energy over the run in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.wireless_pj
+    }
+}
+
+/// The shared aggregator's view of the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregatorReport {
+    /// Batches the CPU woke up for (consecutive segments processed
+    /// back-to-back count as one batch).
+    pub batches: u64,
+    /// Largest number of segments served in one batch.
+    pub max_batch: u64,
+    /// Time the CPU spent executing cells.
+    pub busy_s: f64,
+    /// CPU busy time over the simulated duration.
+    pub utilization: f64,
+    /// Aggregator energy (radio + compute) over the run (pJ).
+    pub energy_pj: f64,
+    /// Aggregator battery life at this run's average power draw (hours).
+    pub battery_hours: f64,
+}
+
+/// Results of one [`crate::Executor::run`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Per-node statistics, indexed by node.
+    pub nodes: Vec<NodeReport>,
+    /// Aggregator statistics.
+    pub aggregator: AggregatorReport,
+    /// Time the shared channel carried frames.
+    pub channel_busy_s: f64,
+    /// Channel busy time over the simulated duration.
+    pub channel_utilization: f64,
+    /// Raw counters/gauges/histograms recorded during the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunReport {
+    /// Segments completed fleet-wide.
+    pub fn total_completed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.segments_completed).sum()
+    }
+
+    /// Segments lost fleet-wide (retry exhaustion + deadline skips).
+    pub fn total_lost(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.segments_dropped + n.segments_timed_out)
+            .sum()
+    }
+
+    /// Retransmissions fleet-wide.
+    pub fn total_retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retries).sum()
+    }
+
+    /// Fleet-wide latency over every completed segment.
+    pub fn fleet_latency(&self) -> LatencyStats {
+        // Recompute from the shared histogram-free per-node stats is not
+        // possible exactly; the executor stores the fleet-wide set in the
+        // `latency_s` histogram. Approximate percentiles come from there.
+        match self.metrics.histogram("latency_s") {
+            Some(h) => LatencyStats {
+                count: h.count(),
+                mean_s: h.mean(),
+                p50_s: h.quantile(0.50),
+                p95_s: h.quantile(0.95),
+                p99_s: h.quantile(0.99),
+                max_s: h.max(),
+            },
+            None => LatencyStats::default(),
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fleet = self.fleet_latency();
+        let _ = writeln!(
+            out,
+            "fleet: {} nodes, {:.1} s simulated — {} segments completed, {} lost, {} retries",
+            self.nodes.len(),
+            self.duration_s,
+            self.total_completed(),
+            self.total_lost(),
+            self.total_retries(),
+        );
+        let _ = writeln!(
+            out,
+            "latency (fleet): p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+            fleet.p50_s * 1e3,
+            fleet.p95_s * 1e3,
+            fleet.p99_s * 1e3,
+            fleet.max_s * 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "channel: {:.1} % busy; aggregator CPU: {:.1} % busy, {} batches (max {})",
+            self.channel_utilization * 100.0,
+            self.aggregator.utilization * 100.0,
+            self.aggregator.batches,
+            self.aggregator.max_batch,
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>9} {:>9} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>12}",
+            "node",
+            "offered",
+            "done",
+            "lost",
+            "retries",
+            "p50 ms",
+            "p99 ms",
+            "thru Hz",
+            "energy nJ",
+            "battery h"
+        );
+        for n in &self.nodes {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>9} {:>9} {:>6} {:>7} {:>9.3} {:>9.3} {:>9.2} {:>10.2} {:>12.1}",
+                n.node,
+                n.segments_offered,
+                n.segments_completed,
+                n.segments_dropped + n.segments_timed_out,
+                n.retries,
+                n.latency.p50_s * 1e3,
+                n.latency.p99_s * 1e3,
+                n.throughput_hz,
+                n.total_pj() * 1e-3,
+                n.battery_hours,
+            );
+        }
+        out
+    }
+
+    /// The report as a JSON object (hand-rolled; the workspace carries no
+    /// serialization dependency).
+    pub fn to_json(&self) -> String {
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let fleet = self.fleet_latency();
+        let latency_json = |l: &LatencyStats| -> String {
+            format!(
+                "{{\"count\":{},\"mean_s\":{},\"p50_s\":{},\"p95_s\":{},\"p99_s\":{},\"max_s\":{}}}",
+                l.count,
+                num(l.mean_s),
+                num(l.p50_s),
+                num(l.p95_s),
+                num(l.p99_s),
+                num(l.max_s)
+            )
+        };
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"node\":{},\"offered\":{},\"completed\":{},\"dropped\":{},\
+                     \"timed_out\":{},\"frame_attempts\":{},\"frame_drops\":{},\"retries\":{},\
+                     \"throughput_hz\":{},\"latency\":{},\"compute_pj\":{},\"wireless_pj\":{},\
+                     \"battery_hours\":{},\"battery_drawdown\":{}}}",
+                    n.node,
+                    n.segments_offered,
+                    n.segments_completed,
+                    n.segments_dropped,
+                    n.segments_timed_out,
+                    n.frame_attempts,
+                    n.frame_drops,
+                    n.retries,
+                    num(n.throughput_hz),
+                    latency_json(&n.latency),
+                    num(n.compute_pj),
+                    num(n.wireless_pj),
+                    num(n.battery_hours),
+                    num(n.battery_drawdown),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"duration_s\":{},\"completed\":{},\"lost\":{},\"retries\":{},\
+             \"latency\":{},\"channel_utilization\":{},\
+             \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"busy_s\":{},\
+             \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{}}},\
+             \"nodes\":[{}]}}",
+            num(self.duration_s),
+            self.total_completed(),
+            self.total_lost(),
+            self.total_retries(),
+            latency_json(&fleet),
+            num(self.channel_utilization),
+            self.aggregator.batches,
+            self.aggregator.max_batch,
+            num(self.aggregator.busy_s),
+            num(self.aggregator.utilization),
+            num(self.aggregator.energy_pj),
+            num(self.aggregator.battery_hours),
+            nodes.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_are_exact_order_statistics() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_latency_is_all_zero() {
+        assert_eq!(
+            LatencyStats::from_samples(Vec::new()),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn single_sample_fills_every_percentile() {
+        let s = LatencyStats::from_samples(vec![0.25]);
+        assert_eq!(s.p50_s, 0.25);
+        assert_eq!(s.p99_s, 0.25);
+        assert_eq!(s.max_s, 0.25);
+    }
+}

@@ -1,0 +1,62 @@
+//! Hand-built small instances for this crate's unit tests.
+
+use std::collections::BTreeMap;
+use xpro_core::builder::BuiltGraph;
+use xpro_core::cellgraph::{Cell, CellGraph, PortRef};
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::Domain;
+use xpro_hw::ModuleKind;
+use xpro_signal::stats::FeatureKind;
+
+/// A small instance: four time-domain features over the raw window, one
+/// SVM whose size varies with the seed, and a fusion cell.
+pub(crate) fn tiny_instance(seed: u64) -> XProInstance {
+    let mut graph = CellGraph::new(128);
+    let mut feature_cells = BTreeMap::new();
+    let kinds = [
+        FeatureKind::Max,
+        FeatureKind::Var,
+        FeatureKind::Skew,
+        FeatureKind::Kurt,
+    ];
+    for (i, &kind) in kinds.iter().enumerate() {
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: 128,
+                reuses_var: false,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: vec![PortRef::RAW],
+            label: format!("f{i}"),
+        });
+        feature_cells.insert(i, id);
+    }
+    let svm = graph.add_cell(Cell {
+        module: ModuleKind::Svm {
+            support_vectors: 10 + (seed % 40) as usize,
+            dims: 4,
+            rbf: true,
+        },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: (0..4).map(|i| PortRef::cell(feature_cells[&i])).collect(),
+        label: "svm".into(),
+    });
+    let fusion = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases: 1 },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: vec![PortRef::cell(svm)],
+        label: "fusion".into(),
+    });
+    let built = BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells: vec![svm],
+        fusion_cell: fusion,
+    };
+    XProInstance::try_new(built, SystemConfig::default(), 100).expect("valid test instance")
+}

@@ -5,15 +5,10 @@
 //! Run: `cargo run --release --example bsn_fleet`
 
 use xpro::core::builder::BuildOptions;
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::Engine;
-use xpro::core::instance::XProInstance;
-use xpro::core::multiclass::MulticlassPipeline;
-use xpro::core::multinode::BsnSystem;
-use xpro::core::pipeline::{PipelineConfig, XProPipeline};
 use xpro::data::grasps::generate_grasps;
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
 
 fn subspace() -> SubspaceConfig {
     SubspaceConfig {
@@ -25,12 +20,9 @@ fn subspace() -> SubspaceConfig {
     }
 }
 
-fn binary_node(case: CaseId, seed: u64) -> Result<XProInstance, Box<dyn std::error::Error>> {
+fn binary_node(case: CaseId, seed: u64) -> Result<XProInstance, XProError> {
     let data = generate_case_sized(case, 200, seed);
-    let cfg = PipelineConfig {
-        subspace: subspace(),
-        ..PipelineConfig::default()
-    };
+    let cfg = PipelineConfig::builder().subspace(subspace()).build()?;
     let p = XProPipeline::train(&data, &cfg)?;
     println!(
         "  {case}: {} cells, accuracy {:.0}%",
@@ -38,14 +30,10 @@ fn binary_node(case: CaseId, seed: u64) -> Result<XProInstance, Box<dyn std::err
         p.test_accuracy() * 100.0
     );
     let len = p.segment_len();
-    Ok(XProInstance::new(
-        p.into_built(),
-        SystemConfig::default(),
-        len,
-    ))
+    XProInstance::try_new(p.into_built(), SystemConfig::default(), len)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), XProError> {
     println!("training the fleet:");
     let ecg = binary_node(CaseId::C1, 1)?;
     let eeg = binary_node(CaseId::E1, 2)?;
@@ -60,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grasp.test_accuracy() * 100.0
     );
     let grasp_len = grasp.segment_len();
-    let emg = XProInstance::new(grasp.into_built(), SystemConfig::default(), grasp_len);
+    let emg = XProInstance::try_new(grasp.into_built(), SystemConfig::default(), grasp_len)?;
 
     let mut bsn = BsnSystem::new();
     bsn.add_node(ecg).add_node(eeg).add_node(emg);
@@ -70,14 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "engine", "weakest sensor", "aggregator", "channel", "fits"
     );
     for engine in [Engine::InAggregator, Engine::InSensor, Engine::CrossEnd] {
-        let eval = bsn.evaluate(engine);
+        let eval = bsn.evaluate(engine)?;
         println!(
             "{:<18} {:>13.0} h {:>11.0} h {:>11.1}% {:>9} nodes",
             engine.short(),
             eval.weakest_sensor_hours(),
             eval.aggregator_battery_hours,
             eval.channel_utilization * 100.0,
-            bsn.max_nodes_on_shared_channel(engine)
+            bsn.max_nodes_on_shared_channel(engine)?
         );
     }
     println!(

@@ -11,15 +11,13 @@
 
 use std::collections::BTreeMap;
 use xpro::core::builder::BuiltGraph;
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::{Engine, XProGenerator};
-use xpro::core::instance::XProInstance;
 use xpro::core::{Cell, CellGraph, Domain, PortRef};
 use xpro::hw::ModuleKind;
+use xpro::prelude::*;
 use xpro::signal::FeatureKind;
 use xpro::wireless::TransceiverModel;
 
-fn main() {
+fn main() -> Result<(), XProError> {
     // A 128-sample segment feeding three features and one classifier.
     let mut graph = CellGraph::new(128);
     let feature = |kind: FeatureKind| Cell {
@@ -63,14 +61,11 @@ fn main() {
     );
     for tx_nj in [0.05, 0.2, 0.8, 3.2, 12.8] {
         let radio = TransceiverModel::new(format!("custom {tx_nj}"), tx_nj, tx_nj * 1.1, 2.0e6);
-        let config = SystemConfig {
-            radio,
-            ..SystemConfig::default()
-        };
-        let instance = XProInstance::new(built.clone(), config, 128);
+        let config = SystemConfig::builder().radio(radio).build()?;
+        let instance = XProInstance::try_new(built.clone(), config, 128)?;
         let generator = XProGenerator::new(&instance);
-        let cut = generator.partition_for(Engine::CrossEnd);
-        let eval = generator.evaluate_engine(Engine::CrossEnd);
+        let cut = generator.partition_for(Engine::CrossEnd)?;
+        let eval = generator.evaluate_engine(Engine::CrossEnd)?;
         println!(
             "{:>16} {:>11}/{:<4} {:>14.3} {:>12.3}",
             format!("{tx_nj}"),
@@ -84,4 +79,5 @@ fn main() {
         "\nas the radio gets more expensive the generator pushes cells into the sensor,\n\
          reproducing the in-aggregator → cross-end → in-sensor continuum of the paper."
     );
+    Ok(())
 }

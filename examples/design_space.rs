@@ -8,25 +8,21 @@
 //!
 //! Run: `cargo run --release --example design_space`
 
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::{Engine, XProGenerator};
-use xpro::core::instance::XProInstance;
-use xpro::core::pipeline::{PipelineConfig, XProPipeline};
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::hw::ProcessNode;
 use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
 use xpro::wireless::TransceiverModel;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), XProError> {
     let dataset = generate_case_sized(CaseId::E1, 240, 11);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 20,
             keep_fraction: 0.25,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()?;
     let pipeline = XProPipeline::train(&dataset, &cfg)?;
     println!(
         "E1 pipeline: {} cells, accuracy {:.1}%\n",
@@ -40,17 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for node in ProcessNode::ALL {
         for (ri, radio) in TransceiverModel::paper_models().into_iter().enumerate() {
-            let config = SystemConfig {
-                node,
-                radio,
-                ..SystemConfig::default()
-            };
+            let config = SystemConfig::builder().node(node).radio(radio).build()?;
             let instance =
-                XProInstance::new(pipeline.built().clone(), config, pipeline.segment_len());
+                XProInstance::try_new(pipeline.built().clone(), config, pipeline.segment_len())?;
             let generator = XProGenerator::new(&instance);
-            let cut = generator.partition_for(Engine::CrossEnd);
-            let c = generator.evaluate_engine(Engine::CrossEnd);
-            let a = generator.evaluate_engine(Engine::InAggregator);
+            let cut = generator.partition_for(Engine::CrossEnd)?;
+            let c = generator.evaluate_engine(Engine::CrossEnd)?;
+            let a = generator.evaluate_engine(Engine::InAggregator)?;
             println!(
                 "{:<8} {:<10} {:>9}/{:<4} {:>12.2} {:>12.2} {:>10.0} {:>7.2}x",
                 node.to_string(),

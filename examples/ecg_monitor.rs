@@ -10,25 +10,21 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::{Engine, XProGenerator};
-use xpro::core::instance::XProInstance;
-use xpro::core::pipeline::{PipelineConfig, XProPipeline};
 use xpro::data::ecg::{generate_ecg, EcgParams};
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), XProError> {
     // Train the monitor on the C1 (TwoLeadECG) case.
     let dataset = generate_case_sized(CaseId::C1, 240, 7);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 20,
             keep_fraction: 0.25,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()?;
     let pipeline = XProPipeline::train(&dataset, &cfg)?;
     println!(
         "monitor trained: accuracy {:.1}% on held-out beats",
@@ -36,14 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Deploy cross-end.
-    let instance = XProInstance::new(
+    let instance = XProInstance::try_new(
         pipeline.built().clone(),
         SystemConfig::default(),
         pipeline.segment_len(),
-    );
+    )?;
     let generator = XProGenerator::new(&instance);
-    let cut = generator.partition_for(Engine::CrossEnd);
-    let eval = generator.evaluate_engine(Engine::CrossEnd);
+    let cut = generator.partition_for(Engine::CrossEnd)?;
+    let eval = generator.evaluate_engine(Engine::CrossEnd)?;
     println!(
         "deployed cross-end: {}/{} cells on the wristband, {:.2} uJ and {:.2} ms per beat window",
         cut.sensor_count(),
@@ -93,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rate,
         eval.sensor_battery_hours,
         generator
-            .evaluate_engine(Engine::InAggregator)
+            .evaluate_engine(Engine::InAggregator)?
             .sensor_battery_hours
     );
     Ok(())

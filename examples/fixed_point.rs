@@ -5,22 +5,18 @@
 //!
 //! Run: `cargo run --release --example fixed_point`
 
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::{Engine, XProGenerator};
-use xpro::core::instance::XProInstance;
-use xpro::core::pipeline::{PipelineConfig, XProPipeline};
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+fn main() -> Result<(), XProError> {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 16,
             keep_fraction: 0.25,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()?;
 
     println!(
         "{:<6} {:>10} {:>16} {:>16} {:>12}",
@@ -29,12 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for case in CaseId::ALL {
         let train = generate_case_sized(case, 200, 7);
         let pipeline = XProPipeline::train(&train, &cfg)?;
-        let instance = XProInstance::new(
+        let instance = XProInstance::try_new(
             pipeline.built().clone(),
             SystemConfig::default(),
             pipeline.segment_len(),
-        );
-        let cut = XProGenerator::new(&instance).partition_for(Engine::CrossEnd);
+        )?;
+        let cut = XProGenerator::new(&instance).partition_for(Engine::CrossEnd)?;
 
         // Fresh evaluation stream.
         let test = generate_case_sized(case, 120, 1234);

@@ -4,15 +4,11 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use xpro::core::config::SystemConfig;
-use xpro::core::generator::{Engine, XProGenerator};
-use xpro::core::instance::XProInstance;
-use xpro::core::pipeline::{PipelineConfig, XProPipeline};
-use xpro::core::report::EngineComparison;
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), XProError> {
     // 1. Workload: the paper's C1 case (TwoLeadECG), subsampled for speed.
     let dataset = generate_case_sized(CaseId::C1, 200, 42);
     println!(
@@ -25,14 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Train the generic classification framework: 8 statistical features
     //    on the time domain and a 5-level DWT, random-subspace SVM ensemble,
     //    least-squares weighted voting.
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 16,
             keep_fraction: 0.25,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()?;
     let pipeline = XProPipeline::train(&dataset, &cfg)?;
     println!(
         "trained: {} base classifiers, {} feature cells, test accuracy {:.1}%",
@@ -45,19 +40,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    90 nm sensor hardware at 16 MHz, wireless Model 2, Cortex-A8
     //    aggregator, 40 mAh sensor battery.
     let segment_len = pipeline.segment_len();
-    let instance = XProInstance::new(pipeline.into_built(), SystemConfig::default(), segment_len);
+    let instance =
+        XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)?;
     println!("instance: {} functional cells", instance.num_cells());
 
     // 4. Generate the cross-end partition and compare engines.
     let generator = XProGenerator::new(&instance);
-    let cut = generator.partition_for(Engine::CrossEnd);
+    let cut = generator.partition_for(Engine::CrossEnd)?;
     println!(
         "cross-end cut: {}/{} cells in-sensor",
         cut.sensor_count(),
         instance.num_cells()
     );
 
-    let cmp = EngineComparison::evaluate("C1", &instance);
+    let cmp = EngineComparison::evaluate("C1", &instance)?;
     println!(
         "\n{:<22} {:>12} {:>12} {:>12}",
         "engine", "energy/event", "delay", "battery"

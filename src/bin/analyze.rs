@@ -20,6 +20,7 @@ use xpro::core::config::SystemConfig;
 use xpro::core::generator::XProGenerator;
 use xpro::core::instance::XProInstance;
 use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::core::XProError;
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
 
@@ -111,7 +112,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<bool, String> {
+fn run(args: &Args) -> Result<bool, XProError> {
     // Resolve input bounds: explicit flags beat dataset metadata beats the
     // normalized default.
     let dataset = args
@@ -133,32 +134,32 @@ fn run(args: &Args) -> Result<bool, String> {
     };
     if let Some(s) = args.scale {
         if s <= 0.0 {
-            return Err("--scale must be positive".into());
+            return Err(XProError::config("--scale must be positive"));
         }
         bounds = SignalBounds::new(-s, s);
     }
     if args.lo.is_some() || args.hi.is_some() {
         let (lo, hi) = (args.lo.unwrap_or(bounds.lo), args.hi.unwrap_or(bounds.hi));
         if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
-            return Err(format!("invalid bounds: --lo {lo} --hi {hi}"));
+            return Err(XProError::config(format!(
+                "invalid bounds: --lo {lo} --hi {hi}"
+            )));
         }
         bounds = SignalBounds::new(lo, hi);
     }
 
     let (built, segment_len, label) = if args.trained {
         let data = dataset.as_ref().expect("--trained requires --case");
-        let cfg = PipelineConfig {
-            subspace: SubspaceConfig {
+        let cfg = PipelineConfig::builder()
+            .subspace(SubspaceConfig {
                 candidates: 10,
                 keep_fraction: 0.3,
                 min_keep: 3,
                 folds: 2,
                 ..SubspaceConfig::default()
-            },
-            ..PipelineConfig::default()
-        };
-        let pipeline =
-            XProPipeline::train(data, &cfg).map_err(|e| format!("training failed: {e}"))?;
+            })
+            .build()?;
+        let pipeline = XProPipeline::train(data, &cfg)?;
         let len = pipeline.segment_len();
         (pipeline.into_built(), len, "trained pipeline graph")
     } else {
@@ -170,13 +171,14 @@ fn run(args: &Args) -> Result<bool, String> {
     };
 
     println!("analyzing {label} ({} cells)", built.graph.len());
-    let instance = XProInstance::with_bounds(built, SystemConfig::default(), segment_len, bounds);
+    let instance =
+        XProInstance::try_with_bounds(built, SystemConfig::default(), segment_len, bounds)?;
     let report = instance.analysis();
     println!("{report}");
 
     if args.trained {
         let generator = XProGenerator::new(&instance);
-        let cut = generator.generate();
+        let cut = generator.generate()?;
         println!(
             "generator: cross-end cut maps {} of {} cells to the sensor; numerically valid: {}",
             cut.sensor_count(),

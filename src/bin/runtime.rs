@@ -1,0 +1,193 @@
+//! `runtime` — streaming fleet execution of a partitioned engine.
+//!
+//! Trains a Table-1 case, lets the Automatic XPro Generator place the
+//! cut (or forces one of the reference engines), then streams segments
+//! from a fleet of sensor nodes through the partition in virtual time:
+//! one lossy half-duplex channel, bounded retransmission with exponential
+//! backoff, per-segment deadlines and aggregator batching. Prints the
+//! run report (per-node throughput, latency percentiles, drop/retry
+//! counters, energy split, battery life) as text or JSON.
+//!
+//! Run: `cargo run --release --bin runtime -- --nodes 4 --seconds 5 --drop-rate 0.1`
+
+use std::process::ExitCode;
+use xpro::core::generator::Engine;
+use xpro::core::XProError;
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
+
+const USAGE: &str = "\
+usage: runtime [options]
+
+Streaming cross-end execution of a partitioned engine over a fleet.
+
+options:
+  --case <SYM>        Table-1 workload to train (C1, C2, E1, E2, M1, M2;
+                      default C1)
+  --segments <N>      training-set size (default 60)
+  --engine <E>        partition to stream: cross-end (default), in-sensor,
+                      in-aggregator, trivial
+  --nodes <N>         sensor nodes sharing channel + aggregator (default 4)
+  --seconds <S>       simulated (virtual) duration (default 10)
+  --drop-rate <P>     per-attempt frame loss probability in [0, 1)
+                      (default 0)
+  --max-retries <N>   retransmissions per frame before the segment is
+                      abandoned (default 3)
+  --timeout <S>       per-segment deadline in seconds (default 1)
+  --seed <N>          fault-injection RNG seed (default 1)
+  --json              emit the report as JSON instead of text
+  -h, --help          this message";
+
+struct Args {
+    case: CaseId,
+    segments: usize,
+    engine: Engine,
+    nodes: usize,
+    seconds: f64,
+    drop_rate: f64,
+    max_retries: u32,
+    timeout_s: f64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        case: CaseId::C1,
+        segments: 60,
+        engine: Engine::CrossEnd,
+        nodes: 4,
+        seconds: 10.0,
+        drop_rate: 0.0,
+        max_retries: 3,
+        timeout_s: 1.0,
+        seed: 1,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--case" => {
+                let sym = value("--case")?;
+                args.case = CaseId::ALL
+                    .into_iter()
+                    .find(|c| c.symbol().eq_ignore_ascii_case(&sym))
+                    .ok_or_else(|| format!("unknown case {sym:?}"))?;
+            }
+            "--segments" => {
+                args.segments = value("--segments")?
+                    .parse()
+                    .map_err(|e| format!("--segments: {e}"))?;
+            }
+            "--engine" => {
+                args.engine = match value("--engine")?.to_ascii_lowercase().as_str() {
+                    "cross-end" | "c" => Engine::CrossEnd,
+                    "in-sensor" | "s" => Engine::InSensor,
+                    "in-aggregator" | "a" => Engine::InAggregator,
+                    "trivial" | "t" => Engine::TrivialCut,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--seconds" => {
+                args.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+            }
+            "--drop-rate" => {
+                args.drop_rate = value("--drop-rate")?
+                    .parse()
+                    .map_err(|e| format!("--drop-rate: {e}"))?;
+            }
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--timeout" => {
+                args.timeout_s = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), XProError> {
+    let data = generate_case_sized(args.case, args.segments, 42);
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        })
+        .build()?;
+    let pipeline = XProPipeline::train(&data, &cfg)?;
+    let segment_len = pipeline.segment_len();
+    let instance =
+        XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)?;
+    let generator = XProGenerator::new(&instance);
+    let partition = generator.partition_for(args.engine)?;
+
+    let run_cfg = RuntimeConfig::builder()
+        .nodes(args.nodes)
+        .duration_s(args.seconds)
+        .drop_rate(args.drop_rate)
+        .max_retries(args.max_retries)
+        .timeout_s(args.timeout_s)
+        .seed(args.seed)
+        .build()?;
+    let report = Executor::new(&instance, &partition, run_cfg)?.run();
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "case {} / engine {:?}: {} cells, {} on the sensor",
+            args.case.symbol(),
+            args.engine,
+            instance.num_cells(),
+            partition.sensor_count()
+        );
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,39 +19,46 @@
 //! * [`graph`] — Dinic max-flow / min-cut and DAG critical paths;
 //! * [`core`] — the XPro engine itself: cell graphs, the Automatic XPro
 //!   Generator, the four engine designs and system evaluation;
-//! * [`sim`] — discrete-event simulation of partitioned engines
-//!   (asynchronous cells, shared half-duplex channel, serial aggregator CPU).
+//! * [`runtime`] — streaming cross-end executor: fleets of sensor nodes
+//!   over a lossy shared channel, fault injection, metrics and run reports;
+//! * [`sim`] — deprecated facade over `runtime`'s single-event simulator.
 //!
 //! # Quick start
 //!
 //! ```
-//! use xpro::core::config::SystemConfig;
-//! use xpro::core::generator::Engine;
-//! use xpro::core::instance::XProInstance;
-//! use xpro::core::pipeline::{PipelineConfig, XProPipeline};
-//! use xpro::core::report::EngineComparison;
+//! use xpro::prelude::*;
 //! use xpro::data::{generate_case_sized, CaseId};
 //! use xpro::ml::SubspaceConfig;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), XProError> {
 //! // 1. A workload: the paper's C1 case (TwoLeadECG), subsampled.
 //! let data = generate_case_sized(CaseId::C1, 80, 42);
 //!
 //! // 2. Train the generic classification pipeline.
-//! let cfg = PipelineConfig {
-//!     subspace: SubspaceConfig { candidates: 8, folds: 2, ..Default::default() },
-//!     ..Default::default()
-//! };
+//! let cfg = PipelineConfig::builder()
+//!     .subspace(SubspaceConfig { candidates: 8, folds: 2, ..Default::default() })
+//!     .build()?;
 //! let pipeline = XProPipeline::train(&data, &cfg)?;
 //!
 //! // 3. Price the functional cells under the paper's default system
 //! //    (90 nm sensor, wireless Model 2, Cortex-A8 aggregator).
 //! let segment_len = pipeline.segment_len();
-//! let instance = XProInstance::new(pipeline.into_built(), SystemConfig::default(), segment_len);
+//! let instance =
+//!     XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)?;
 //!
 //! // 4. Let the Automatic XPro Generator place the cut and compare engines.
-//! let cmp = EngineComparison::evaluate("C1", &instance);
+//! let cmp = EngineComparison::evaluate("C1", &instance)?;
 //! assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0);
+//!
+//! // 5. Stream it: a 4-node fleet over a 5 % lossy link.
+//! let partition = XProGenerator::new(&instance).generate()?;
+//! let run_cfg = RuntimeConfig::builder()
+//!     .nodes(4)
+//!     .duration_s(1.0)
+//!     .drop_rate(0.05)
+//!     .build()?;
+//! let report = Executor::new(&instance, &partition, run_cfg)?.run();
+//! assert!(report.total_completed() > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -63,6 +70,14 @@ pub use xpro_data as data;
 pub use xpro_graph as graph;
 pub use xpro_hw as hw;
 pub use xpro_ml as ml;
+pub use xpro_runtime as runtime;
 pub use xpro_signal as signal;
 pub use xpro_sim as sim;
 pub use xpro_wireless as wireless;
+
+/// One-import surface for the common workflow: everything from
+/// [`xpro_core::prelude`] plus the streaming executor types.
+pub mod prelude {
+    pub use xpro_core::prelude::*;
+    pub use xpro_runtime::{Executor, RunReport, RuntimeConfig};
+}

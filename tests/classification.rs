@@ -8,17 +8,17 @@ use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
 
 fn quick_cfg(seed: u64) -> PipelineConfig {
-    PipelineConfig {
-        subspace: SubspaceConfig {
+    PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 12,
             keep_fraction: 0.25,
             min_keep: 3,
             folds: 2,
             ..SubspaceConfig::default()
-        },
-        seed,
-        ..PipelineConfig::default()
-    }
+        })
+        .seed(seed)
+        .build()
+        .expect("valid config")
 }
 
 #[test]

@@ -12,17 +12,17 @@ use xpro::ml::SubspaceConfig;
 
 fn trained(case: CaseId, seed: u64) -> XProPipeline {
     let data = generate_case_sized(case, 90, seed);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 10,
             keep_fraction: 0.3,
             min_keep: 3,
             folds: 2,
             ..SubspaceConfig::default()
-        },
-        seed,
-        ..PipelineConfig::default()
-    };
+        })
+        .seed(seed)
+        .build()
+        .expect("valid config");
     XProPipeline::train(&data, &cfg).expect("pipeline trains")
 }
 
@@ -30,15 +30,16 @@ fn trained(case: CaseId, seed: u64) -> XProPipeline {
 fn every_engine_partition_is_functionally_equivalent() {
     for case in [CaseId::C1, CaseId::E2, CaseId::M2] {
         let pipeline = trained(case, 3);
-        let instance = XProInstance::new(
+        let instance = XProInstance::try_new(
             pipeline.built().clone(),
             SystemConfig::default(),
             pipeline.segment_len(),
-        );
+        )
+        .expect("valid instance");
         let generator = XProGenerator::new(&instance);
         let data = generate_case_sized(case, 40, 77);
         for engine in Engine::ALL {
-            let partition = generator.partition_for(engine);
+            let partition = generator.partition_for(engine).expect("partition");
             for segment in &data.segments {
                 assert_eq!(
                     pipeline.classify_partitioned(segment, &partition),

@@ -29,14 +29,14 @@ fn subspace() -> SubspaceConfig {
 
 fn binary_instance(case: CaseId, seed: u64) -> XProInstance {
     let data = generate_case_sized(case, 90, seed);
-    let cfg = PipelineConfig {
-        subspace: subspace(),
-        seed,
-        ..PipelineConfig::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .subspace(subspace())
+        .seed(seed)
+        .build()
+        .expect("valid config");
     let p = XProPipeline::train(&data, &cfg).expect("trains");
     let len = p.segment_len();
-    XProInstance::new(p.into_built(), SystemConfig::default(), len)
+    XProInstance::try_new(p.into_built(), SystemConfig::default(), len).expect("valid instance")
 }
 
 #[test]
@@ -45,9 +45,12 @@ fn multiclass_pipeline_flows_through_the_generator() {
     let p = MulticlassPipeline::train(&data, &subspace(), &BuildOptions::default(), 9)
         .expect("multi-class trains");
     let len = p.segment_len();
-    let inst = XProInstance::new(p.into_built(), SystemConfig::default(), len);
+    let inst = XProInstance::try_new(p.into_built(), SystemConfig::default(), len)
+        .expect("valid instance");
     let generator = XProGenerator::new(&inst);
-    let c = generator.evaluate_engine(Engine::CrossEnd);
+    let c = generator
+        .evaluate_engine(Engine::CrossEnd)
+        .expect("evaluates");
     let limit = generator.default_delay_limit();
     assert!(c.delay.total_s() <= limit * (1.0 + 1e-9));
     assert!(c.sensor.total_pj() > 0.0);
@@ -58,8 +61,8 @@ fn mixed_bsn_prefers_cross_end() {
     let mut bsn = BsnSystem::new();
     bsn.add_node(binary_instance(CaseId::C1, 1))
         .add_node(binary_instance(CaseId::E1, 2));
-    let cross = bsn.evaluate(Engine::CrossEnd);
-    let agg = bsn.evaluate(Engine::InAggregator);
+    let cross = bsn.evaluate(Engine::CrossEnd).expect("evaluates");
+    let agg = bsn.evaluate(Engine::InAggregator).expect("evaluates");
     assert!(cross.weakest_sensor_hours() > agg.weakest_sensor_hours());
     assert!(cross.channel_utilization < agg.channel_utilization);
     assert!(cross.aggregator_battery_hours > agg.aggregator_battery_hours);
@@ -70,7 +73,9 @@ fn heuristic_baselines_never_beat_the_generator_on_trained_graphs() {
     let inst = binary_instance(CaseId::M2, 3);
     let generator = XProGenerator::new(&inst);
     let limit = generator.default_delay_limit();
-    let cut = evaluate(&inst, &generator.generate()).sensor.total_pj();
+    let cut = evaluate(&inst, &generator.generate().expect("partition"))
+        .sensor
+        .total_pj();
     for heuristic in [
         greedy_migration(&inst, limit),
         topological_sweep(&inst, limit),

@@ -14,21 +14,21 @@ use xpro::wireless::TransceiverModel;
 
 fn pipeline(case: CaseId) -> XProPipeline {
     let data = generate_case_sized(case, 120, 13);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 12,
             keep_fraction: 0.3,
             min_keep: 4,
             folds: 2,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()
+        .expect("valid config");
     XProPipeline::train(&data, &cfg).expect("trains")
 }
 
 fn instance_with(p: &XProPipeline, config: SystemConfig) -> XProInstance {
-    XProInstance::new(p.built().clone(), config, p.segment_len())
+    XProInstance::try_new(p.built().clone(), config, p.segment_len()).expect("valid instance")
 }
 
 /// Figure 8: as process technology advances, computation gets cheaper and
@@ -38,7 +38,7 @@ fn fig8_sensor_engine_gains_with_technology_scaling() {
     let p = pipeline(CaseId::E1);
     let ratio_at = |node: ProcessNode| {
         let inst = instance_with(&p, SystemConfig::with_node(node));
-        let cmp = EngineComparison::evaluate("E1", &inst);
+        let cmp = EngineComparison::evaluate("E1", &inst).expect("evaluates");
         cmp.of(Engine::InSensor).sensor_battery_hours
             / cmp.of(Engine::InAggregator).sensor_battery_hours
     };
@@ -71,7 +71,7 @@ fn fig8_fig9_cross_end_wins_everywhere_within_the_delay_bound() {
                     ..SystemConfig::default()
                 },
             );
-            let cmp = EngineComparison::evaluate("E2", &inst);
+            let cmp = EngineComparison::evaluate("E2", &inst).expect("evaluates");
             let limit = xpro::core::XProGenerator::new(&inst).default_delay_limit();
             let c = cmp.of(Engine::CrossEnd).sensor_battery_hours;
             for other in [Engine::InSensor, Engine::InAggregator] {
@@ -95,7 +95,7 @@ fn fig9_radio_cost_flips_the_single_end_ranking() {
     let p = pipeline(CaseId::M1);
     let s_over_a = |radio: TransceiverModel| {
         let inst = instance_with(&p, SystemConfig::with_radio(radio));
-        let cmp = EngineComparison::evaluate("M1", &inst);
+        let cmp = EngineComparison::evaluate("M1", &inst).expect("evaluates");
         cmp.of(Engine::InSensor).sensor_battery_hours
             / cmp.of(Engine::InAggregator).sensor_battery_hours
     };
@@ -116,7 +116,7 @@ fn fig10_delay_ordering() {
     for case in [CaseId::E1, CaseId::M2] {
         let p = pipeline(case);
         let inst = instance_with(&p, SystemConfig::default());
-        let cmp = EngineComparison::evaluate(case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(case.symbol(), &inst).expect("evaluates");
         let a = cmp.of(Engine::InAggregator).delay.total_s();
         let s = cmp.of(Engine::InSensor).delay.total_s();
         let c = cmp.of(Engine::CrossEnd).delay.total_s();
@@ -130,7 +130,7 @@ fn fig10_delay_ordering() {
 fn fig11_energy_ordering() {
     let p = pipeline(CaseId::E2);
     let inst = instance_with(&p, SystemConfig::default());
-    let cmp = EngineComparison::evaluate("E2", &inst);
+    let cmp = EngineComparison::evaluate("E2", &inst).expect("evaluates");
     let a = cmp.of(Engine::InAggregator).sensor;
     let s = cmp.of(Engine::InSensor).sensor;
     let c = cmp.of(Engine::CrossEnd).sensor;
@@ -146,7 +146,7 @@ fn fig12_generator_cut_dominates_trivial_cut() {
     for case in [CaseId::C1, CaseId::E1, CaseId::M2] {
         let p = pipeline(case);
         let inst = instance_with(&p, SystemConfig::default());
-        let cmp = EngineComparison::evaluate(case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(case.symbol(), &inst).expect("evaluates");
         let cross = cmp.of(Engine::CrossEnd).sensor_battery_hours;
         for other in [Engine::InSensor, Engine::InAggregator, Engine::TrivialCut] {
             assert!(
@@ -163,7 +163,7 @@ fn fig12_generator_cut_dominates_trivial_cut() {
 fn fig13_aggregator_overhead() {
     let p = pipeline(CaseId::C2);
     let inst = instance_with(&p, SystemConfig::default());
-    let cmp = EngineComparison::evaluate("C2", &inst);
+    let cmp = EngineComparison::evaluate("C2", &inst).expect("evaluates");
     let ratio = cmp.of(Engine::CrossEnd).aggregator_pj / cmp.of(Engine::InAggregator).aggregator_pj;
     assert!(ratio < 0.8, "aggregator overhead ratio {ratio}");
     // And the aggregator battery comfortably outlives the sensor battery

@@ -16,26 +16,26 @@ use xpro::ml::SubspaceConfig;
 
 fn quick_instance(case: CaseId) -> XProInstance {
     let data = generate_case_sized(case, 90, 5);
-    let cfg = PipelineConfig {
-        subspace: SubspaceConfig {
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
             candidates: 10,
             keep_fraction: 0.3,
             min_keep: 3,
             folds: 2,
             ..SubspaceConfig::default()
-        },
-        ..PipelineConfig::default()
-    };
+        })
+        .build()
+        .expect("valid config");
     let p = XProPipeline::train(&data, &cfg).expect("pipeline trains");
     let len = p.segment_len();
-    XProInstance::new(p.into_built(), SystemConfig::default(), len)
+    XProInstance::try_new(p.into_built(), SystemConfig::default(), len).expect("valid instance")
 }
 
 #[test]
 fn cross_end_battery_life_never_loses() {
     for case in [CaseId::C1, CaseId::E1, CaseId::M2] {
         let inst = quick_instance(case);
-        let cmp = EngineComparison::evaluate(case.symbol(), &inst);
+        let cmp = EngineComparison::evaluate(case.symbol(), &inst).expect("evaluates");
         let c = cmp.of(Engine::CrossEnd).sensor_battery_hours;
         let s = cmp.of(Engine::InSensor).sensor_battery_hours;
         let a = cmp.of(Engine::InAggregator).sensor_battery_hours;
@@ -51,7 +51,9 @@ fn cross_end_meets_the_paper_delay_constraint() {
         let inst = quick_instance(case);
         let generator = XProGenerator::new(&inst);
         let limit = generator.default_delay_limit();
-        let c = generator.evaluate_engine(Engine::CrossEnd);
+        let c = generator
+            .evaluate_engine(Engine::CrossEnd)
+            .expect("evaluates");
         assert!(
             c.delay.total_s() <= limit * (1.0 + 1e-9),
             "{case}: delay {} exceeds {}",
@@ -66,7 +68,7 @@ fn all_engines_meet_real_time_bounds() {
     // §5.3: every engine processes an event within a few milliseconds —
     // faster than the event period, i.e. real time.
     let inst = quick_instance(CaseId::E1);
-    let cmp = EngineComparison::evaluate("E1", &inst);
+    let cmp = EngineComparison::evaluate("E1", &inst).expect("evaluates");
     let event_period = 1.0 / inst.events_per_second();
     for engine in Engine::ALL {
         let d = cmp.of(engine).delay.total_s();
@@ -83,7 +85,7 @@ fn aggregator_engine_sensor_energy_is_pure_transmission() {
     // Fig. 11: A's sensor energy has no compute component, and equals the
     // energy of uploading the raw segment.
     let inst = quick_instance(CaseId::C1);
-    let cmp = EngineComparison::evaluate("C1", &inst);
+    let cmp = EngineComparison::evaluate("C1", &inst).expect("evaluates");
     let a = cmp.of(Engine::InAggregator).sensor;
     assert_eq!(a.compute_pj, 0.0);
     let raw_bits = 82 * 32 + 8;
@@ -99,7 +101,7 @@ fn aggregator_engine_sensor_energy_is_pure_transmission() {
 fn sensor_engine_wireless_energy_is_barely_visible() {
     // Fig. 11: S transmits only the classification result.
     let inst = quick_instance(CaseId::M1);
-    let cmp = EngineComparison::evaluate("M1", &inst);
+    let cmp = EngineComparison::evaluate("M1", &inst).expect("evaluates");
     let s = cmp.of(Engine::InSensor).sensor;
     assert!(
         s.wireless_pj < s.compute_pj / 10.0,
@@ -113,7 +115,7 @@ fn sensor_engine_wireless_energy_is_barely_visible() {
 fn cross_end_aggregator_overhead_is_below_the_aggregator_engine() {
     // Fig. 13 shape.
     let inst = quick_instance(CaseId::E2);
-    let cmp = EngineComparison::evaluate("E2", &inst);
+    let cmp = EngineComparison::evaluate("E2", &inst).expect("evaluates");
     let a = cmp.of(Engine::InAggregator).aggregator_pj;
     let c = cmp.of(Engine::CrossEnd).aggregator_pj;
     assert!(c < a, "aggregator energy C {c} >= A {a}");
@@ -125,8 +127,12 @@ fn single_end_engines_are_extreme_cuts() {
     // XPro space.
     let inst = quick_instance(CaseId::C1);
     let generator = XProGenerator::new(&inst);
-    let s = generator.partition_for(Engine::InSensor);
-    let a = generator.partition_for(Engine::InAggregator);
+    let s = generator
+        .partition_for(Engine::InSensor)
+        .expect("partition");
+    let a = generator
+        .partition_for(Engine::InAggregator)
+        .expect("partition");
     assert_eq!(s.sensor_count(), inst.num_cells());
     assert_eq!(a.sensor_count(), 0);
     assert!(!s.is_cross_end());

@@ -12,7 +12,8 @@ use xpro::data::{generate_case_sized, CaseId};
 
 fn full_instance(bounds: SignalBounds) -> XProInstance {
     let built = build_full_cell_graph(&BuildOptions::default(), 2, 10);
-    XProInstance::with_bounds(built, SystemConfig::default(), 100, bounds)
+    XProInstance::try_with_bounds(built, SystemConfig::default(), 100, bounds)
+        .expect("valid instance")
 }
 
 #[test]
@@ -44,7 +45,7 @@ fn out_of_range_input_is_flagged() {
 fn generator_keeps_flagged_cells_off_the_sensor() {
     let instance = full_instance(SignalBounds::new(-4.0, 4.0));
     let generator = XProGenerator::new(&instance);
-    let partition = generator.generate();
+    let partition = generator.generate().expect("partition");
     assert!(generator.numerically_valid(&partition));
     for cell in (0..instance.num_cells()).filter(|&c| !instance.cell_numerically_safe(c)) {
         assert!(!partition.in_sensor[cell], "flagged cell {cell} on sensor");
