@@ -1,0 +1,118 @@
+//! Criterion bench for the fault-injection and adaptation layers: how much
+//! wall-clock the discrete-event executor pays for the Gilbert–Elliott
+//! burst chain, node crash/reboot lifecycles, aggregator outages and the
+//! adaptive partition controller, relative to the plain iid-loss run on the
+//! same instance. The overhead of a *disabled* fault layer is the headline
+//! number — it must stay near zero so the robustness features are free when
+//! unused.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpro_core::config::SystemConfig;
+use xpro_core::instance::XProInstance;
+use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+use xpro_core::XProGenerator;
+use xpro_data::{generate_case_sized, CaseId};
+use xpro_ml::SubspaceConfig;
+use xpro_runtime::{Executor, RuntimeConfig, RuntimeConfigBuilder};
+
+fn trained_instance() -> XProInstance {
+    let data = generate_case_sized(CaseId::C1, 60, 42);
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        })
+        .build()
+        .expect("valid config");
+    let pipeline = XProPipeline::train(&data, &cfg).expect("trains");
+    let segment_len = pipeline.segment_len();
+    XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)
+        .expect("valid instance")
+}
+
+fn base(drop_rate: f64) -> RuntimeConfigBuilder {
+    RuntimeConfig::builder()
+        .nodes(8)
+        .duration_s(2.0)
+        .drop_rate(drop_rate)
+        .max_retries(5)
+        .seed(7)
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let inst = trained_instance();
+    let cut = XProGenerator::new(&inst).generate().expect("cross-end cut");
+
+    let scenarios: Vec<(&str, RuntimeConfig)> = vec![
+        ("iid_baseline", base(0.1).build().expect("valid config")),
+        (
+            "bursty_channel",
+            base(0.1)
+                .burst_bad_rate(0.9)
+                .burst_p_enter(0.2)
+                .burst_p_exit(0.3)
+                .burst_slot_s(0.1)
+                .build()
+                .expect("valid config"),
+        ),
+        (
+            "node_lifecycle",
+            base(0.1)
+                .mtbf_s(0.5)
+                .mttr_s(0.2)
+                .reboot_warmup_s(0.05)
+                .build()
+                .expect("valid config"),
+        ),
+        (
+            "adaptive_controller",
+            base(0.1)
+                .burst_bad_rate(0.9)
+                .burst_p_enter(0.2)
+                .burst_p_exit(0.3)
+                .burst_slot_s(0.1)
+                .adaptive(true)
+                .adaptive_window(32)
+                .min_dwell_s(0.2)
+                .build()
+                .expect("valid config"),
+        ),
+        (
+            "full_chaos",
+            base(0.1)
+                .burst_bad_rate(0.9)
+                .burst_p_enter(0.2)
+                .burst_p_exit(0.3)
+                .burst_slot_s(0.1)
+                .mtbf_s(0.5)
+                .mttr_s(0.2)
+                .reboot_warmup_s(0.05)
+                .agg_outage_period_s(0.7)
+                .agg_outage_s(0.1)
+                .agg_inbox(16)
+                .adaptive(true)
+                .adaptive_window(32)
+                .min_dwell_s(0.2)
+                .build()
+                .expect("valid config"),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("chaos_executor");
+    for (name, cfg) in &scenarios {
+        group.bench_with_input(BenchmarkId::new("run", name), cfg, |b, cfg| {
+            b.iter(|| {
+                Executor::new(&inst, &cut, cfg.clone())
+                    .expect("executor")
+                    .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -16,11 +16,13 @@
 //! meets the bound. The two single-end designs are always candidates, so a
 //! feasible solution always exists — the same guarantee the paper gives.
 
+use crate::config::SystemConfig;
 use crate::error::XProError;
 use crate::instance::XProInstance;
 use crate::partition::{evaluate, Evaluation, Partition};
 use crate::stgraph::min_cut_partition;
 use xpro_hw::ModuleKind;
+use xpro_wireless::TransceiverModel;
 
 /// The four engine designs compared throughout the paper's §5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -239,6 +241,39 @@ impl<'a> XProGenerator<'a> {
     }
 }
 
+/// Generator re-entry for runtime adaptation: re-prices `instance` under a
+/// replacement radio model (typically the nominal radio derated by an
+/// observed attempt-inflation factor) and re-runs the delay-constrained
+/// min-cut against `t_limit_s`.
+///
+/// The limit should be the *baseline* delay bound the deployment promised
+/// (`XProGenerator::default_delay_limit` of the pristine instance), not one
+/// recomputed from the degraded prices — under a degraded channel even the
+/// single-end designs may miss the original bound, and that infeasibility
+/// is exactly the signal the adaptive controller uses to drop into a
+/// degradation tier.
+///
+/// Returns the re-priced instance together with the new cut so the caller
+/// can keep evaluating against the prices the cut was chosen under.
+///
+/// # Errors
+///
+/// Returns [`XProError::Config`] for a non-positive limit and
+/// [`XProError::Partition`] when no numerically valid candidate meets it.
+pub fn replan(
+    instance: &XProInstance,
+    radio: TransceiverModel,
+    t_limit_s: f64,
+) -> Result<(XProInstance, Partition), XProError> {
+    let config = SystemConfig {
+        radio,
+        ..instance.config().clone()
+    };
+    let replanned = instance.reconfigured(config)?;
+    let cut = XProGenerator::new(&replanned).delay_constrained_cut(t_limit_s)?;
+    Ok((replanned, cut))
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)] // tests fail loudly by design
@@ -370,6 +405,38 @@ mod tests {
                 assert!(inst.cell_numerically_safe(i));
             }
         }
+    }
+
+    #[test]
+    fn replan_reproduces_the_static_cut_at_unity_derating() {
+        let inst = tiny_instance(3);
+        let gen = XProGenerator::new(&inst);
+        let limit = gen.default_delay_limit();
+        let base = gen.generate().unwrap();
+        let (_, same) = replan(&inst, inst.config().radio.clone(), limit).unwrap();
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn replan_under_a_degraded_channel_meets_the_baseline_limit_or_reports() {
+        let inst = tiny_instance(4);
+        let gen = XProGenerator::new(&inst);
+        let limit = gen.default_delay_limit();
+        // A 50x costlier channel: the new cut must still meet the original
+        // bound, priced under the degraded radio.
+        match replan(&inst, inst.config().radio.derated(50.0), limit) {
+            Ok((repriced, cut)) => {
+                let e = evaluate(&repriced, &cut);
+                assert!(e.delay.total_s() <= limit * (1.0 + 1e-9));
+                assert!(XProGenerator::new(&repriced).numerically_valid(&cut));
+            }
+            Err(XProError::Partition(_)) => {} // genuine infeasibility signal
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        // An absurd derating must eventually report infeasibility rather
+        // than hand back a cut that cannot meet the promised delay.
+        let err = replan(&inst, inst.config().radio.derated(1e9), limit).unwrap_err();
+        assert!(matches!(err, XProError::Partition(_)), "got {err}");
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct XProInstance {
     /// True (unpadded) raw segment length of the workload, which sets the
     /// raw-upload payload and the event rate.
     segment_len: usize,
+    /// Input-signal bounds the numeric analysis ran against; kept so a
+    /// re-priced instance ([`XProInstance::reconfigured`]) analyzes the
+    /// graph under the same assumptions.
+    bounds: SignalBounds,
     sensor_costs: Vec<CellCost>,
     sensor_modes: Vec<AluMode>,
     agg_energy_pj: Vec<f64>,
@@ -90,12 +94,32 @@ impl XProInstance {
             built,
             config,
             segment_len,
+            bounds,
             sensor_costs,
             sensor_modes,
             agg_energy_pj,
             agg_time_s,
             analysis,
         })
+    }
+
+    /// Re-prices this instance's graph under a different system
+    /// configuration, keeping the workload (graph, segment length) and the
+    /// numeric-analysis input bounds.
+    ///
+    /// This is the generator re-entry path of the adaptive controller: when
+    /// runtime observation shows the wireless channel costing more (or
+    /// less) than the static plan assumed, the controller derates the radio
+    /// model, reconfigures the instance and re-runs
+    /// [`crate::generator::XProGenerator::generate`] on the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] on the same conditions as
+    /// [`XProInstance::try_with_bounds`] (never for a config-only change of
+    /// an already-valid instance).
+    pub fn reconfigured(&self, config: SystemConfig) -> Result<Self, XProError> {
+        XProInstance::try_with_bounds(self.built.clone(), config, self.segment_len, self.bounds)
     }
 
     /// Deprecated panicking constructor; use

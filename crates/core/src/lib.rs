@@ -75,7 +75,7 @@ pub use builder::{build_cell_graph, build_full_cell_graph, BuildOptions, BuiltGr
 pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
 pub use config::SystemConfig;
 pub use error::XProError;
-pub use generator::{Engine, XProGenerator};
+pub use generator::{replan, Engine, XProGenerator};
 pub use instance::XProInstance;
 pub use layout::{Domain, FeatureLayout};
 pub use multiclass::MulticlassPipeline;

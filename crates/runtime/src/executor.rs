@@ -17,19 +17,32 @@
 //!    stalling;
 //! 3. **back end** — the node's in-aggregator cells on the shared serial
 //!    CPU. Segments arriving while the CPU is busy are served back-to-back
-//!    as one batch.
+//!    as one batch, through a *bounded* inbox: arrivals beyond its
+//!    capacity are rejected and counted (backpressure, never an unbounded
+//!    queue).
+//!
+//! On top of the iid drop model the executor injects lifecycle faults
+//! ([`crate::lifecycle`]): Gilbert–Elliott channel bursts, per-node
+//! crash/reboot windows that wipe in-flight segments, battery-depletion
+//! shutdown, and periodic aggregator outages. With the adaptive controller
+//! ([`crate::controller`]) enabled, observed attempt inflation re-enters
+//! the partition generator at segment boundaries; each new plan applies
+//! only to segments arriving after the switch — in-flight segments finish
+//! under the plan (epoch) they started with.
 //!
 //! With a lossless link every completed segment therefore spends exactly
-//! the analytic energy and (uncontended) the analytic delay; loss adds
-//! retransmission energy and latency on top, which is the point of the
-//! fault injection.
+//! the analytic energy and (uncontended) the analytic delay; faults add
+//! retransmission energy, latency and losses on top, which is the point of
+//! the fault injection.
 
 use crate::config::RuntimeConfig;
-use crate::link::LossyLink;
+use crate::controller::Controller;
+use crate::lifecycle::{NodeLifecycle, OutageSchedule};
+use crate::link::{BurstProfile, LossyLink};
 use crate::metrics::MetricsRegistry;
 use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use xpro_core::instance::XProInstance;
 use xpro_core::layout::BITS_PER_SAMPLE;
 use xpro_core::partition::Partition;
@@ -47,8 +60,10 @@ struct FramePlan {
     agg_pj: f64,
 }
 
-/// The per-segment execution plan, identical for every segment and node:
-/// the streaming equivalent of one `evaluate` call.
+/// The per-segment execution plan under one partition: the streaming
+/// equivalent of one `evaluate` call. The executor keeps one plan per
+/// *epoch* — every controller switch appends a new plan, and each segment
+/// runs start-to-finish under the plan of the epoch it arrived in.
 #[derive(Clone, Debug)]
 struct SegmentPlan {
     front_s: f64,
@@ -132,9 +147,14 @@ enum EventKind {
         arrival_s: f64,
         frame: usize,
         attempt: u32,
+        epoch: usize,
     },
     /// The segment's back-end work is ready for the aggregator CPU.
-    AggJob { node: usize, arrival_s: f64 },
+    AggJob {
+        node: usize,
+        arrival_s: f64,
+        epoch: usize,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -171,6 +191,10 @@ struct NodeState {
     completed: u64,
     dropped: u64,
     timed_out: u64,
+    lost_to_crash: u64,
+    shed: u64,
+    overflowed: u64,
+    depleted: bool,
     frame_attempts: u64,
     frame_drops: u64,
     retries: u64,
@@ -178,6 +202,19 @@ struct NodeState {
     wireless_pj: f64,
     sensor_free_s: f64,
     latencies_s: Vec<f64>,
+}
+
+/// Aggregator-side accumulators of one run.
+#[derive(Clone, Debug, Default)]
+struct AggState {
+    cpu_free_s: f64,
+    cpu_busy_s: f64,
+    energy_pj: f64,
+    batches: u64,
+    batch_len: u64,
+    max_batch: u64,
+    /// Finish times of queued/in-service jobs: the bounded inbox.
+    inbox: VecDeque<f64>,
 }
 
 /// A configured streaming run over one instance and partition.
@@ -218,11 +255,13 @@ impl<'a> Executor<'a> {
     ///
     /// The simulation is in virtual time: arrivals are generated for
     /// `[0, duration_s)` and every in-flight segment is drained, so the
-    /// run always terminates — loss and overload surface as skipped
-    /// segments and latency, never as a stall.
+    /// run always terminates — loss, faults and overload surface as
+    /// skipped segments and latency, never as a stall.
+    #[allow(clippy::too_many_lines)] // one serialized event loop reads best unsplit
     pub fn run(&self) -> RunReport {
         let cfg = &self.config;
-        let plan = SegmentPlan::build(self.instance, self.partition);
+        let mut plans = vec![SegmentPlan::build(self.instance, self.partition)];
+        let mut epoch = 0usize;
         let period_s = self.instance.segment_len() as f64 / self.instance.config().sampling_hz;
 
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
@@ -252,21 +291,88 @@ impl<'a> Executor<'a> {
         }
 
         let mut nodes: Vec<NodeState> = vec![NodeState::default(); cfg.nodes];
-        let mut link = LossyLink::new(cfg.drop_rate, cfg.seed);
+        let lives: Vec<NodeLifecycle> = (0..cfg.nodes)
+            .map(|n| {
+                if cfg.lifecycle_enabled() {
+                    NodeLifecycle::generate(
+                        n,
+                        cfg.mtbf_s,
+                        cfg.mttr_s,
+                        cfg.reboot_warmup_s,
+                        cfg.duration_s,
+                        cfg.seed,
+                    )
+                } else {
+                    NodeLifecycle::healthy()
+                }
+            })
+            .collect();
+        let outage = OutageSchedule::new(cfg.agg_outage_period_s, cfg.agg_outage_s);
+        let mut link = if cfg.burst_enabled() {
+            LossyLink::with_burst(
+                BurstProfile {
+                    good_drop_rate: cfg.drop_rate,
+                    bad_drop_rate: cfg.burst_bad_rate,
+                    p_enter_bad: cfg.burst_p_enter,
+                    p_exit_bad: cfg.burst_p_exit,
+                    slot_s: cfg.burst_slot_s,
+                },
+                cfg.seed,
+            )
+        } else {
+            LossyLink::new(cfg.drop_rate, cfg.seed)
+        };
+        let mut controller = cfg
+            .adaptive
+            .then(|| Controller::new(self.instance, self.partition, cfg));
         let mut metrics = MetricsRegistry::new();
-        let mut cpu_free_s = 0.0f64;
-        let mut cpu_busy_s = 0.0f64;
-        let mut agg_pj = 0.0f64;
-        let mut batches = 0u64;
-        let mut batch_len = 0u64;
-        let mut max_batch = 0u64;
+        let mut agg = AggState::default();
+
+        // Whether the node's battery budget is exhausted; marks the node
+        // depleted (once) when it is.
+        let deplete_check = |st: &mut NodeState, metrics: &mut MetricsRegistry| -> bool {
+            if cfg.battery_budget_pj <= 0.0
+                || st.compute_pj + st.wireless_pj < cfg.battery_budget_pj
+            {
+                return st.depleted;
+            }
+            if !st.depleted {
+                st.depleted = true;
+                metrics.inc("battery_depletions", 1);
+            }
+            true
+        };
 
         while let Some(ev) = heap.pop() {
             match ev.kind {
                 EventKind::Arrival { node } => {
-                    let st = &mut nodes[node];
-                    st.offered += 1;
+                    nodes[node].offered += 1;
                     metrics.inc("segments_offered", 1);
+                    // A down (or dead) node produces no segment.
+                    if lives[node].down_at(ev.time_s).is_some()
+                        || deplete_check(&mut nodes[node], &mut metrics)
+                    {
+                        nodes[node].lost_to_crash += 1;
+                        metrics.inc("segments_lost_to_crash", 1);
+                        continue;
+                    }
+                    if let Some(ctl) = controller.as_mut() {
+                        // Partition switches take effect at segment
+                        // boundaries: this segment and later ones run
+                        // under the new epoch, in-flight ones do not.
+                        if let Some(p) = ctl.maybe_replan(ev.time_s, self.instance) {
+                            plans.push(SegmentPlan::build(self.instance, &p));
+                            epoch = plans.len() - 1;
+                            metrics.inc("partition_switches", 1);
+                        }
+                        if ctl.sheds(nodes[node].offered - 1) {
+                            nodes[node].shed += 1;
+                            metrics.inc("segments_shed", 1);
+                            continue;
+                        }
+                    }
+                    let plan = &plans[epoch];
+                    let st = &mut nodes[node];
                     // The node's front end is serial across its own
                     // segments.
                     let start = ev.time_s.max(st.sensor_free_s);
@@ -277,6 +383,7 @@ impl<'a> Executor<'a> {
                         EventKind::AggJob {
                             node,
                             arrival_s: ev.time_s,
+                            epoch,
                         }
                     } else {
                         EventKind::FrameTx {
@@ -284,6 +391,7 @@ impl<'a> Executor<'a> {
                             arrival_s: ev.time_s,
                             frame: 0,
                             attempt: 0,
+                            epoch,
                         }
                     };
                     push(&mut heap, done, next);
@@ -293,14 +401,29 @@ impl<'a> Executor<'a> {
                     arrival_s,
                     frame,
                     attempt,
+                    epoch,
                 } => {
+                    // A crash since the segment arrived wipes its
+                    // in-flight state; a dead battery ends the node.
+                    if lives[node].interrupted(arrival_s, ev.time_s)
+                        || deplete_check(&mut nodes[node], &mut metrics)
+                    {
+                        nodes[node].lost_to_crash += 1;
+                        metrics.inc("segments_lost_to_crash", 1);
+                        continue;
+                    }
                     let deadline = arrival_s + cfg.timeout_s;
                     if ev.time_s > deadline {
                         nodes[node].timed_out += 1;
                         metrics.inc("segments_timed_out", 1);
+                        if attempt > 0 {
+                            if let Some(ctl) = controller.as_mut() {
+                                ctl.observe(u64::from(attempt));
+                            }
+                        }
                         continue;
                     }
-                    let fp = plan.frames[frame];
+                    let fp = plans[epoch].frames[frame];
                     let sent = link.transmit(ev.time_s, fp.airtime_s);
                     let st = &mut nodes[node];
                     st.frame_attempts += 1;
@@ -308,18 +431,26 @@ impl<'a> Executor<'a> {
                     // survives the channel: the receiver listens through
                     // corrupted frames too.
                     st.wireless_pj += fp.sensor_pj;
-                    agg_pj += fp.agg_pj;
+                    agg.energy_pj += fp.agg_pj;
                     metrics.inc("frame_attempts", 1);
                     if sent.delivered {
-                        let next = if frame + 1 < plan.frames.len() {
+                        if let Some(ctl) = controller.as_mut() {
+                            ctl.observe(u64::from(attempt) + 1);
+                        }
+                        let next = if frame + 1 < plans[epoch].frames.len() {
                             EventKind::FrameTx {
                                 node,
                                 arrival_s,
                                 frame: frame + 1,
                                 attempt: 0,
+                                epoch,
                             }
                         } else {
-                            EventKind::AggJob { node, arrival_s }
+                            EventKind::AggJob {
+                                node,
+                                arrival_s,
+                                epoch,
+                            }
                         };
                         push(&mut heap, sent.finish_s, next);
                     } else {
@@ -328,6 +459,9 @@ impl<'a> Executor<'a> {
                         if attempt >= cfg.max_retries {
                             st.dropped += 1;
                             metrics.inc("segments_dropped", 1);
+                            if let Some(ctl) = controller.as_mut() {
+                                ctl.observe(u64::from(attempt) + 1);
+                            }
                             continue;
                         }
                         let retry_at =
@@ -335,6 +469,9 @@ impl<'a> Executor<'a> {
                         if retry_at > deadline {
                             st.timed_out += 1;
                             metrics.inc("segments_timed_out", 1);
+                            if let Some(ctl) = controller.as_mut() {
+                                ctl.observe(u64::from(attempt) + 1);
+                            }
                             continue;
                         }
                         st.retries += 1;
@@ -347,29 +484,50 @@ impl<'a> Executor<'a> {
                                 arrival_s,
                                 frame,
                                 attempt: attempt + 1,
+                                epoch,
                             },
                         );
                     }
                 }
-                EventKind::AggJob { node, arrival_s } => {
-                    let idle = ev.time_s >= cpu_free_s;
+                EventKind::AggJob {
+                    node,
+                    arrival_s,
+                    epoch,
+                } => {
+                    // Bounded inbox: drain finished jobs, then reject the
+                    // arrival if the queue is still at capacity.
+                    while agg.inbox.front().is_some_and(|&f| f <= ev.time_s) {
+                        agg.inbox.pop_front();
+                    }
+                    if agg.inbox.len() >= cfg.agg_inbox {
+                        nodes[node].overflowed += 1;
+                        metrics.inc("inbox_overflows", 1);
+                        continue;
+                    }
+                    let plan = &plans[epoch];
+                    let idle = ev.time_s >= agg.cpu_free_s;
                     let wake = if idle {
-                        if batch_len > 0 {
-                            metrics.observe("batch_size", batch_len as f64);
+                        if agg.batch_len > 0 {
+                            metrics.observe("batch_size", agg.batch_len as f64);
                         }
-                        max_batch = max_batch.max(batch_len);
-                        batches += 1;
-                        batch_len = 1;
+                        agg.max_batch = agg.max_batch.max(agg.batch_len);
+                        agg.batches += 1;
+                        agg.batch_len = 1;
                         cfg.batch_wake_s
                     } else {
-                        batch_len += 1;
+                        agg.batch_len += 1;
                         0.0
                     };
-                    let start = ev.time_s.max(cpu_free_s);
+                    // A job that would start inside an outage window is
+                    // deferred to the window's end (jobs already running
+                    // when the outage hits are assumed to finish).
+                    let start = ev.time_s.max(agg.cpu_free_s);
+                    let start = outage.outage_at(start).unwrap_or(start);
                     let done = start + wake + plan.back_s;
-                    cpu_busy_s += done - start;
-                    cpu_free_s = done;
-                    agg_pj += plan.agg_compute_pj;
+                    agg.cpu_busy_s += done - start;
+                    agg.cpu_free_s = done;
+                    agg.inbox.push_back(done);
+                    agg.energy_pj += plan.agg_compute_pj;
                     let st = &mut nodes[node];
                     st.completed += 1;
                     let latency = done - arrival_s;
@@ -379,13 +537,24 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        max_batch = max_batch.max(batch_len);
-        if batch_len > 0 {
-            metrics.observe("batch_size", batch_len as f64);
+        agg.max_batch = agg.max_batch.max(agg.batch_len);
+        if agg.batch_len > 0 {
+            metrics.observe("batch_size", agg.batch_len as f64);
         }
 
+        let (switches, tier_times) = match controller {
+            Some(ctl) => ctl.finish(cfg.duration_s),
+            None => (
+                Vec::new(),
+                crate::controller::TierTimes {
+                    normal_s: cfg.duration_s,
+                    ..Default::default()
+                },
+            ),
+        };
+
         self.digest(
-            nodes, &link, metrics, cpu_busy_s, agg_pj, batches, max_batch,
+            nodes, &lives, &outage, &link, metrics, agg, switches, tier_times,
         )
     }
 
@@ -393,19 +562,25 @@ impl<'a> Executor<'a> {
     fn digest(
         &self,
         nodes: Vec<NodeState>,
+        lives: &[NodeLifecycle],
+        outage: &OutageSchedule,
         link: &LossyLink,
         mut metrics: MetricsRegistry,
-        cpu_busy_s: f64,
-        agg_pj: f64,
-        batches: u64,
-        max_batch: u64,
+        agg: AggState,
+        switches: Vec<crate::controller::PartitionSwitch>,
+        tier_times: crate::controller::TierTimes,
     ) -> RunReport {
         let cfg = &self.config;
         let sys = self.instance.config();
         let duration = cfg.duration_s;
         let channel_utilization = link.busy_s() / duration;
         metrics.set_gauge("channel_utilization", channel_utilization);
-        metrics.set_gauge("aggregator_utilization", cpu_busy_s / duration);
+        metrics.set_gauge("aggregator_utilization", agg.cpu_busy_s / duration);
+        metrics.set_gauge("channel_bad_s", link.bad_s());
+        let crashes_total: u64 = lives.iter().map(NodeLifecycle::crashes).sum();
+        if crashes_total > 0 {
+            metrics.inc("crashes", crashes_total);
+        }
 
         let node_reports: Vec<NodeReport> = nodes
             .into_iter()
@@ -420,6 +595,11 @@ impl<'a> Executor<'a> {
                     segments_completed: st.completed,
                     segments_dropped: st.dropped,
                     segments_timed_out: st.timed_out,
+                    segments_lost_to_crash: st.lost_to_crash,
+                    segments_shed: st.shed,
+                    segments_overflowed: st.overflowed,
+                    crashes: lives[i].crashes(),
+                    battery_depleted: st.depleted,
                     frame_attempts: st.frame_attempts,
                     frame_drops: st.frame_drops,
                     retries: st.retries,
@@ -433,14 +613,17 @@ impl<'a> Executor<'a> {
             })
             .collect();
 
-        let agg_power_w = agg_pj * 1e-12 / duration;
+        let agg_power_w = agg.energy_pj * 1e-12 / duration;
+        let inbox_overflows = node_reports.iter().map(|n| n.segments_overflowed).sum();
         let aggregator = AggregatorReport {
-            batches,
-            max_batch,
-            busy_s: cpu_busy_s,
-            utilization: cpu_busy_s / duration,
-            energy_pj: agg_pj,
+            batches: agg.batches,
+            max_batch: agg.max_batch,
+            busy_s: agg.cpu_busy_s,
+            utilization: agg.cpu_busy_s / duration,
+            energy_pj: agg.energy_pj,
             battery_hours: sys.aggregator_battery.runtime_hours(agg_power_w),
+            outage_s: outage.total_outage_s(duration),
+            inbox_overflows,
         };
 
         RunReport {
@@ -449,6 +632,9 @@ impl<'a> Executor<'a> {
             aggregator,
             channel_busy_s: link.busy_s(),
             channel_utilization,
+            channel_bad_s: link.bad_s(),
+            partition_switches: switches,
+            tier_times,
             metrics,
         }
     }
@@ -467,6 +653,23 @@ mod tests {
         XProGenerator::new(inst)
             .partition_for(Engine::CrossEnd)
             .unwrap()
+    }
+
+    /// Every offered segment must terminate in exactly one bucket.
+    fn assert_accounted(report: &RunReport) {
+        for n in &report.nodes {
+            assert_eq!(
+                n.segments_offered,
+                n.segments_completed
+                    + n.segments_dropped
+                    + n.segments_timed_out
+                    + n.segments_lost_to_crash
+                    + n.segments_shed
+                    + n.segments_overflowed,
+                "node {} leaks segments",
+                n.node
+            );
+        }
     }
 
     #[test]
@@ -554,6 +757,7 @@ mod tests {
         // stuck.
         assert_eq!(offered, accounted);
         assert!(report.total_lost() > 0, "no loss at 90 % drop rate");
+        assert_accounted(&report);
     }
 
     #[test]
@@ -597,7 +801,152 @@ mod tests {
             report.total_completed()
         );
         assert!(report.channel_utilization >= 0.0);
+        assert!(report.partition_switches.is_empty());
+        assert_eq!(report.tier_times.normal_s, 2.0);
         assert!(!report.render().is_empty());
         assert!(report.to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn crashes_lose_in_flight_segments_but_account_for_all() {
+        let inst = tiny_instance(6);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(4.0)
+            .mtbf_s(0.5)
+            .mttr_s(0.3)
+            .reboot_warmup_s(0.1)
+            .seed(11)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let lost_to_crash: u64 = report.nodes.iter().map(|n| n.segments_lost_to_crash).sum();
+        let crashes: u64 = report.nodes.iter().map(|n| n.crashes).sum();
+        assert!(crashes > 0, "MTBF 0.5 s over 4 s must crash someone");
+        assert!(lost_to_crash > 0, "crashes must cost segments");
+        assert!(
+            report.total_completed() > 0,
+            "fleet must still make progress"
+        );
+        assert_accounted(&report);
+        assert_eq!(report.metrics.counter("crashes"), crashes);
+    }
+
+    #[test]
+    fn battery_depletion_shuts_a_node_down_permanently() {
+        let inst = tiny_instance(7);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(1)
+            .duration_s(4.0)
+            .battery_budget_pj(1e6) // a few segments' worth
+            .seed(3)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let n = &report.nodes[0];
+        assert!(n.battery_depleted, "budget must run out");
+        assert!(n.segments_completed > 0, "some segments before depletion");
+        assert!(
+            n.segments_lost_to_crash > 0,
+            "post-depletion arrivals are lost"
+        );
+        assert!(
+            n.compute_pj + n.wireless_pj < 2e6,
+            "spend stops near the budget"
+        );
+        assert_accounted(&report);
+        assert_eq!(report.metrics.counter("battery_depletions"), 1);
+    }
+
+    #[test]
+    fn aggregator_outage_backpressures_the_bounded_inbox() {
+        let inst = tiny_instance(8);
+        let p = Partition::all_aggregator(inst.num_cells());
+        let cfg = RuntimeConfig::builder()
+            .nodes(8)
+            .duration_s(4.0)
+            .agg_outage_period_s(1.0)
+            .agg_outage_s(0.9)
+            .agg_inbox(2)
+            .timeout_s(4.0)
+            .seed(13)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        assert!(report.aggregator.outage_s > 0.0);
+        assert!(
+            report.aggregator.inbox_overflows > 0,
+            "a 90 % outage duty cycle with a 2-deep inbox must overflow"
+        );
+        assert_accounted(&report);
+        // Deferred jobs complete after the outage windows, not inside.
+        assert!(report.total_completed() > 0);
+    }
+
+    #[test]
+    fn adaptive_run_switches_partition_under_a_permanent_burst() {
+        let inst = tiny_instance(9);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(6.0)
+            .burst_bad_rate(0.9)
+            .burst_p_enter(1.0) // enters the bad state at the first slot
+            .burst_p_exit(0.0) // and never leaves: permanent degradation
+            .burst_slot_s(0.5)
+            .max_retries(6)
+            .adaptive(true)
+            .adaptive_window(32)
+            .min_dwell_s(0.2)
+            .seed(17)
+            .build()
+            .unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        assert!(
+            !report.partition_switches.is_empty(),
+            "a 90 % permanent burst must trigger the controller"
+        );
+        assert!(report.channel_bad_s > 0.0);
+        let degraded = report.tier_times.classify_only_s + report.tier_times.shed_s;
+        let normal = report.tier_times.normal_s;
+        assert!(
+            (degraded + normal - 6.0).abs() < 1e-9,
+            "tier times must partition the run"
+        );
+        assert_accounted(&report);
+        assert_eq!(
+            report.metrics.counter("partition_switches"),
+            report.partition_switches.len() as u64
+        );
+    }
+
+    #[test]
+    fn fault_knobs_off_reproduce_the_plain_iid_run() {
+        let inst = tiny_instance(10);
+        let p = cross_end(&inst);
+        let base = RuntimeConfig::builder()
+            .nodes(3)
+            .duration_s(2.0)
+            .drop_rate(0.15)
+            .seed(23)
+            .build()
+            .unwrap();
+        let plain = Executor::new(&inst, &p, base.clone()).unwrap().run();
+        // Explicitly-disabled fault knobs must not perturb a single draw.
+        let noop = RuntimeConfig::builder()
+            .nodes(3)
+            .duration_s(2.0)
+            .drop_rate(0.15)
+            .seed(23)
+            .burst_bad_rate(0.0)
+            .mtbf_s(0.0)
+            .battery_budget_pj(0.0)
+            .agg_outage_period_s(0.0)
+            .build()
+            .unwrap();
+        let silent = Executor::new(&inst, &p, noop).unwrap().run();
+        assert_eq!(plain, silent);
     }
 }

@@ -16,16 +16,25 @@
 //!   Bernoulli drops, bounded exponential-backoff retransmission and a
 //!   per-segment deadline — overload and loss degrade the stream
 //!   gracefully instead of stalling it;
-//! * aggregator batching across nodes on the shared serial CPU;
-//! * per-node battery drawdown.
+//! * aggregator batching across nodes on the shared serial CPU, behind a
+//!   bounded inbox with counted backpressure overflows;
+//! * per-node battery drawdown;
+//! * lifecycle fault injection ([`lifecycle`]): Gilbert–Elliott channel
+//!   bursts, per-node crash/reboot windows, battery-depletion shutdown and
+//!   periodic aggregator outages — all derived from the one seed, so the
+//!   fault environment is identical across runs being compared;
+//! * the adaptive partition [`controller`]: observed attempt inflation
+//!   re-enters the XPro generator mid-run, with graceful-degradation tiers
+//!   (classify-only transmission, segment shedding) when no feasible cut
+//!   meets the baseline delay limit.
 //!
 //! A run yields a [`RunReport`] — per-node throughput, p50/p95/p99
 //! latency, drop/retry counters, the energy split and a battery-life
 //! estimate — plus a [`MetricsRegistry`] of raw counters, gauges and
 //! histograms.
 //!
-//! The single-event dataflow simulator that used to live in `xpro-sim` is
-//! absorbed here as [`trace`]; `xpro-sim` remains as deprecated wrappers.
+//! The single-event dataflow simulator that used to live in the retired
+//! `xpro-sim` crate is absorbed here as [`trace`].
 //!
 //! ```
 //! use xpro_runtime::{Executor, RuntimeConfig};
@@ -54,7 +63,9 @@
 //! ```
 
 pub mod config;
+pub mod controller;
 pub mod executor;
+pub mod lifecycle;
 pub mod link;
 pub mod metrics;
 pub mod report;
@@ -65,7 +76,9 @@ pub mod trace;
 mod testutil;
 
 pub use config::{RuntimeConfig, RuntimeConfigBuilder};
+pub use controller::{PartitionSwitch, Tier, TierTimes};
 pub use executor::Executor;
-pub use link::LossyLink;
+pub use lifecycle::{NodeLifecycle, OutageSchedule};
+pub use link::{BurstProfile, LossyLink};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport};

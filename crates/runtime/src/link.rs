@@ -1,12 +1,91 @@
-//! The shared wireless channel as a lossy FIFO queue.
+//! The shared wireless channel as a lossy FIFO queue, with an optional
+//! Gilbert–Elliott two-state burst model.
 //!
 //! All nodes of the fleet contend for one half-duplex channel. A
 //! transmission attempt occupies the channel for the frame's airtime
 //! whether or not it is delivered (the receiver still has to wait out the
-//! corrupted frame); delivery is a Bernoulli trial with the configured
-//! drop rate, drawn from a seeded generator so runs are reproducible.
+//! corrupted frame); delivery is a Bernoulli trial drawn from a seeded
+//! generator so runs are reproducible.
+//!
+//! With a [`BurstProfile`] attached, the per-attempt drop rate is selected
+//! by a two-state (good/bad) Markov chain advanced in fixed time slots.
+//! The chain is driven by a *dedicated* RNG stream and advanced slot-by-
+//! slot from t = 0, so the good/bad timeline is a pure function of the
+//! seed and the profile — two runs with the same seed see the *same*
+//! channel weather even when their executors make different numbers of
+//! delivery draws (e.g. an adaptive run that retries less than a static
+//! one). Only the per-attempt delivery draw comes from the main stream,
+//! which also keeps an iid-configured link bit-identical to the historical
+//! behavior.
 
 use crate::rng::XorShiftRng;
+
+/// Salt XOR-ed into the link seed to derive the independent burst-state
+/// stream.
+const BURST_STREAM_SALT: u64 = 0xB1A5_7C4A_11E1_7B0D;
+
+/// Parameters of the Gilbert–Elliott two-state channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstProfile {
+    /// Per-attempt drop rate while the chain is in the good state.
+    pub good_drop_rate: f64,
+    /// Per-attempt drop rate while the chain is in the bad state.
+    pub bad_drop_rate: f64,
+    /// Per-slot probability of a good→bad transition.
+    pub p_enter_bad: f64,
+    /// Per-slot probability of a bad→good transition (zero makes a burst
+    /// permanent — a degradation that never lifts).
+    pub p_exit_bad: f64,
+    /// Slot duration in seconds; the chain starts good at t = 0 and draws
+    /// one transition per slot boundary.
+    pub slot_s: f64,
+}
+
+/// Slot-clocked Gilbert–Elliott state machine.
+#[derive(Clone, Debug)]
+struct BurstState {
+    profile: BurstProfile,
+    rng: XorShiftRng,
+    /// Index of the slot the current `in_bad` state is valid for.
+    slot: u64,
+    in_bad: bool,
+    bad_s: f64,
+}
+
+impl BurstState {
+    fn new(profile: BurstProfile, seed: u64) -> Self {
+        BurstState {
+            profile,
+            rng: XorShiftRng::new(seed ^ BURST_STREAM_SALT),
+            slot: 0,
+            in_bad: false,
+            bad_s: 0.0,
+        }
+    }
+
+    /// Drop rate in effect at time `t_s`, advancing the chain as needed.
+    /// Queries must be non-decreasing in time (the executor's virtual
+    /// clock guarantees this); an earlier query reuses the current state.
+    fn rate_at(&mut self, t_s: f64) -> f64 {
+        let target = (t_s / self.profile.slot_s).floor().max(0.0) as u64;
+        while self.slot < target {
+            self.in_bad = if self.in_bad {
+                !self.rng.chance(self.profile.p_exit_bad)
+            } else {
+                self.rng.chance(self.profile.p_enter_bad)
+            };
+            self.slot += 1;
+            if self.in_bad {
+                self.bad_s += self.profile.slot_s;
+            }
+        }
+        if self.in_bad {
+            self.profile.bad_drop_rate
+        } else {
+            self.profile.good_drop_rate
+        }
+    }
+}
 
 /// Outcome of one transmission attempt.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -24,6 +103,7 @@ pub struct Attempt {
 pub struct LossyLink {
     drop_rate: f64,
     rng: XorShiftRng,
+    burst: Option<BurstState>,
     free_at_s: f64,
     busy_s: f64,
     attempts: u64,
@@ -31,16 +111,25 @@ pub struct LossyLink {
 }
 
 impl LossyLink {
-    /// A channel with a per-attempt loss probability and an RNG seed.
+    /// A channel with an iid per-attempt loss probability and an RNG seed.
     pub fn new(drop_rate: f64, seed: u64) -> Self {
         LossyLink {
             drop_rate,
             rng: XorShiftRng::new(seed),
+            burst: None,
             free_at_s: 0.0,
             busy_s: 0.0,
             attempts: 0,
             drops: 0,
         }
+    }
+
+    /// A bursty channel: the drop rate in effect at each attempt's start
+    /// time is chosen by the profile's slot-clocked Gilbert–Elliott chain.
+    pub fn with_burst(profile: BurstProfile, seed: u64) -> Self {
+        let mut link = LossyLink::new(profile.good_drop_rate, seed);
+        link.burst = Some(BurstState::new(profile, seed));
+        link
     }
 
     /// Transmits one frame of `airtime_s` requested at `now_s`: the frame
@@ -52,7 +141,11 @@ impl LossyLink {
         self.free_at_s = finish;
         self.busy_s += airtime_s;
         self.attempts += 1;
-        let delivered = !self.rng.chance(self.drop_rate);
+        let rate = match &mut self.burst {
+            Some(state) => state.rate_at(start),
+            None => self.drop_rate,
+        };
+        let delivered = !self.rng.chance(rate);
         if !delivered {
             self.drops += 1;
         }
@@ -78,9 +171,15 @@ impl LossyLink {
         self.attempts
     }
 
-    /// Attempts lost to the configured drop rate.
+    /// Attempts lost to the drop draws.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Cumulative time the burst chain has spent in the bad state over the
+    /// slots advanced so far (0 for an iid link).
+    pub fn bad_s(&self) -> f64 {
+        self.burst.as_ref().map_or(0.0, |b| b.bad_s)
     }
 }
 
@@ -128,6 +227,98 @@ mod tests {
             assert_eq!(
                 a.transmit(0.0, 1e-6).delivered,
                 b.transmit(0.0, 1e-6).delivered
+            );
+        }
+    }
+
+    fn stormy() -> BurstProfile {
+        BurstProfile {
+            good_drop_rate: 0.0,
+            bad_drop_rate: 1.0 - 1e-12, // effectively always drops
+            p_enter_bad: 0.2,
+            p_exit_bad: 0.2,
+            slot_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn burst_chain_switches_between_both_rates() {
+        let mut link = LossyLink::with_burst(stormy(), 77);
+        let mut delivered = 0u64;
+        for i in 0..2_000 {
+            if link.transmit(i as f64 * 0.05, 1e-6).delivered {
+                delivered += 1;
+            }
+        }
+        // The chain must have visited both states: some frames delivered
+        // (good slots), some dropped (bad slots).
+        assert!(delivered > 0, "never left the bad state");
+        assert!(link.drops() > 0, "never entered the bad state");
+        assert!(link.bad_s() > 0.0);
+        assert!(link.bad_s() < 100.0);
+    }
+
+    #[test]
+    fn burst_timeline_is_traffic_independent() {
+        // Two links with the same seed but wildly different attempt
+        // patterns must agree on the state (= drop rate) at equal times.
+        let profile = stormy();
+        let mut sparse = LossyLink::with_burst(profile, 5);
+        let mut dense = LossyLink::with_burst(profile, 5);
+        for i in 0..200 {
+            let t = i as f64 * 0.5;
+            // Dense link draws many deliveries per slot; sparse only one.
+            let mut dense_outcomes = Vec::new();
+            for _ in 0..7 {
+                dense_outcomes.push(dense.transmit(t, 1e-9).delivered);
+            }
+            let s = sparse.transmit(t, 1e-9).delivered;
+            // With a ~1.0 bad rate and 0.0 good rate, the delivered flag
+            // reveals the state: all-delivered = good, all-dropped = bad.
+            let dense_all = dense_outcomes.iter().all(|d| *d);
+            let dense_none = dense_outcomes.iter().all(|d| !*d);
+            assert!(
+                (s && dense_all) || (!s && dense_none),
+                "state diverged at t={t}: sparse={s} dense={dense_outcomes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_burst_never_recovers() {
+        let profile = BurstProfile {
+            good_drop_rate: 0.0,
+            bad_drop_rate: 1.0 - 1e-12,
+            p_enter_bad: 1.0,
+            p_exit_bad: 0.0,
+            slot_s: 0.5,
+        };
+        let mut link = LossyLink::with_burst(profile, 4);
+        assert!(link.transmit(0.0, 1e-9).delivered); // slot 0 starts good
+        for i in 1..50 {
+            assert!(!link.transmit(i as f64, 1e-9).delivered);
+        }
+    }
+
+    #[test]
+    fn burst_disabled_matches_plain_iid_link() {
+        // A burst link whose two states share one rate must reproduce the
+        // iid link draw-for-draw (delivery draws come from the same main
+        // stream in the same order).
+        let profile = BurstProfile {
+            good_drop_rate: 0.3,
+            bad_drop_rate: 0.3,
+            p_enter_bad: 0.5,
+            p_exit_bad: 0.5,
+            slot_s: 0.1,
+        };
+        let mut bursty = LossyLink::with_burst(profile, 21);
+        let mut iid = LossyLink::new(0.3, 21);
+        for i in 0..500 {
+            let t = i as f64 * 0.03;
+            assert_eq!(
+                bursty.transmit(t, 1e-9).delivered,
+                iid.transmit(t, 1e-9).delivered
             );
         }
     }

@@ -1,6 +1,8 @@
 //! Structured results of a streaming run: per-node statistics, aggregator
-//! and channel utilization, and the raw metrics registry.
+//! and channel utilization, fault/adaptation logs, and the raw metrics
+//! registry.
 
+use crate::controller::{PartitionSwitch, TierTimes};
 use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
@@ -8,7 +10,7 @@ use std::fmt::Write as _;
 /// exactly from the recorded samples.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
-    /// Number of samples.
+    /// Number of (finite) samples the statistics were computed from.
     pub count: u64,
     /// Mean latency in seconds.
     pub mean_s: f64,
@@ -23,12 +25,18 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Exact order statistics of a sample set (all zeros when empty).
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+    /// Exact order statistics of a sample set.
+    ///
+    /// Non-finite samples (NaN, ±∞) are discarded before sorting — a NaN
+    /// must not poison the sort order or propagate into every percentile.
+    /// An empty (or all-non-finite) input yields the zeroed statistics
+    /// with an explicit `count` of 0, never a panic.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let mut samples: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
         if samples.is_empty() {
             return LatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        samples.sort_by(f64::total_cmp);
         let n = samples.len();
         let at = |q: f64| -> f64 {
             let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
@@ -58,6 +66,17 @@ pub struct NodeReport {
     pub segments_dropped: u64,
     /// Segments skipped at their deadline (graceful degradation).
     pub segments_timed_out: u64,
+    /// Segments lost because the node was down (crash window, reboot
+    /// warm-up or battery depletion) or crashed while they were in flight.
+    pub segments_lost_to_crash: u64,
+    /// Segments intentionally skipped by the controller's shedding tier.
+    pub segments_shed: u64,
+    /// Segments rejected by the aggregator's bounded inbox.
+    pub segments_overflowed: u64,
+    /// Crashes scheduled for this node during the run.
+    pub crashes: u64,
+    /// Whether the node exhausted its energy budget and shut down.
+    pub battery_depleted: bool,
     /// Frame transmission attempts, including retransmissions.
     pub frame_attempts: u64,
     /// Attempts lost on the link.
@@ -84,6 +103,15 @@ impl NodeReport {
     pub fn total_pj(&self) -> f64 {
         self.compute_pj + self.wireless_pj
     }
+
+    /// Segments that did not complete, over every loss bucket.
+    pub fn segments_lost(&self) -> u64 {
+        self.segments_dropped
+            + self.segments_timed_out
+            + self.segments_lost_to_crash
+            + self.segments_shed
+            + self.segments_overflowed
+    }
 }
 
 /// The shared aggregator's view of the run.
@@ -102,6 +130,10 @@ pub struct AggregatorReport {
     pub energy_pj: f64,
     /// Aggregator battery life at this run's average power draw (hours).
     pub battery_hours: f64,
+    /// Total scheduled outage time during the run.
+    pub outage_s: f64,
+    /// Segments rejected by the bounded inbox (fleet-wide).
+    pub inbox_overflows: u64,
 }
 
 /// Results of one [`crate::Executor::run`].
@@ -117,6 +149,13 @@ pub struct RunReport {
     pub channel_busy_s: f64,
     /// Channel busy time over the simulated duration.
     pub channel_utilization: f64,
+    /// Time the bursty channel spent in its bad state (0 without bursts).
+    pub channel_bad_s: f64,
+    /// Every partition switch the adaptive controller applied, in order.
+    pub partition_switches: Vec<PartitionSwitch>,
+    /// Time the run spent per degradation tier (all normal when the
+    /// controller is off).
+    pub tier_times: TierTimes,
     /// Raw counters/gauges/histograms recorded during the run.
     pub metrics: MetricsRegistry,
 }
@@ -127,12 +166,10 @@ impl RunReport {
         self.nodes.iter().map(|n| n.segments_completed).sum()
     }
 
-    /// Segments lost fleet-wide (retry exhaustion + deadline skips).
+    /// Segments lost fleet-wide: retry exhaustion, deadline skips, crash
+    /// and battery losses, controller shedding and inbox overflows.
     pub fn total_lost(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(|n| n.segments_dropped + n.segments_timed_out)
-            .sum()
+        self.nodes.iter().map(NodeReport::segments_lost).sum()
     }
 
     /// Retransmissions fleet-wide.
@@ -187,6 +224,44 @@ impl RunReport {
             self.aggregator.batches,
             self.aggregator.max_batch,
         );
+        let crashes: u64 = self.nodes.iter().map(|n| n.crashes).sum();
+        if crashes > 0
+            || self.channel_bad_s > 0.0
+            || self.aggregator.outage_s > 0.0
+            || self.aggregator.inbox_overflows > 0
+        {
+            let _ = writeln!(
+                out,
+                "faults: {} crashes, {:.1} s channel bursts, {:.1} s aggregator outage, {} inbox overflows",
+                crashes,
+                self.channel_bad_s,
+                self.aggregator.outage_s,
+                self.aggregator.inbox_overflows,
+            );
+        }
+        if !self.partition_switches.is_empty()
+            || self.tier_times.classify_only_s > 0.0
+            || self.tier_times.shed_s > 0.0
+        {
+            let _ = writeln!(
+                out,
+                "adaptation: {} partition switches; tiers: {:.1} s normal, {:.1} s classify-only, {:.1} s shed",
+                self.partition_switches.len(),
+                self.tier_times.normal_s,
+                self.tier_times.classify_only_s,
+                self.tier_times.shed_s,
+            );
+            for s in &self.partition_switches {
+                let _ = writeln!(
+                    out,
+                    "  t={:<8.3} -> {} ({} sensor cells, factor {:.2})",
+                    s.time_s,
+                    s.tier.as_str(),
+                    s.sensor_cells,
+                    s.factor,
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "{:>4} {:>9} {:>9} {:>6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>12}",
@@ -208,7 +283,7 @@ impl RunReport {
                 n.node,
                 n.segments_offered,
                 n.segments_completed,
-                n.segments_dropped + n.segments_timed_out,
+                n.segments_lost(),
                 n.retries,
                 n.latency.p50_s * 1e3,
                 n.latency.p99_s * 1e3,
@@ -248,7 +323,9 @@ impl RunReport {
             .map(|n| {
                 format!(
                     "{{\"node\":{},\"offered\":{},\"completed\":{},\"dropped\":{},\
-                     \"timed_out\":{},\"frame_attempts\":{},\"frame_drops\":{},\"retries\":{},\
+                     \"timed_out\":{},\"lost_to_crash\":{},\"shed\":{},\"overflowed\":{},\
+                     \"crashes\":{},\"battery_depleted\":{},\
+                     \"frame_attempts\":{},\"frame_drops\":{},\"retries\":{},\
                      \"throughput_hz\":{},\"latency\":{},\"compute_pj\":{},\"wireless_pj\":{},\
                      \"battery_hours\":{},\"battery_drawdown\":{}}}",
                     n.node,
@@ -256,6 +333,11 @@ impl RunReport {
                     n.segments_completed,
                     n.segments_dropped,
                     n.segments_timed_out,
+                    n.segments_lost_to_crash,
+                    n.segments_shed,
+                    n.segments_overflowed,
+                    n.crashes,
+                    n.battery_depleted,
                     n.frame_attempts,
                     n.frame_drops,
                     n.retries,
@@ -268,11 +350,27 @@ impl RunReport {
                 )
             })
             .collect();
+        let switches: Vec<String> = self
+            .partition_switches
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"time_s\":{},\"tier\":\"{}\",\"sensor_cells\":{},\"factor\":{}}}",
+                    num(s.time_s),
+                    s.tier.as_str(),
+                    s.sensor_cells,
+                    num(s.factor),
+                )
+            })
+            .collect();
         format!(
             "{{\"duration_s\":{},\"completed\":{},\"lost\":{},\"retries\":{},\
-             \"latency\":{},\"channel_utilization\":{},\
+             \"latency\":{},\"channel_utilization\":{},\"channel_bad_s\":{},\
+             \"partition_switches\":[{}],\
+             \"tier_times\":{{\"normal_s\":{},\"classify_only_s\":{},\"shed_s\":{}}},\
              \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"busy_s\":{},\
-             \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{}}},\
+             \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{},\
+             \"outage_s\":{},\"inbox_overflows\":{}}},\
              \"nodes\":[{}]}}",
             num(self.duration_s),
             self.total_completed(),
@@ -280,12 +378,19 @@ impl RunReport {
             self.total_retries(),
             latency_json(&fleet),
             num(self.channel_utilization),
+            num(self.channel_bad_s),
+            switches.join(","),
+            num(self.tier_times.normal_s),
+            num(self.tier_times.classify_only_s),
+            num(self.tier_times.shed_s),
             self.aggregator.batches,
             self.aggregator.max_batch,
             num(self.aggregator.busy_s),
             num(self.aggregator.utilization),
             num(self.aggregator.energy_pj),
             num(self.aggregator.battery_hours),
+            num(self.aggregator.outage_s),
+            self.aggregator.inbox_overflows,
             nodes.join(",")
         )
     }
@@ -308,11 +413,10 @@ mod tests {
     }
 
     #[test]
-    fn empty_latency_is_all_zero() {
-        assert_eq!(
-            LatencyStats::from_samples(Vec::new()),
-            LatencyStats::default()
-        );
+    fn empty_latency_is_all_zero_with_zero_count() {
+        let s = LatencyStats::from_samples(Vec::new());
+        assert_eq!(s, LatencyStats::default());
+        assert_eq!(s.count, 0);
     }
 
     #[test]
@@ -321,5 +425,29 @@ mod tests {
         assert_eq!(s.p50_s, 0.25);
         assert_eq!(s.p99_s, 0.25);
         assert_eq!(s.max_s, 0.25);
+    }
+
+    #[test]
+    fn nan_samples_do_not_poison_the_statistics() {
+        let s = LatencyStats::from_samples(vec![f64::NAN, 3.0, 1.0, f64::NAN, 2.0]);
+        assert_eq!(s.count, 3, "NaNs are discarded, not counted");
+        assert_eq!(s.p50_s, 2.0);
+        assert_eq!(s.max_s, 3.0);
+        assert!((s.mean_s - 2.0).abs() < 1e-12);
+        assert!(s.mean_s.is_finite() && s.p99_s.is_finite());
+    }
+
+    #[test]
+    fn infinities_are_discarded_too() {
+        let s = LatencyStats::from_samples(vec![f64::INFINITY, 5.0, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_s, 5.0);
+    }
+
+    #[test]
+    fn all_non_finite_input_degrades_to_the_empty_stats() {
+        let s = LatencyStats::from_samples(vec![f64::NAN, f64::INFINITY]);
+        assert_eq!(s, LatencyStats::default());
+        assert_eq!(s.count, 0);
     }
 }

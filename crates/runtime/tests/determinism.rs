@@ -1,0 +1,185 @@
+//! Executor determinism under fault injection.
+//!
+//! The whole point of seeding every fault stream (delivery draws, burst
+//! chain, per-node crash schedules) is that a run is a pure function of
+//! `(instance, partition, RuntimeConfig)`. These properties pin that: two
+//! executors built from equal inputs must produce *byte-identical* JSON
+//! reports — including under channel bursts, node crashes, battery
+//! depletion, aggregator outages and the adaptive controller, whose
+//! replanning decisions depend on everything upstream of them.
+
+#![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xpro_core::builder::BuiltGraph;
+use xpro_core::cellgraph::{Cell, CellGraph, PortRef};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::{Engine, XProGenerator};
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::Domain;
+use xpro_core::partition::Partition;
+use xpro_hw::ModuleKind;
+use xpro_runtime::{Executor, RuntimeConfig};
+use xpro_signal::stats::FeatureKind;
+
+/// A small instance: four time-domain features over the raw window, one
+/// SVM whose size varies with the seed, and a fusion cell (the same shape
+/// as the crate's unit-test fixture, rebuilt here because integration
+/// tests cannot see it).
+fn tiny_instance(seed: u64) -> XProInstance {
+    let mut graph = CellGraph::new(128);
+    let mut feature_cells = BTreeMap::new();
+    let kinds = [
+        FeatureKind::Max,
+        FeatureKind::Var,
+        FeatureKind::Skew,
+        FeatureKind::Kurt,
+    ];
+    for (i, &kind) in kinds.iter().enumerate() {
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: 128,
+                reuses_var: false,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: vec![PortRef::RAW],
+            label: format!("f{i}"),
+        });
+        feature_cells.insert(i, id);
+    }
+    let svm = graph.add_cell(Cell {
+        module: ModuleKind::Svm {
+            support_vectors: 10 + (seed % 40) as usize,
+            dims: 4,
+            rbf: true,
+        },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: (0..4).map(|i| PortRef::cell(feature_cells[&i])).collect(),
+        label: "svm".into(),
+    });
+    let fusion = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases: 1 },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: vec![PortRef::cell(svm)],
+        label: "fusion".into(),
+    });
+    let built = BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells: vec![svm],
+        fusion_cell: fusion,
+    };
+    XProInstance::try_new(built, SystemConfig::default(), 100).expect("valid test instance")
+}
+
+fn cross_end(inst: &XProInstance) -> Partition {
+    XProGenerator::new(inst)
+        .partition_for(Engine::CrossEnd)
+        .unwrap()
+}
+
+fn assert_reproducible(inst: &XProInstance, partition: &Partition, cfg: &RuntimeConfig) {
+    let a = Executor::new(inst, partition, cfg.clone()).unwrap().run();
+    let b = Executor::new(inst, partition, cfg.clone()).unwrap().run();
+    assert_eq!(a, b, "structurally unequal reports for {cfg:?}");
+    assert_eq!(a.to_json(), b.to_json(), "JSON reports differ for {cfg:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn equal_configs_give_byte_identical_reports(
+        seed in 0u64..10_000,
+        nodes in 1usize..5,
+        drop in 0.0f64..0.5,
+        bursty in any::<bool>(),
+        crashy in any::<bool>(),
+        adaptive in any::<bool>(),
+    ) {
+        let inst = tiny_instance(seed % 7);
+        let partition = cross_end(&inst);
+        let mut b = RuntimeConfig::builder()
+            .nodes(nodes)
+            .duration_s(1.5)
+            .drop_rate(drop)
+            .seed(seed)
+            .adaptive(adaptive)
+            .adaptive_window(16)
+            .min_dwell_s(0.1);
+        if bursty {
+            b = b
+                .burst_bad_rate(0.85)
+                .burst_p_enter(0.2)
+                .burst_p_exit(0.3)
+                .burst_slot_s(0.1)
+                .max_retries(5);
+        }
+        if crashy {
+            b = b.mtbf_s(0.6).mttr_s(0.2).reboot_warmup_s(0.05);
+        }
+        let cfg = b.build().unwrap();
+        let a = Executor::new(&inst, &partition, cfg.clone()).unwrap().run();
+        let c = Executor::new(&inst, &partition, cfg.clone()).unwrap().run();
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a.to_json(), c.to_json());
+    }
+}
+
+/// The full chaos stack at once — bursts, crashes, battery budget, outage,
+/// bounded inbox, adaptive controller — still reproduces byte-for-byte.
+#[test]
+fn chaos_run_is_byte_identical_across_executions() {
+    let inst = tiny_instance(3);
+    let partition = cross_end(&inst);
+    let cfg = RuntimeConfig::builder()
+        .nodes(6)
+        .duration_s(3.0)
+        .drop_rate(0.1)
+        .burst_bad_rate(0.9)
+        .burst_p_enter(0.15)
+        .burst_p_exit(0.25)
+        .burst_slot_s(0.1)
+        .mtbf_s(0.8)
+        .mttr_s(0.3)
+        .reboot_warmup_s(0.1)
+        .battery_budget_pj(5e7)
+        .agg_outage_period_s(1.0)
+        .agg_outage_s(0.2)
+        .agg_inbox(8)
+        .adaptive(true)
+        .adaptive_window(24)
+        .min_dwell_s(0.2)
+        .max_retries(6)
+        .seed(2026)
+        .build()
+        .unwrap();
+    assert_reproducible(&inst, &partition, &cfg);
+}
+
+/// Different seeds must actually change a faulty run (no accidentally
+/// seed-independent streams).
+#[test]
+fn different_seeds_diverge_under_faults() {
+    let inst = tiny_instance(4);
+    let partition = cross_end(&inst);
+    let build = |seed: u64| {
+        RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.3)
+            .mtbf_s(0.5)
+            .mttr_s(0.2)
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+    let a = Executor::new(&inst, &partition, build(1)).unwrap().run();
+    let b = Executor::new(&inst, &partition, build(2)).unwrap().run();
+    assert_ne!(a, b, "seeds 1 and 2 produced identical faulty runs");
+}

@@ -25,10 +25,12 @@
 //! assert!((6.2..6.4).contains(&uj)); // ≈ 6.3 µJ per event
 //! ```
 
+pub mod estimator;
 pub mod frame;
 pub mod link;
 pub mod model;
 
+pub use estimator::{EffectiveEnergyEstimator, TransferSample};
 pub use frame::{Frame, HEADER_BITS};
 pub use link::{Link, LinkConfig};
 pub use model::TransceiverModel;

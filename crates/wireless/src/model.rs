@@ -101,6 +101,28 @@ impl TransceiverModel {
         self.data_rate_bps
     }
 
+    /// This radio as a planner sees it through a lossy channel with the
+    /// given attempt inflation `factor` (observed attempts per planned
+    /// frame): per-bit energies scale up by the factor and the effective
+    /// data rate scales down by it, since every delivered bit occupies the
+    /// channel `factor` times. `factor = 1` returns an identical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and ≥ 1.
+    pub fn derated(&self, factor: f64) -> TransceiverModel {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "derating factor must be finite and >= 1, got {factor}"
+        );
+        TransceiverModel {
+            name: format!("{} (derated x{factor:.2})", self.name),
+            tx_nj_per_bit: self.tx_nj_per_bit * factor,
+            rx_nj_per_bit: self.rx_nj_per_bit * factor,
+            data_rate_bps: self.data_rate_bps / factor,
+        }
+    }
+
     /// Energy to transmit `bits` bits, in picojoules.
     pub fn tx_energy_pj(&self, bits: u64) -> f64 {
         bits as f64 * self.tx_nj_per_bit * 1000.0

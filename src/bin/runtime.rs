@@ -4,11 +4,18 @@
 //! cut (or forces one of the reference engines), then streams segments
 //! from a fleet of sensor nodes through the partition in virtual time:
 //! one lossy half-duplex channel, bounded retransmission with exponential
-//! backoff, per-segment deadlines and aggregator batching. Prints the
-//! run report (per-node throughput, latency percentiles, drop/retry
-//! counters, energy split, battery life) as text or JSON.
+//! backoff, per-segment deadlines and aggregator batching. Fault knobs
+//! inject Gilbert–Elliott channel bursts, node crash/reboot cycles,
+//! battery depletion and aggregator outages; `--adaptive` closes the loop
+//! by re-partitioning online with graceful-degradation tiers. Prints the
+//! run report (per-node throughput, latency percentiles, drop/retry/fault
+//! counters, partition-switch log, energy split, battery life) as text or
+//! JSON.
 //!
 //! Run: `cargo run --release --bin runtime -- --nodes 4 --seconds 5 --drop-rate 0.1`
+//! Chaos: `cargo run --release --bin runtime -- --nodes 8 --drop-rate 0.2 \
+//!         --burst-bad-rate 0.9 --burst-p-enter 0.2 --burst-p-exit 0.1 \
+//!         --mtbf-s 30 --mttr-s 2 --adaptive`
 
 use std::process::ExitCode;
 use xpro::core::generator::Engine;
@@ -36,6 +43,31 @@ options:
                       abandoned (default 3)
   --timeout <S>       per-segment deadline in seconds (default 1)
   --seed <N>          fault-injection RNG seed (default 1)
+
+fault injection (all disabled by default):
+  --burst-bad-rate <P>   Gilbert-Elliott bad-state drop rate in [0, 1);
+                         --drop-rate is the good-state rate
+  --burst-p-enter <P>    per-slot probability of entering the bad state
+  --burst-p-exit <P>     per-slot probability of leaving it (0 = permanent)
+  --burst-slot-s <S>     channel-state slot duration (default 0.1)
+  --mtbf-s <S>           mean time between node crashes (0 disables)
+  --mttr-s <S>           mean node repair time (default 1)
+  --warmup-s <S>         post-reboot warm-up before segments flow again
+  --battery-pj <E>       per-node energy budget in pJ (0 = unlimited)
+  --aggregator-outage <PERIOD,DUR>
+                         recurring aggregator outage: DUR seconds out of
+                         every PERIOD
+  --agg-inbox <N>        bounded aggregator inbox capacity (default 256)
+
+adaptive controller:
+  --adaptive             re-partition online from observed channel cost,
+                         with graceful-degradation tiers
+  --adaptive-window <N>  estimator window in frame transfers (default 64)
+  --hysteresis <H>       re-plan band multiplier, must be > 1 (default 1.5)
+  --min-dwell-s <S>      minimum time between partition switches
+                         (default 0.5)
+
+output:
   --json              emit the report as JSON instead of text
   -h, --help          this message";
 
@@ -49,6 +81,20 @@ struct Args {
     max_retries: u32,
     timeout_s: f64,
     seed: u64,
+    burst_bad_rate: f64,
+    burst_p_enter: f64,
+    burst_p_exit: f64,
+    burst_slot_s: f64,
+    mtbf_s: f64,
+    mttr_s: f64,
+    warmup_s: f64,
+    battery_pj: f64,
+    outage: Option<(f64, f64)>,
+    agg_inbox: usize,
+    adaptive: bool,
+    adaptive_window: usize,
+    hysteresis: f64,
+    min_dwell_s: f64,
     json: bool,
 }
 
@@ -63,6 +109,20 @@ fn parse_args() -> Result<Args, String> {
         max_retries: 3,
         timeout_s: 1.0,
         seed: 1,
+        burst_bad_rate: 0.0,
+        burst_p_enter: 0.0,
+        burst_p_exit: 0.0,
+        burst_slot_s: 0.1,
+        mtbf_s: 0.0,
+        mttr_s: 1.0,
+        warmup_s: 0.0,
+        battery_pj: 0.0,
+        outage: None,
+        agg_inbox: 256,
+        adaptive: false,
+        adaptive_window: 64,
+        hysteresis: 1.5,
+        min_dwell_s: 0.5,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -120,6 +180,82 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--burst-bad-rate" => {
+                args.burst_bad_rate = value("--burst-bad-rate")?
+                    .parse()
+                    .map_err(|e| format!("--burst-bad-rate: {e}"))?;
+            }
+            "--burst-p-enter" => {
+                args.burst_p_enter = value("--burst-p-enter")?
+                    .parse()
+                    .map_err(|e| format!("--burst-p-enter: {e}"))?;
+            }
+            "--burst-p-exit" => {
+                args.burst_p_exit = value("--burst-p-exit")?
+                    .parse()
+                    .map_err(|e| format!("--burst-p-exit: {e}"))?;
+            }
+            "--burst-slot-s" => {
+                args.burst_slot_s = value("--burst-slot-s")?
+                    .parse()
+                    .map_err(|e| format!("--burst-slot-s: {e}"))?;
+            }
+            "--mtbf-s" => {
+                args.mtbf_s = value("--mtbf-s")?
+                    .parse()
+                    .map_err(|e| format!("--mtbf-s: {e}"))?;
+            }
+            "--mttr-s" => {
+                args.mttr_s = value("--mttr-s")?
+                    .parse()
+                    .map_err(|e| format!("--mttr-s: {e}"))?;
+            }
+            "--warmup-s" => {
+                args.warmup_s = value("--warmup-s")?
+                    .parse()
+                    .map_err(|e| format!("--warmup-s: {e}"))?;
+            }
+            "--battery-pj" => {
+                args.battery_pj = value("--battery-pj")?
+                    .parse()
+                    .map_err(|e| format!("--battery-pj: {e}"))?;
+            }
+            "--aggregator-outage" => {
+                let spec = value("--aggregator-outage")?;
+                let (period, dur) = spec.split_once(',').ok_or_else(|| {
+                    format!("--aggregator-outage expects PERIOD,DUR, got {spec:?}")
+                })?;
+                args.outage = Some((
+                    period
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--aggregator-outage period: {e}"))?,
+                    dur.trim()
+                        .parse()
+                        .map_err(|e| format!("--aggregator-outage duration: {e}"))?,
+                ));
+            }
+            "--agg-inbox" => {
+                args.agg_inbox = value("--agg-inbox")?
+                    .parse()
+                    .map_err(|e| format!("--agg-inbox: {e}"))?;
+            }
+            "--adaptive" => args.adaptive = true,
+            "--adaptive-window" => {
+                args.adaptive_window = value("--adaptive-window")?
+                    .parse()
+                    .map_err(|e| format!("--adaptive-window: {e}"))?;
+            }
+            "--hysteresis" => {
+                args.hysteresis = value("--hysteresis")?
+                    .parse()
+                    .map_err(|e| format!("--hysteresis: {e}"))?;
+            }
+            "--min-dwell-s" => {
+                args.min_dwell_s = value("--min-dwell-s")?
+                    .parse()
+                    .map_err(|e| format!("--min-dwell-s: {e}"))?;
+            }
             "--json" => args.json = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -146,6 +282,7 @@ fn run(args: &Args) -> Result<(), XProError> {
     let generator = XProGenerator::new(&instance);
     let partition = generator.partition_for(args.engine)?;
 
+    let (outage_period, outage_s) = args.outage.unwrap_or((0.0, 0.0));
     let run_cfg = RuntimeConfig::builder()
         .nodes(args.nodes)
         .duration_s(args.seconds)
@@ -153,6 +290,21 @@ fn run(args: &Args) -> Result<(), XProError> {
         .max_retries(args.max_retries)
         .timeout_s(args.timeout_s)
         .seed(args.seed)
+        .burst_bad_rate(args.burst_bad_rate)
+        .burst_p_enter(args.burst_p_enter)
+        .burst_p_exit(args.burst_p_exit)
+        .burst_slot_s(args.burst_slot_s)
+        .mtbf_s(args.mtbf_s)
+        .mttr_s(args.mttr_s)
+        .reboot_warmup_s(args.warmup_s)
+        .battery_budget_pj(args.battery_pj)
+        .agg_outage_period_s(outage_period)
+        .agg_outage_s(outage_s)
+        .agg_inbox(args.agg_inbox)
+        .adaptive(args.adaptive)
+        .adaptive_window(args.adaptive_window)
+        .hysteresis(args.hysteresis)
+        .min_dwell_s(args.min_dwell_s)
         .build()?;
     let report = Executor::new(&instance, &partition, run_cfg)?.run();
 

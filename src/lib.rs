@@ -20,8 +20,9 @@
 //! * [`core`] — the XPro engine itself: cell graphs, the Automatic XPro
 //!   Generator, the four engine designs and system evaluation;
 //! * [`runtime`] — streaming cross-end executor: fleets of sensor nodes
-//!   over a lossy shared channel, fault injection, metrics and run reports;
-//! * [`sim`] — deprecated facade over `runtime`'s single-event simulator.
+//!   over a lossy shared channel, fault injection, an adaptive partition
+//!   controller, metrics and run reports (the single-event tracer lives at
+//!   [`runtime::trace`]).
 //!
 //! # Quick start
 //!
@@ -72,7 +73,6 @@ pub use xpro_hw as hw;
 pub use xpro_ml as ml;
 pub use xpro_runtime as runtime;
 pub use xpro_signal as signal;
-pub use xpro_sim as sim;
 pub use xpro_wireless as wireless;
 
 /// One-import surface for the common workflow: everything from

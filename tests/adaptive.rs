@@ -1,0 +1,171 @@
+//! Acceptance tests for the adaptive cross-end controller on a real
+//! trained pipeline.
+//!
+//! The headline claim: under a seeded Gilbert–Elliott channel that
+//! degrades mid-run, an adaptive run must complete strictly more segments
+//! AND spend strictly less sensor energy per completed segment than a
+//! static run under the *identical* fault environment. Identical is
+//! enforced by construction — the burst-state chain and crash schedules
+//! are advanced on dedicated seed-derived streams, independent of how many
+//! delivery draws each executor makes.
+
+#![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+use xpro::prelude::*;
+use xpro::runtime::{NodeReport, RuntimeConfigBuilder};
+use xpro::wireless::TransceiverModel;
+
+/// A pipeline whose pristine optimum is a genuine mid-graph cut: enough
+/// training data that the classifier stage is heavy (lots of support
+/// vectors), plus the low-energy Model-3 radio so shipping features is
+/// cheap *until the channel degrades*. That gives the controller real room
+/// to move — the static cross-end cut crosses several feature frames per
+/// segment, while the degraded fallback crosses only the one-sample result.
+fn instance(case: CaseId) -> XProInstance {
+    let data = generate_case_sized(case, 400, 17);
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig::default())
+        .build()
+        .expect("valid config");
+    let p = XProPipeline::train(&data, &cfg).expect("trains");
+    let len = p.segment_len();
+    let sys = SystemConfig::builder()
+        .radio(TransceiverModel::model3())
+        .build()
+        .expect("valid system");
+    let inst = XProInstance::try_new(p.into_built(), sys, len).expect("valid instance");
+    assert!(
+        XProGenerator::new(&inst)
+            .generate()
+            .expect("cut")
+            .is_cross_end(),
+        "fixture must start from a real cross-end cut"
+    );
+    inst
+}
+
+/// A channel that turns hostile partway through the run and stays that
+/// way: 90 % drops in the bad state, entered with per-slot probability
+/// 0.25 and never left.
+fn degrading_channel(adaptive: bool) -> RuntimeConfigBuilder {
+    RuntimeConfig::builder()
+        .nodes(4)
+        .duration_s(8.0)
+        .drop_rate(0.02)
+        .burst_bad_rate(0.9)
+        .burst_p_enter(0.25)
+        .burst_p_exit(0.0)
+        .burst_slot_s(0.5)
+        .max_retries(6)
+        .seed(41)
+        .adaptive(adaptive)
+        .adaptive_window(32)
+        .min_dwell_s(0.3)
+}
+
+#[test]
+fn adaptive_beats_static_under_identical_mid_run_degradation() {
+    let inst = instance(CaseId::C1);
+    let cut = XProGenerator::new(&inst).generate().expect("static cut");
+
+    let static_report = Executor::new(&inst, &cut, degrading_channel(false).build().unwrap())
+        .expect("static executor")
+        .run();
+    let adaptive_report = Executor::new(&inst, &cut, degrading_channel(true).build().unwrap())
+        .expect("adaptive executor")
+        .run();
+
+    // Both fleets saw the same channel weather.
+    assert!(
+        static_report.channel_bad_s > 0.0,
+        "the channel never degraded"
+    );
+    assert_eq!(
+        static_report.channel_bad_s, adaptive_report.channel_bad_s,
+        "burst timelines must be traffic-independent"
+    );
+
+    // The controller actually acted.
+    assert!(
+        !adaptive_report.partition_switches.is_empty(),
+        "no partition switch under a 90 % permanent burst"
+    );
+    assert!(static_report.partition_switches.is_empty());
+
+    // The acceptance bar: strictly more completions, strictly less sensor
+    // energy per completed segment.
+    let done_static = static_report.total_completed();
+    let done_adaptive = adaptive_report.total_completed();
+    assert!(
+        done_adaptive > done_static,
+        "adaptive completed {done_adaptive} <= static {done_static}"
+    );
+    let epc = |r: &RunReport| {
+        let pj: f64 = r.nodes.iter().map(NodeReport::total_pj).sum();
+        pj / r.total_completed() as f64
+    };
+    let epc_static = epc(&static_report);
+    let epc_adaptive = epc(&adaptive_report);
+    assert!(
+        epc_adaptive < epc_static,
+        "adaptive spends {epc_adaptive} pJ/segment >= static {epc_static}"
+    );
+}
+
+#[test]
+fn adaptive_run_is_reproducible_and_accounts_for_every_segment() {
+    let inst = instance(CaseId::C1);
+    let cut = XProGenerator::new(&inst).generate().expect("static cut");
+    let cfg = degrading_channel(true)
+        .mtbf_s(2.0)
+        .mttr_s(0.5)
+        .build()
+        .unwrap();
+    let a = Executor::new(&inst, &cut, cfg.clone())
+        .expect("executor")
+        .run();
+    let b = Executor::new(&inst, &cut, cfg).expect("executor").run();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "adaptive chaos run must reproduce"
+    );
+    for n in &a.nodes {
+        assert_eq!(
+            n.segments_offered,
+            n.segments_completed + n.segments_lost(),
+            "node {} leaks segments",
+            n.node
+        );
+    }
+    let tiers = &a.tier_times;
+    assert!(
+        (tiers.normal_s + tiers.classify_only_s + tiers.shed_s - a.duration_s).abs() < 1e-9,
+        "tier times must partition the run"
+    );
+}
+
+#[test]
+fn disabled_fault_knobs_leave_the_analytic_parity_intact() {
+    // With every new knob at its disabled default the executor must still
+    // reproduce the analytic evaluator — the fault layer is strictly
+    // additive.
+    let inst = instance(CaseId::C1);
+    let cut = XProGenerator::new(&inst).generate().expect("static cut");
+    let analytic = evaluate(&inst, &cut);
+    let cfg = RuntimeConfig::builder()
+        .nodes(1)
+        .duration_s(1.0)
+        .adaptive(true) // may observe, but a clean channel never triggers
+        .build()
+        .unwrap();
+    let report = Executor::new(&inst, &cut, cfg).expect("executor").run();
+    let node = &report.nodes[0];
+    assert_eq!(node.segments_offered, node.segments_completed);
+    assert!(report.partition_switches.is_empty());
+    let energy_per_event = node.total_pj() / node.segments_completed as f64;
+    let rel = (energy_per_event - analytic.sensor.total_pj()).abs() / analytic.sensor.total_pj();
+    assert!(rel < 0.01, "energy off by {rel}");
+}
