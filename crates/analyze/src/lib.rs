@@ -11,23 +11,38 @@
 //! selected.
 //!
 //! This crate answers that question statically. [`analyze`] abstractly
-//! interprets a cell list over an interval domain ([`interval::Interval`])
-//! that mirrors the Q16.16 semantics exactly — same rounding, same rails,
-//! same operation order as the concrete kernels — and augments it with a
-//! worst-case rounding-error envelope in ulps. Every cell gets a
-//! [`Verdict`]: proven safe, possible overflow (with the op and magnitude),
-//! or disproportionate precision loss.
+//! interprets a cell list over **two cooperating abstract domains**:
+//!
+//! * an interval domain ([`interval::Interval`]) that mirrors the Q16.16
+//!   semantics exactly — same rounding, same rails, same operation order as
+//!   the concrete kernels — augmented with a worst-case rounding-error
+//!   envelope in ulps;
+//! * an affine-arithmetic domain ([`affine::AffineForm`]) whose noise
+//!   symbols track correlations, so `x - mean` cancels instead of widening
+//!   and relational moment bounds (Popoviciu) apply.
+//!
+//! Every cell gets a [`Verdict`] per domain plus a combined verdict that
+//! takes the tighter sound claim: proven safe, possible overflow (with the
+//! op and magnitude), or disproportionate precision loss.
 //!
 //! `xpro-core` runs this analysis when instantiating a deployment and uses
 //! it to reject partition candidates that would place an overflow-prone
 //! cell on the fixed-point sensor end; the `analyze` binary prints the
-//! per-cell report.
+//! per-cell report and can emit machine-readable findings ([`gate`]) for
+//! CI regression gating.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod affine;
 pub mod analysis;
+pub mod gate;
 pub mod interval;
 
+pub use affine::{AffineForm, SymbolCtx};
 pub use analysis::{
-    analyze, AnalysisReport, AnalyzeOptions, CellReport, CellSpec, SignalBounds, ValueRange,
-    Verdict,
+    analyze, try_analyze, AnalysisReport, AnalyzeError, AnalyzeOptions, CellReport, CellSpec,
+    DomainReport, SignalBounds, ValueRange, Verdict,
 };
+pub use gate::{diff_findings, parse_findings, render_findings, Finding, Severity};
 pub use interval::{Hazard, HazardOp, Interval};

@@ -1,0 +1,105 @@
+//! Differential soundness of the dual-domain verdicts: for random signals
+//! drawn inside the declared [`SignalBounds`], any cell the combined
+//! (interval ∧ affine) verdict proves overflow-free must execute on the
+//! Q16.16 kernels without touching the saturation rails, and its output
+//! must land inside the combined abstract range — including in the regime
+//! where the interval domain alone cries wolf and only the affine domain's
+//! cancellation tracking rescues the cell.
+
+use proptest::prelude::*;
+use xpro_analyze::{analyze, AnalyzeOptions, CellSpec, SignalBounds};
+use xpro_hw::ModuleKind;
+use xpro_signal::fixed::Q16;
+use xpro_signal::stats::{feature_q16, FeatureKind};
+
+fn feature_spec(kind: FeatureKind, n: usize) -> CellSpec {
+    CellSpec {
+        module: ModuleKind::Feature {
+            kind,
+            input_len: n,
+            reuses_var: false,
+        },
+        inputs: vec![(None, 0)],
+        label: kind.to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proven_cells_never_saturate(
+        scale in 1.0f64..6.0,
+        unit in prop::collection::vec(-1.0f64..1.0, 16..65),
+    ) {
+        // Samples scaled into the declared bounds (strictly inside, since
+        // the unit draw is half-open).
+        let w: Vec<f64> = unit.iter().map(|x| x * scale).collect();
+        let n = w.len();
+        let wq: Vec<Q16> = w.iter().map(|&v| Q16::from_f64(v)).collect();
+        let cells: Vec<CellSpec> = FeatureKind::ALL
+            .iter()
+            .map(|&k| feature_spec(k, n))
+            .collect();
+        let bounds = SignalBounds::new(-scale, scale);
+        let report = analyze(&cells, bounds, &AnalyzeOptions::default());
+
+        for (i, &kind) in FeatureKind::ALL.iter().enumerate() {
+            let cell = &report.cells[i];
+            if !cell.verdict.is_overflow_free() {
+                continue;
+            }
+            let fixed = feature_q16(kind, &wq);
+            prop_assert!(
+                fixed != Q16::MAX && fixed != Q16::MIN,
+                "{kind} proven at scale {scale} but saturated: {}",
+                fixed.to_f64()
+            );
+            let out = cell.output();
+            prop_assert!(
+                out.interval.contains(fixed),
+                "{kind} at scale {scale}: {} outside combined range {}",
+                fixed.to_f64(),
+                out.interval
+            );
+        }
+    }
+
+    #[test]
+    fn demoted_short_window_moments_are_concretely_safe(
+        scale in 6.8f64..7.4,
+        unit in prop::collection::vec(-1.0f64..1.0, 4..5),
+    ) {
+        let w: Vec<f64> = unit.iter().map(|x| x * scale).collect();
+        // The demotion regime of the affine domain: at a 4-sample window the
+        // deviation radius is 1.5R instead of the interval domain's 2R, so
+        // the interval domain flags Kurt's fourth power while the affine
+        // domain proves it. The concrete kernel must side with the affine
+        // domain on every reachable input.
+        let cells = vec![feature_spec(FeatureKind::Kurt, w.len())];
+        let bounds = SignalBounds::new(-scale, scale);
+        let report = analyze(&cells, bounds, &AnalyzeOptions::default());
+        let cell = &report.cells[0];
+        prop_assert!(
+            cell.demoted_by_affine(),
+            "Kurt on a 4-sample window at ±{scale} must be interval-flagged \
+             but affine-proven: {report}"
+        );
+        prop_assert!(cell.verdict.is_overflow_free());
+
+        let wq: Vec<Q16> = w.iter().map(|&v| Q16::from_f64(v)).collect();
+        let fixed = feature_q16(FeatureKind::Kurt, &wq);
+        prop_assert!(
+            fixed != Q16::MAX && fixed != Q16::MIN,
+            "demoted Kurt saturated at scale {scale}: {}",
+            fixed.to_f64()
+        );
+        let out = cell.output();
+        prop_assert!(
+            out.interval.contains(fixed),
+            "demoted Kurt at scale {scale}: {} outside combined range {}",
+            fixed.to_f64(),
+            out.interval
+        );
+    }
+}

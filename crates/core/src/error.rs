@@ -29,6 +29,10 @@ pub enum XProError {
     Io(std::io::Error),
     /// A configuration value was out of range or inconsistent.
     Config(String),
+    /// A generated partition failed its cut-certificate check: the
+    /// max-flow/min-cut witness or the static delay re-derivation violated
+    /// an invariant.
+    Certificate(crate::certificate::CertificateViolation),
 }
 
 impl XProError {
@@ -56,6 +60,7 @@ impl fmt::Display for XProError {
             XProError::Numeric(msg) => write!(f, "numeric validation failed: {msg}"),
             XProError::Io(e) => write!(f, "i/o error: {e}"),
             XProError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            XProError::Certificate(v) => write!(f, "certificate check failed: {v}"),
         }
     }
 }
@@ -79,6 +84,18 @@ impl From<xpro_ml::subspace::TrainEnsembleError> for XProError {
 impl From<std::io::Error> for XProError {
     fn from(e: std::io::Error) -> Self {
         XProError::Io(e)
+    }
+}
+
+impl From<crate::certificate::CertificateViolation> for XProError {
+    fn from(v: crate::certificate::CertificateViolation) -> Self {
+        XProError::Certificate(v)
+    }
+}
+
+impl From<xpro_analyze::AnalyzeError> for XProError {
+    fn from(e: xpro_analyze::AnalyzeError) -> Self {
+        XProError::Config(e.to_string())
     }
 }
 

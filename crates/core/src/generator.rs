@@ -16,11 +16,12 @@
 //! meets the bound. The two single-end designs are always candidates, so a
 //! feasible solution always exists — the same guarantee the paper gives.
 
+use crate::certificate::{check_cut_certificate, verify_plan, CutCertificate};
 use crate::config::SystemConfig;
 use crate::error::XProError;
 use crate::instance::XProInstance;
 use crate::partition::{evaluate, Evaluation, Partition};
-use crate::stgraph::min_cut_partition;
+use crate::stgraph::certified_min_cut_partition;
 use xpro_hw::ModuleKind;
 use xpro_wireless::TransceiverModel;
 
@@ -129,7 +130,7 @@ impl<'a> XProGenerator<'a> {
 
     /// The unconstrained minimum-energy partition (§3.2.2): one min-cut.
     pub fn unconstrained_cut(&self) -> Partition {
-        min_cut_partition(self.instance, 0.0)
+        certified_min_cut_partition(self.instance, 0.0).0
     }
 
     /// The paper's delay limit `T_XPro = min(T_F, T_B)` (Eq. 4).
@@ -192,52 +193,87 @@ impl<'a> XProGenerator<'a> {
     /// Returns [`XProError::Config`] when `t_limit_s` is not positive and
     /// [`XProError::Partition`] when no explored candidate meets the limit.
     pub fn delay_constrained_cut(&self, t_limit_s: f64) -> Result<Partition, XProError> {
+        self.delay_constrained_cut_certified(t_limit_s)
+            .map(|(p, _)| p)
+    }
+
+    /// Like [`XProGenerator::delay_constrained_cut`], but also returns the
+    /// winning partition's [`CutCertificate`] when it came from the min-cut
+    /// solver (`None` for the single-end and trivial-cut fallbacks, which
+    /// are not cut-derived).
+    ///
+    /// Every cut-derived candidate is re-verified against its certificate
+    /// before it may compete, and the winner — whatever its origin — is
+    /// re-checked end to end ([`verify_plan`]): numeric validity of every
+    /// sensor-side cell plus an independent static re-derivation of the
+    /// delay bound. A violation surfaces as [`XProError::Certificate`]
+    /// naming the broken invariant rather than as a silently wrong plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when `t_limit_s` is not positive,
+    /// [`XProError::Partition`] when no explored candidate meets the limit,
+    /// and [`XProError::Certificate`] when a generated cut fails its
+    /// certificate check.
+    pub fn delay_constrained_cut_certified(
+        &self,
+        t_limit_s: f64,
+    ) -> Result<(Partition, Option<CutCertificate>), XProError> {
         if t_limit_s.is_nan() || t_limit_s <= 0.0 {
             return Err(XProError::config(format!(
                 "delay limit must be positive, got {t_limit_s}"
             )));
         }
         let n = self.instance.num_cells();
-        let mut candidates = vec![
-            Partition::all_aggregator(n),
-            Partition::all_sensor(n),
-            self.trivial_cut(),
+        let mut candidates: Vec<(Partition, Option<CutCertificate>)> = vec![
+            (Partition::all_aggregator(n), None),
+            (Partition::all_sensor(n), None),
+            (self.trivial_cut(), None),
         ];
+        let push_cut = |lambda: f64,
+                        candidates: &mut Vec<(Partition, Option<CutCertificate>)>|
+         -> Result<(), XProError> {
+            let (p, cert) = certified_min_cut_partition(self.instance, lambda);
+            check_cut_certificate(self.instance, &p, &cert)?;
+            if !candidates.iter().any(|(q, _)| *q == p) {
+                candidates.push((p, Some(cert)));
+            }
+            Ok(())
+        };
         // λ sweep: λ in pJ/s. Cell energies sit around 1e4–1e6 pJ and event
         // delays around 1e-4–1e-3 s, so the interesting λ range brackets
         // 1e7–1e12; sweep wider to be safe.
-        candidates.push(min_cut_partition(self.instance, 0.0));
+        push_cut(0.0, &mut candidates)?;
         let mut lambda = 1.0e5;
         while lambda <= 1.0e14 {
-            let p = min_cut_partition(self.instance, lambda);
-            if !candidates.contains(&p) {
-                candidates.push(p);
-            }
+            push_cut(lambda, &mut candidates)?;
             lambda *= 3.0;
         }
         // Tolerate floating-point noise in the measured delay: the
         // single-end designs define the limit, so they must stay feasible.
         let tol = t_limit_s * 1e-9;
-        candidates
+        let winner = candidates
             .into_iter()
-            .filter(|p| self.numerically_valid(p))
-            .map(|p| {
+            .filter(|(p, _)| self.numerically_valid(p))
+            .map(|(p, cert)| {
                 let e = evaluate(self.instance, &p);
-                (p, e)
+                (p, cert, e)
             })
-            .filter(|(_, e)| e.delay.total_s() <= t_limit_s + tol)
+            .filter(|(_, _, e)| e.delay.total_s() <= t_limit_s + tol)
             .min_by(|a, b| {
-                a.1.sensor
+                a.2.sensor
                     .total_pj()
-                    .partial_cmp(&b.1.sensor.total_pj())
+                    .partial_cmp(&b.2.sensor.total_pj())
                     .expect("energies are finite")
             })
-            .map(|(p, _)| p)
+            .map(|(p, cert, _)| (p, cert))
             .ok_or_else(|| {
                 XProError::partition(format!(
                     "no numerically valid partition meets the {t_limit_s} s delay limit"
                 ))
-            })
+            })?;
+        verify_plan(self.instance, &winner.0, winner.1.as_ref(), t_limit_s)?;
+        Ok(winner)
     }
 }
 
@@ -265,13 +301,29 @@ pub fn replan(
     radio: TransceiverModel,
     t_limit_s: f64,
 ) -> Result<(XProInstance, Partition), XProError> {
+    replan_certified(instance, radio, t_limit_s).map(|(inst, p, _)| (inst, p))
+}
+
+/// Like [`replan`], but also returns the new cut's [`CutCertificate`]
+/// (when cut-derived) so the adaptive controller can re-verify the plan
+/// against the re-priced instance before committing it.
+///
+/// # Errors
+///
+/// Same as [`replan`], plus [`XProError::Certificate`] when the re-planned
+/// cut fails its certificate check.
+pub fn replan_certified(
+    instance: &XProInstance,
+    radio: TransceiverModel,
+    t_limit_s: f64,
+) -> Result<(XProInstance, Partition, Option<CutCertificate>), XProError> {
     let config = SystemConfig {
         radio,
         ..instance.config().clone()
     };
     let replanned = instance.reconfigured(config)?;
-    let cut = XProGenerator::new(&replanned).delay_constrained_cut(t_limit_s)?;
-    Ok((replanned, cut))
+    let (cut, cert) = XProGenerator::new(&replanned).delay_constrained_cut_certified(t_limit_s)?;
+    Ok((replanned, cut, cert))
 }
 
 #[cfg(test)]

@@ -49,10 +49,14 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod aggregator;
 pub mod analysis;
 pub mod builder;
 pub mod cellgraph;
+pub mod certificate;
 pub mod config;
 pub mod error;
 pub mod generator;
@@ -73,9 +77,12 @@ pub use aggregator::AggregatorModel;
 pub use analysis::{analyze_graph, cell_specs};
 pub use builder::{build_cell_graph, build_full_cell_graph, BuildOptions, BuiltGraph};
 pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
+pub use certificate::{
+    check_cut_certificate, derive_delay_s, verify_plan, CertificateViolation, CutCertificate,
+};
 pub use config::SystemConfig;
 pub use error::XProError;
-pub use generator::{replan, Engine, XProGenerator};
+pub use generator::{replan, replan_certified, Engine, XProGenerator};
 pub use instance::XProInstance;
 pub use layout::{Domain, FeatureLayout};
 pub use multiclass::MulticlassPipeline;

@@ -24,11 +24,26 @@
 //! weights, the identical construction serves the delay-constrained
 //! generator (§3.2.3) via a Lagrangian sweep.
 
+use crate::certificate::CutCertificate;
 use crate::instance::XProInstance;
 use crate::layout::BITS_PER_SAMPLE;
 use crate::partition::Partition;
-use xpro_graph::dinic::{FlowNetwork, INF};
+use xpro_graph::dinic::{FlowNetwork, NodeId, INF};
 use xpro_wireless::Frame;
+
+/// The s-t network of one instance, with the node bookkeeping needed to
+/// map a cut back onto cells (and to certify it).
+#[derive(Clone, Debug)]
+pub struct StNetwork {
+    /// The flow network with λ-priced edge weights.
+    pub net: FlowNetwork,
+    /// The source node `F` (the sensor front-end).
+    pub source: NodeId,
+    /// The sink node `B` (the aggregator back-end).
+    pub sink: NodeId,
+    /// `cell_node[c]` is the network node of functional cell `c`.
+    pub cell_node: Vec<NodeId>,
+}
 
 /// Builds the s-t network for an instance and extracts the min-cut
 /// partition.
@@ -42,6 +57,52 @@ use xpro_wireless::Frame;
 ///
 /// Panics if `lambda_pj_per_s` is negative.
 pub fn min_cut_partition(instance: &XProInstance, lambda_pj_per_s: f64) -> Partition {
+    certified_min_cut_partition(instance, lambda_pj_per_s).0
+}
+
+/// Like [`min_cut_partition`], but also returns the [`CutCertificate`]
+/// carrying the max-flow witness, so the caller can have the cut
+/// independently re-verified by
+/// [`check_cut_certificate`](crate::certificate::check_cut_certificate).
+///
+/// # Panics
+///
+/// Panics if `lambda_pj_per_s` is negative.
+pub fn certified_min_cut_partition(
+    instance: &XProInstance,
+    lambda_pj_per_s: f64,
+) -> (Partition, CutCertificate) {
+    let st = build_network(instance, lambda_pj_per_s);
+    let witness = st.net.clone().min_cut_with_witness(st.source, st.sink);
+    let partition = Partition {
+        in_sensor: st
+            .cell_node
+            .iter()
+            .map(|&nid| witness.source_side[nid])
+            .collect(),
+    };
+    let certificate = CutCertificate {
+        witness,
+        source: st.source,
+        sink: st.sink,
+        cell_node: st.cell_node,
+        lambda_pj_per_s,
+    };
+    (partition, certificate)
+}
+
+/// Constructs the §3.2.2 s-t network (with Fig. 7's dummy node and
+/// TX/RX gadgets) under the Lagrangian delay price `lambda_pj_per_s`.
+///
+/// The construction is deterministic: nodes and edges are emitted in graph
+/// order, so two builds over the same instance and λ are identical —
+/// which is what lets the certificate checker re-derive the capacities
+/// independently and compare them edge by edge.
+///
+/// # Panics
+///
+/// Panics if `lambda_pj_per_s` is negative.
+pub fn build_network(instance: &XProInstance, lambda_pj_per_s: f64) -> StNetwork {
     assert!(lambda_pj_per_s >= 0.0, "lambda must be non-negative");
     let graph = &instance.built().graph;
     let radio = &instance.config().radio;
@@ -105,9 +166,11 @@ pub fn min_cut_partition(instance: &XProInstance, lambda_pj_per_s: f64) -> Parti
     net.add_edge(cell_node[result], t_res, frame_weight(1, true));
     net.add_edge(t_res, b, INF);
 
-    let cut = net.min_cut(f, b);
-    Partition {
-        in_sensor: cell_node.iter().map(|&nid| cut.source_side[nid]).collect(),
+    StNetwork {
+        net,
+        source: f,
+        sink: b,
+        cell_node,
     }
 }
 

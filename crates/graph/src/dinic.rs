@@ -53,6 +53,38 @@ pub struct MinCut {
     pub source_side: Vec<bool>,
 }
 
+/// Flow assignment on one original (forward) edge of the network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeFlow {
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Original capacity of the edge ([`INF`] for unbounded edges).
+    pub capacity: f64,
+    /// Flow routed through the edge by the max-flow computation.
+    pub flow: f64,
+}
+
+/// A max-flow/min-cut pair that certifies its own optimality.
+///
+/// By LP weak duality, *any* feasible s→t flow value is a lower bound on
+/// *any* s-t cut capacity — so exhibiting a feasible flow whose value
+/// equals a cut's weight proves simultaneously that the flow is maximum
+/// and the cut minimum. The witness carries the full per-edge flow
+/// assignment so an independent checker can re-verify feasibility
+/// (capacity limits, conservation) and the equality without trusting the
+/// solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutWitness {
+    /// Value of the flow == weight of the cut.
+    pub value: f64,
+    /// `source_side[v]` is `true` when `v` is on the source side.
+    pub source_side: Vec<bool>,
+    /// Flow assignment on every original edge, in insertion order.
+    pub edges: Vec<EdgeFlow>,
+}
+
 impl FlowNetwork {
     /// Creates an empty network.
     pub fn new() -> Self {
@@ -197,10 +229,31 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t`, either is out of range, or the min cut is
     /// unbounded (every s→t cut crosses an [`INF`] edge).
-    pub fn min_cut(mut self, s: NodeId, t: NodeId) -> MinCut {
-        let capacity = self.max_flow(s, t);
+    pub fn min_cut(self, s: NodeId, t: NodeId) -> MinCut {
+        let witness = self.min_cut_with_witness(s, t);
+        MinCut {
+            capacity: witness.value,
+            source_side: witness.source_side,
+        }
+    }
+
+    /// Computes the minimum s-t cut together with the max-flow witness
+    /// that certifies it (see [`CutWitness`]). Consumes the residual
+    /// state, so call on a fresh or cloned network.
+    ///
+    /// The flow on each original edge is recovered from its reverse edge's
+    /// residual capacity: reverse residuals start at zero, grow by every
+    /// unit pushed forward, and shrink by every unit cancelled — and they
+    /// stay finite even on [`INF`] edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`, either is out of range, or the min cut is
+    /// unbounded (every s→t cut crosses an [`INF`] edge).
+    pub fn min_cut_with_witness(mut self, s: NodeId, t: NodeId) -> CutWitness {
+        let value = self.max_flow(s, t);
         assert!(
-            capacity.is_finite(),
+            value.is_finite(),
             "min cut is unbounded (infinite-capacity path from source to sink)"
         );
         const EPS: f64 = 1e-9;
@@ -217,10 +270,41 @@ impl FlowNetwork {
             }
         }
         debug_assert!(!source_side[t], "sink reachable after max flow");
-        MinCut {
-            capacity,
-            source_side,
+        let mut edges = Vec::new();
+        for (u, adj) in self.adj.iter().enumerate() {
+            for e in adj.iter().filter(|e| e.forward) {
+                let flow = self.adj[e.to][e.rev].cap;
+                let capacity = if e.cap.is_infinite() {
+                    INF
+                } else {
+                    e.cap + flow
+                };
+                edges.push(EdgeFlow {
+                    from: u,
+                    to: e.to,
+                    capacity,
+                    flow,
+                });
+            }
         }
+        CutWitness {
+            value,
+            source_side,
+            edges,
+        }
+    }
+
+    /// Original forward edges as `(from, to, capacity)` triples, in
+    /// insertion order. Only meaningful on a network whose residual state
+    /// has not been consumed by [`FlowNetwork::max_flow`].
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut out = Vec::new();
+        for (u, adj) in self.adj.iter().enumerate() {
+            for e in adj.iter().filter(|e| e.forward) {
+                out.push((u, e.to, e.cap));
+            }
+        }
+        out
     }
 
     /// Sum of original forward-edge capacities crossing a given partition
@@ -330,6 +414,47 @@ mod tests {
         assert_eq!(first, 0);
         assert_eq!(net.len(), 3);
         assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn witness_flow_is_feasible_conserved_and_tight() {
+        // Diamond with an ∞ edge in the middle: the witness must expose
+        // finite flow on the infinite edge and balance at inner nodes.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, a, 3.0);
+        net.add_edge(s, b, 2.0);
+        net.add_edge(a, b, INF);
+        net.add_edge(a, t, 2.0);
+        net.add_edge(b, t, 3.0);
+        let w = net.min_cut_with_witness(s, t);
+        assert_eq!(w.value, 5.0);
+        assert_eq!(w.edges.len(), 5);
+        for e in &w.edges {
+            assert!(e.flow >= 0.0 && e.flow <= e.capacity + 1e-9, "{e:?}");
+        }
+        // Conservation at a and b: inflow == outflow.
+        for node in [a, b] {
+            let inflow: f64 = w
+                .edges
+                .iter()
+                .filter(|e| e.to == node)
+                .map(|e| e.flow)
+                .sum();
+            let outflow: f64 = w
+                .edges
+                .iter()
+                .filter(|e| e.from == node)
+                .map(|e| e.flow)
+                .sum();
+            assert!((inflow - outflow).abs() < 1e-9);
+        }
+        // Net source outflow equals the flow value.
+        let out: f64 = w.edges.iter().filter(|e| e.from == s).map(|e| e.flow).sum();
+        assert!((out - w.value).abs() < 1e-9);
     }
 
     #[test]

@@ -10,18 +10,27 @@
 //! 2. when the estimated inflation factor leaves the hysteresis band
 //!    around the factor the current plan was chosen under — and a minimum
 //!    dwell has passed — the controller re-enters the generator
-//!    ([`xpro_core::replan`]) with the radio derated by the observed
-//!    factor, against the *baseline* delay limit of the pristine
+//!    ([`xpro_core::replan_certified`]) with the radio derated by the
+//!    observed factor, against the *baseline* delay limit of the pristine
 //!    instance;
-//! 3. if the re-plan is feasible the new cut is applied at the next
-//!    segment boundary (tier [`Tier::Normal`]); if no cut meets the
+//! 3. before committing, every feasible re-plan is re-verified at the
+//!    commit point through [`xpro_core::verify_plan`]: the max-flow/min-cut
+//!    witness attached by the generator is checked edge by edge and the
+//!    delay bound is re-derived independently of the planner's evaluator.
+//!    Certified plans are applied at the next segment boundary (tier
+//!    [`Tier::Normal`]) and counted in [`PlanAudit::certified`]; a plan
+//!    whose certificate fails is *not* trusted — it is counted in
+//!    [`PlanAudit::rejected`] and treated exactly like an infeasible
+//!    re-plan;
+//! 4. if no certified cut meets the
 //!    baseline limit the fleet degrades to classification-only
 //!    transmission ([`Tier::ClassifyOnly`]: every cell on the sensor, only
 //!    the one-sample result frame crosses), and when even that cannot fit
 //!    the deadline it additionally sheds every other segment
 //!    ([`Tier::Shed`]);
-//! 4. recovery is symmetric: when the factor falls back out of the band a
-//!    feasible re-plan returns the fleet to [`Tier::Normal`].
+//! 5. recovery is symmetric: when the factor falls back out of the band a
+//!    feasible (and certified) re-plan returns the fleet to
+//!    [`Tier::Normal`].
 //!
 //! Every decision is logged as a [`PartitionSwitch`] and the time spent
 //! per tier is accumulated into [`TierTimes`]; both surface in the
@@ -32,7 +41,7 @@ use xpro_core::generator::XProGenerator;
 use xpro_core::instance::XProInstance;
 use xpro_core::layout::BITS_PER_SAMPLE;
 use xpro_core::partition::Partition;
-use xpro_core::replan;
+use xpro_core::{replan_certified, verify_plan};
 use xpro_wireless::{EffectiveEnergyEstimator, Frame, TransferSample};
 
 /// Degradation tier the fleet is operating in.
@@ -71,6 +80,21 @@ pub struct PartitionSwitch {
     pub sensor_cells: usize,
     /// Attempt-inflation factor the decision was based on.
     pub factor: f64,
+}
+
+/// Outcome counts of the controller's plan-certification gate.
+///
+/// Every feasible re-plan the generator proposes mid-run carries a
+/// max-flow/min-cut certificate; the controller re-checks it (and
+/// independently re-derives the delay bound) before committing the cut.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanAudit {
+    /// Epoch plans whose cut certificate and delay bound verified.
+    pub certified: u64,
+    /// Epoch plans refused because certificate checking or independent
+    /// delay re-derivation failed; the fleet degraded instead of trusting
+    /// the cut.
+    pub rejected: u64,
 }
 
 /// Time the run spent in each degradation tier.
@@ -121,6 +145,7 @@ pub(crate) struct Controller {
     last_decision_s: f64,
     tier_entered_s: f64,
     times: TierTimes,
+    audit: PlanAudit,
     switches: Vec<PartitionSwitch>,
     /// In [`Tier::Shed`], one segment in `shed_keep_every` is attempted.
     shed_keep_every: u64,
@@ -157,6 +182,7 @@ impl Controller {
             last_decision_s: -cfg.min_dwell_s,
             tier_entered_s: 0.0,
             times: TierTimes::default(),
+            audit: PlanAudit::default(),
             switches: Vec::new(),
             shed_keep_every: 2,
         }
@@ -203,10 +229,29 @@ impl Controller {
         self.last_decision_s = now_s;
         self.planned_factor = factor;
         let radio = instance.config().radio.derated(factor);
-        let (tier, partition) = match replan(instance, radio, self.baseline_limit_s) {
-            Ok((_, cut)) => (Tier::Normal, cut),
-            Err(_) => {
-                // No cut meets the promised bound. Fall back to
+        // A feasible re-plan is only trusted once its min-cut certificate
+        // checks out against an independently rebuilt network and the delay
+        // bound re-derives under the limit; a plan that fails the gate is
+        // treated exactly like an infeasible one.
+        let certified_cut = match replan_certified(instance, radio, self.baseline_limit_s) {
+            Ok((repriced, cut, cert)) => {
+                match verify_plan(&repriced, &cut, cert.as_ref(), self.baseline_limit_s) {
+                    Ok(()) => {
+                        self.audit.certified += 1;
+                        Some(cut)
+                    }
+                    Err(_) => {
+                        self.audit.rejected += 1;
+                        None
+                    }
+                }
+            }
+            Err(_) => None,
+        };
+        let (tier, partition) = match certified_cut {
+            Some(cut) => (Tier::Normal, cut),
+            None => {
+                // No certified cut meets the promised bound. Fall back to
                 // classification-only transmission unless even its frames,
                 // inflated by the observed factor, blow the deadline —
                 // then additionally shed segments.
@@ -234,10 +279,10 @@ impl Controller {
     }
 
     /// Closes the books at the end of the run.
-    pub fn finish(mut self, duration_s: f64) -> (Vec<PartitionSwitch>, TierTimes) {
+    pub fn finish(mut self, duration_s: f64) -> (Vec<PartitionSwitch>, TierTimes, PlanAudit) {
         let dt = duration_s - self.tier_entered_s;
         self.times.add(self.tier, dt);
-        (self.switches, self.times)
+        (self.switches, self.times, self.audit)
     }
 }
 
@@ -309,10 +354,11 @@ mod tests {
             ctl.observe(1);
         }
         assert!(ctl.maybe_replan(10.0, &inst).is_none());
-        let (switches, times) = ctl.finish(20.0);
+        let (switches, times, audit) = ctl.finish(20.0);
         assert!(switches.is_empty());
         assert_eq!(times.normal_s, 20.0);
         assert_eq!(times.classify_only_s + times.shed_s, 0.0);
+        assert_eq!(audit, PlanAudit::default(), "no decisions, nothing audited");
     }
 
     #[test]
@@ -336,7 +382,12 @@ mod tests {
         let restored = ctl.maybe_replan(2.0, &inst).expect("must recover");
         assert_eq!(ctl.tier(), Tier::Normal);
         assert_eq!(restored, initial, "recovery returns the static cut");
-        let (switches, times) = ctl.finish(3.0);
+        let (switches, times, audit) = ctl.finish(3.0);
+        assert!(
+            audit.certified >= 1,
+            "the recovery re-plan must pass the certificate gate: {audit:?}"
+        );
+        assert_eq!(audit.rejected, 0, "honest generator cuts never fail");
         assert_eq!(switches.len(), 2);
         assert_ne!(switches[0].tier, Tier::Normal);
         assert_eq!(switches[1].tier, Tier::Normal);

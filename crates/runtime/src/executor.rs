@@ -542,7 +542,7 @@ impl<'a> Executor<'a> {
             metrics.observe("batch_size", agg.batch_len as f64);
         }
 
-        let (switches, tier_times) = match controller {
+        let (switches, tier_times, plan_audit) = match controller {
             Some(ctl) => ctl.finish(cfg.duration_s),
             None => (
                 Vec::new(),
@@ -550,11 +550,18 @@ impl<'a> Executor<'a> {
                     normal_s: cfg.duration_s,
                     ..Default::default()
                 },
+                crate::controller::PlanAudit::default(),
             ),
         };
+        if plan_audit.certified > 0 {
+            metrics.inc("plans_certified", plan_audit.certified);
+        }
+        if plan_audit.rejected > 0 {
+            metrics.inc("plans_rejected", plan_audit.rejected);
+        }
 
         self.digest(
-            nodes, &lives, &outage, &link, metrics, agg, switches, tier_times,
+            nodes, &lives, &outage, &link, metrics, agg, switches, tier_times, plan_audit,
         )
     }
 
@@ -569,6 +576,7 @@ impl<'a> Executor<'a> {
         agg: AggState,
         switches: Vec<crate::controller::PartitionSwitch>,
         tier_times: crate::controller::TierTimes,
+        plan_audit: crate::controller::PlanAudit,
     ) -> RunReport {
         let cfg = &self.config;
         let sys = self.instance.config();
@@ -635,6 +643,7 @@ impl<'a> Executor<'a> {
             channel_bad_s: link.bad_s(),
             partition_switches: switches,
             tier_times,
+            plan_audit,
             metrics,
         }
     }
@@ -919,6 +928,17 @@ mod tests {
         assert_eq!(
             report.metrics.counter("partition_switches"),
             report.partition_switches.len() as u64
+        );
+        // Every committed Normal-tier epoch went through the certificate
+        // gate; honest generator cuts are never rejected.
+        assert_eq!(report.plan_audit.rejected, 0);
+        assert_eq!(
+            report.metrics.counter("plans_certified"),
+            report.plan_audit.certified
+        );
+        assert!(
+            report.to_json().contains("\"plan_audit\":{\"certified\":"),
+            "the audit must surface in the JSON report"
         );
     }
 

@@ -76,7 +76,7 @@ pub mod trace;
 mod testutil;
 
 pub use config::{RuntimeConfig, RuntimeConfigBuilder};
-pub use controller::{PartitionSwitch, Tier, TierTimes};
+pub use controller::{PartitionSwitch, PlanAudit, Tier, TierTimes};
 pub use executor::Executor;
 pub use lifecycle::{NodeLifecycle, OutageSchedule};
 pub use link::{BurstProfile, LossyLink};

@@ -2,7 +2,7 @@
 //! and channel utilization, fault/adaptation logs, and the raw metrics
 //! registry.
 
-use crate::controller::{PartitionSwitch, TierTimes};
+use crate::controller::{PartitionSwitch, PlanAudit, TierTimes};
 use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
@@ -156,6 +156,10 @@ pub struct RunReport {
     /// Time the run spent per degradation tier (all normal when the
     /// controller is off).
     pub tier_times: TierTimes,
+    /// Certified vs rejected epoch plans: every re-plan's min-cut
+    /// certificate is re-checked before the cut is committed (all zero
+    /// when the controller is off or never left the band).
+    pub plan_audit: PlanAudit,
     /// Raw counters/gauges/histograms recorded during the run.
     pub metrics: MetricsRegistry,
 }
@@ -245,8 +249,10 @@ impl RunReport {
         {
             let _ = writeln!(
                 out,
-                "adaptation: {} partition switches; tiers: {:.1} s normal, {:.1} s classify-only, {:.1} s shed",
+                "adaptation: {} partition switches ({} plans certified, {} rejected); tiers: {:.1} s normal, {:.1} s classify-only, {:.1} s shed",
                 self.partition_switches.len(),
+                self.plan_audit.certified,
+                self.plan_audit.rejected,
                 self.tier_times.normal_s,
                 self.tier_times.classify_only_s,
                 self.tier_times.shed_s,
@@ -368,6 +374,7 @@ impl RunReport {
              \"latency\":{},\"channel_utilization\":{},\"channel_bad_s\":{},\
              \"partition_switches\":[{}],\
              \"tier_times\":{{\"normal_s\":{},\"classify_only_s\":{},\"shed_s\":{}}},\
+             \"plan_audit\":{{\"certified\":{},\"rejected\":{}}},\
              \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"busy_s\":{},\
              \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{},\
              \"outage_s\":{},\"inbox_overflows\":{}}},\
@@ -383,6 +390,8 @@ impl RunReport {
             num(self.tier_times.normal_s),
             num(self.tier_times.classify_only_s),
             num(self.tier_times.shed_s),
+            self.plan_audit.certified,
+            self.plan_audit.rejected,
             self.aggregator.batches,
             self.aggregator.max_batch,
             num(self.aggregator.busy_s),

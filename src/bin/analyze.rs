@@ -9,12 +9,21 @@
 //! can run against a trained pipeline's graph rather than the framework
 //! superset (`--trained`).
 //!
+//! For CI the tool also speaks a machine-readable dialect: `--table1`
+//! analyzes the framework graph under every Table-1 dataset's signal
+//! bounds, `--json` emits the findings in the canonical byte-stable
+//! baseline format, `--write-baseline` records them to a file, and
+//! `--gate` diffs the current findings against a checked-in baseline and
+//! fails on any severity regression.
+//!
 //! Exit status: 0 on success, 1 on bad usage, 2 if `--fail-on-overflow`
-//! was given and some cell may overflow — the mode CI uses to gate merges
-//! on the default configuration staying provably in range.
+//! was given and some cell may overflow, 3 if `--gate` found a verdict
+//! regression against the baseline.
 
 use std::process::ExitCode;
-use xpro::analyze::SignalBounds;
+use xpro::analyze::gate::findings_for_report;
+use xpro::analyze::{diff_findings, parse_findings, render_findings, Finding, SignalBounds};
+use xpro::core::analysis::analyze_graph;
 use xpro::core::builder::{build_full_cell_graph, BuildOptions};
 use xpro::core::config::SystemConfig;
 use xpro::core::generator::XProGenerator;
@@ -41,7 +50,18 @@ options:
                         analyze the trained graph instead of the framework
                         superset (also reports the generator's verdict)
   --fail-on-overflow    exit with status 2 if any cell may overflow
-  -h, --help            this message";
+  --table1              analyze the framework graph under the normalized
+                        default bounds plus every Table-1 dataset's signal
+                        bounds, one findings set per config
+  --json                print the machine-readable findings document
+                        instead of the human verdict table
+  --gate <FILE>         diff the findings against the baseline in FILE and
+                        exit with status 3 on any severity regression
+  --write-baseline <FILE>
+                        write the findings to FILE in baseline format
+
+exit status: 0 ok, 1 usage or config error, 2 may-overflow under
+--fail-on-overflow, 3 baseline regression under --gate";
 
 struct Args {
     case: Option<CaseId>,
@@ -53,6 +73,10 @@ struct Args {
     sv: usize,
     trained: bool,
     fail_on_overflow: bool,
+    table1: bool,
+    json: bool,
+    gate: Option<String>,
+    write_baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +90,10 @@ fn parse_args() -> Result<Args, String> {
         sv: 40,
         trained: false,
         fail_on_overflow: false,
+        table1: false,
+        json: false,
+        gate: None,
+        write_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -102,6 +130,10 @@ fn parse_args() -> Result<Args, String> {
             "--sv" => args.sv = value("--sv")?.parse().map_err(|e| format!("--sv: {e}"))?,
             "--trained" => args.trained = true,
             "--fail-on-overflow" => args.fail_on_overflow = true,
+            "--table1" => args.table1 = true,
+            "--json" => args.json = true,
+            "--gate" => args.gate = Some(value("--gate")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -109,10 +141,56 @@ fn parse_args() -> Result<Args, String> {
     if args.trained && args.case.is_none() {
         return Err("--trained requires --case".into());
     }
+    if args.table1 {
+        if args.case.is_some() || args.trained {
+            return Err("--table1 conflicts with --case/--trained".into());
+        }
+        if args.lo.is_some() || args.hi.is_some() || args.scale.is_some() {
+            return Err("--table1 conflicts with explicit bounds".into());
+        }
+        if args.fail_on_overflow {
+            return Err("--table1 analyzes overflowing configs by design; gate with --gate".into());
+        }
+    }
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<bool, XProError> {
+/// Analyzes the framework graph under the normalized default bounds plus
+/// every Table-1 dataset's measured signal bounds, one findings set per
+/// config. Configs that may overflow are reported, not refused — the
+/// baseline records their severity so the gate can catch regressions.
+fn run_table1(args: &Args) -> Result<(bool, Vec<Finding>), XProError> {
+    let mut findings = Vec::new();
+    let mut all_proven = true;
+    let mut analyze_config = |config: &str, bounds: SignalBounds| {
+        let built = build_full_cell_graph(&BuildOptions::default(), args.bases, args.sv);
+        let report = analyze_graph(&built.graph, bounds, &Default::default());
+        if !args.json {
+            println!(
+                "config {config}: bounds [{:.3}, {:.3}], {} cells, {} may overflow, {} demoted by affine",
+                bounds.lo,
+                bounds.hi,
+                report.cells.len(),
+                report.overflowing().len(),
+                report.demoted().len(),
+            );
+        }
+        all_proven &= report.is_overflow_free();
+        findings.extend(findings_for_report(config, &report));
+    };
+    analyze_config("default", SignalBounds::default());
+    for case in CaseId::ALL {
+        let data = generate_case_sized(case, args.segments, 42);
+        let (lo, hi) = data.signal_range();
+        analyze_config(case.symbol(), SignalBounds::new(lo, hi));
+    }
+    Ok((all_proven, findings))
+}
+
+fn run(args: &Args) -> Result<(bool, Vec<Finding>), XProError> {
+    if args.table1 {
+        return run_table1(args);
+    }
     // Resolve input bounds: explicit flags beat dataset metadata beats the
     // normalized default.
     let dataset = args
@@ -121,13 +199,15 @@ fn run(args: &Args) -> Result<bool, XProError> {
     let mut bounds = match &dataset {
         Some(data) => {
             let (lo, hi) = data.signal_range();
-            println!(
-                "dataset {} ({}): {} segments of {} samples, range [{lo:.3}, {hi:.3}]",
-                data.symbol,
-                data.name,
-                data.len(),
-                data.segment_len
-            );
+            if !args.json {
+                println!(
+                    "dataset {} ({}): {} segments of {} samples, range [{lo:.3}, {hi:.3}]",
+                    data.symbol,
+                    data.name,
+                    data.len(),
+                    data.segment_len
+                );
+            }
             SignalBounds::new(lo, hi)
         }
         None => SignalBounds::default(),
@@ -170,13 +250,17 @@ fn run(args: &Args) -> Result<bool, XProError> {
         )
     };
 
-    println!("analyzing {label} ({} cells)", built.graph.len());
+    if !args.json {
+        println!("analyzing {label} ({} cells)", built.graph.len());
+    }
     let instance =
         XProInstance::try_with_bounds(built, SystemConfig::default(), segment_len, bounds)?;
     let report = instance.analysis();
-    println!("{report}");
+    if !args.json {
+        println!("{report}");
+    }
 
-    if args.trained {
+    if args.trained && !args.json {
         let generator = XProGenerator::new(&instance);
         let cut = generator.generate()?;
         println!(
@@ -187,7 +271,9 @@ fn run(args: &Args) -> Result<bool, XProError> {
         );
     }
 
-    Ok(report.is_overflow_free())
+    let config = args.case.map_or("default", |c| c.symbol());
+    let findings = findings_for_report(config, report);
+    Ok((report.is_overflow_free(), findings))
 }
 
 fn main() -> ExitCode {
@@ -202,18 +288,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
-        Ok(overflow_free) => {
-            if !overflow_free && args.fail_on_overflow {
-                eprintln!("error: some cells may overflow (see report above)");
-                ExitCode::from(2)
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
+    let (overflow_free, findings) = match run(&args) {
+        Ok(result) => result,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    let document = render_findings(&findings);
+    if args.json {
+        print!("{document}");
+    }
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, &document) {
+            eprintln!("error: cannot write baseline {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.json {
+            println!("baseline written to {path} ({} findings)", findings.len());
         }
     }
+    if let Some(path) = &args.gate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_findings(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("error: baseline {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = diff_findings(&baseline, &findings);
+        if !regressions.is_empty() {
+            eprintln!(
+                "error: {} verdict regression(s) against baseline {path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::from(3);
+        }
+        if !args.json {
+            println!(
+                "gate: {} findings match baseline {path}, no regressions",
+                findings.len()
+            );
+        }
+    }
+    if !overflow_free && args.fail_on_overflow {
+        eprintln!("error: some cells may overflow (see report above)");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,131 @@
+//! End-to-end certificate checking through the `xpro` facade: every plan
+//! the Automatic XPro Generator emits for a trained pipeline carries a
+//! max-flow/min-cut witness that independently verifies, the delay bound
+//! re-derives under the promised limit, and each class of tampering is
+//! rejected with the violation that names the broken invariant.
+
+use xpro::core::config::SystemConfig;
+use xpro::core::instance::XProInstance;
+use xpro::core::pipeline::{PipelineConfig, XProPipeline};
+use xpro::core::stgraph::certified_min_cut_partition;
+use xpro::core::{
+    check_cut_certificate, derive_delay_s, replan_certified, verify_plan, CertificateViolation,
+    XProGenerator,
+};
+use xpro::data::{generate_case_sized, CaseId};
+use xpro::ml::SubspaceConfig;
+
+fn trained_instance(case: CaseId, seed: u64) -> XProInstance {
+    let data = generate_case_sized(case, 90, seed);
+    let cfg = PipelineConfig::builder()
+        .subspace(SubspaceConfig {
+            candidates: 10,
+            keep_fraction: 0.3,
+            min_keep: 3,
+            folds: 2,
+            ..SubspaceConfig::default()
+        })
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    let pipeline = XProPipeline::train(&data, &cfg).expect("pipeline trains");
+    let segment_len = pipeline.segment_len();
+    XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len)
+        .expect("valid instance")
+}
+
+#[test]
+fn trained_pipeline_plans_verify_end_to_end() {
+    for (case, seed) in [(CaseId::C1, 3), (CaseId::E2, 5)] {
+        let instance = trained_instance(case, seed);
+        let generator = XProGenerator::new(&instance);
+        let limit = generator.default_delay_limit();
+
+        // The winning delay-constrained plan re-verifies at the caller.
+        let (partition, cert) = generator
+            .delay_constrained_cut_certified(limit)
+            .expect("feasible plan");
+        verify_plan(&instance, &partition, cert.as_ref(), limit).expect("winner certifies");
+        assert!(derive_delay_s(&instance, &partition) <= limit * (1.0 + 1e-9));
+
+        // So does a raw λ-priced min-cut with its witness.
+        let (cut, cut_cert) = certified_min_cut_partition(&instance, 1e9);
+        check_cut_certificate(&instance, &cut, &cut_cert).expect("min-cut certifies");
+    }
+}
+
+#[test]
+fn replan_certificates_survive_radio_derating() {
+    // The adaptive-controller entry point: re-pricing under a derated radio
+    // must hand back a plan whose certificate checks against the *repriced*
+    // instance.
+    let instance = trained_instance(CaseId::C1, 7);
+    let limit = XProGenerator::new(&instance).default_delay_limit();
+    for factor in [1.0, 2.0, 4.0] {
+        let radio = instance.config().radio.derated(factor);
+        match replan_certified(&instance, radio, limit) {
+            Ok((repriced, cut, cert)) => {
+                verify_plan(&repriced, &cut, cert.as_ref(), limit).expect("derated plan certifies");
+            }
+            Err(_) => {
+                // A heavily derated channel may genuinely have no feasible
+                // cut; that is the controller's degradation path, not a
+                // certification failure.
+            }
+        }
+    }
+}
+
+#[test]
+fn each_tampering_class_is_rejected_with_its_invariant() {
+    let instance = trained_instance(CaseId::C1, 3);
+    let (partition, cert) = certified_min_cut_partition(&instance, 0.0);
+
+    // Moving a cell across the cut contradicts the witness's reachability
+    // partition.
+    let mut moved = partition.clone();
+    moved.in_sensor[0] = !moved.in_sensor[0];
+    assert!(matches!(
+        check_cut_certificate(&instance, &moved, &cert),
+        Err(CertificateViolation::PartitionMismatch { .. })
+    ));
+
+    // Inflating a flow past its edge capacity breaks feasibility.
+    let mut inflated = cert.clone();
+    let idx = (0..inflated.witness.edges.len())
+        .find(|&i| inflated.witness.edges[i].capacity.is_finite())
+        .expect("a finite-capacity edge exists");
+    inflated.witness.edges[idx].flow = inflated.witness.edges[idx].capacity * 2.0 + 1.0;
+    assert!(matches!(
+        check_cut_certificate(&instance, &partition, &inflated),
+        Err(CertificateViolation::CapacityExceeded { .. }
+            | CertificateViolation::Unconserved { .. })
+    ));
+
+    // Forging the flow value voids the weak-duality argument.
+    let mut forged = cert.clone();
+    forged.witness.value *= 0.5;
+    assert!(matches!(
+        check_cut_certificate(&instance, &partition, &forged),
+        Err(CertificateViolation::FlowCutMismatch { .. })
+    ));
+
+    // Claiming a different λ makes every re-derived capacity disagree.
+    let mut wrong_lambda = cert.clone();
+    wrong_lambda.lambda_pj_per_s = 1e9;
+    assert!(matches!(
+        check_cut_certificate(&instance, &partition, &wrong_lambda),
+        Err(CertificateViolation::StructureMismatch { .. }
+            | CertificateViolation::EdgeMismatch { .. })
+    ));
+
+    // An honest cut against an impossible deadline is refused on the
+    // independently re-derived delay, certificate intact.
+    let honest_delay = derive_delay_s(&instance, &partition);
+    assert!(matches!(
+        verify_plan(&instance, &partition, Some(&cert), honest_delay * 0.5),
+        Err(CertificateViolation::DelayExceeded { .. })
+    ));
+    verify_plan(&instance, &partition, Some(&cert), honest_delay * 1.01)
+        .expect("honest plan with slack certifies");
+}

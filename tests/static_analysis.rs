@@ -78,3 +78,49 @@ fn instanceable(lo: f64, hi: f64) -> bool {
         .analysis()
         .is_overflow_free()
 }
+
+#[test]
+fn affine_domain_admits_placements_the_interval_domain_rejected() {
+    // Moderately wide input: the interval domain loses the correlation
+    // between each sample and the window mean, inflates the centered
+    // fourth power on the short deepest-level DWT windows, and cries
+    // overflow. The affine domain tracks the cancellation and proves the
+    // very same cells safe, so the combined verdict admits the all-sensor
+    // placement the interval domain alone would have refused.
+    let instance = full_instance(SignalBounds::new(-1.3, 1.3));
+    let report = instance.analysis();
+
+    let demoted = report.demoted();
+    assert!(
+        !demoted.is_empty(),
+        "±1.3 must interval-flag some short-window moment cell: {report}"
+    );
+    for cell in &demoted {
+        assert!(
+            !cell.interval.verdict.is_overflow_free(),
+            "{}: demotion requires an interval-domain flag",
+            cell.label
+        );
+        assert!(
+            cell.verdict.is_overflow_free(),
+            "{}: demotion requires a combined-domain proof",
+            cell.label
+        );
+        assert!(
+            cell.label.starts_with("Kurt@"),
+            "only deep-window kurtosis should be on the edge at ±1.3, got {}",
+            cell.label
+        );
+    }
+
+    // The combined report is clean, so every cell — including the rescued
+    // ones — is admissible on the fixed-point sensor end.
+    assert!(report.is_overflow_free(), "{report}");
+    let generator = XProGenerator::new(&instance);
+    let all_sensor = xpro::core::Partition::all_sensor(instance.num_cells());
+    assert!(
+        generator.numerically_valid(&all_sensor),
+        "the all-sensor design must be admitted once the affine domain \
+         clears the flagged cells"
+    );
+}
