@@ -1,0 +1,257 @@
+//! Sound static energy and battery-lifetime bounds.
+//!
+//! Companion to [`crate::timing`]: the same [`TimingModel`] that bounds a
+//! deployment's response time also carries everything needed to bound its
+//! *sensor-side* energy. The worst case is simple and airtight — every
+//! cross-end frame spends its full retry budget, so one segment costs at
+//! most
+//!
+//! ```text
+//! E_seg ≤ sensor_compute_pj + attempts · Σ_f frame_sensor_pj[f]
+//! ```
+//!
+//! and an epoch of `duration_s` offers at most `⌈duration/period⌉`
+//! segments per node (the executor's staggered phase offsets can only
+//! reduce the count). Segments that time out mid-flight spend a strict
+//! subset of that budget, so the per-epoch bound holds for completed and
+//! abandoned segments alike.
+//!
+//! The battery-lifetime floor converts the per-segment bound into a
+//! guaranteed-hours claim through
+//! [`BatteryModel::lifetime_floor_hours`], which is sound because runtime
+//! is monotonically non-increasing in power — overestimating the load can
+//! only underestimate the lifetime.
+//!
+//! Verdicts join the same canonical findings pipeline as the timing rows
+//! (one `energy@{regime}` row per regime) so `analyze --table1 --gate`
+//! catches energy-budget regressions alongside overflow and deadline
+//! regressions.
+
+use crate::analysis::AnalyzeError;
+use crate::gate::{Finding, Severity, TIMING_CELL_BASE};
+use crate::timing::{RetryRegime, TimingModel};
+use xpro_battery::BatteryModel;
+
+/// Offset of the energy rows inside the synthetic timing cell block
+/// (after the per-regime timing rows).
+const ENERGY_CELL_OFFSET: usize = 20;
+
+/// A typed energy verdict the deployment fails.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EnergyViolation {
+    /// The worst-case per-epoch sensor energy exceeds the configured
+    /// per-node budget.
+    EnergyBudgetExceeded {
+        /// Worst-case per-node energy over the epoch, in pJ.
+        per_epoch_pj: f64,
+        /// The configured budget, in pJ.
+        budget_pj: f64,
+    },
+}
+
+impl std::fmt::Display for EnergyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnergyViolation::EnergyBudgetExceeded {
+                per_epoch_pj,
+                budget_pj,
+            } => write!(
+                f,
+                "worst-case epoch energy {per_epoch_pj:.0} pJ exceeds budget {budget_pj:.0} pJ"
+            ),
+        }
+    }
+}
+
+/// The statically derived energy bounds of one deployment under one regime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnergyBounds {
+    /// Regime the bounds cover.
+    pub regime: RetryRegime,
+    /// Worst-case sensor energy of one segment, in pJ.
+    pub per_segment_pj: f64,
+    /// Segments per node the epoch can offer at most.
+    pub segments_per_epoch: u64,
+    /// Worst-case per-node sensor energy over the epoch, in pJ.
+    pub per_epoch_pj: f64,
+    /// Worst-case long-run average sensor power, in watts.
+    pub worst_avg_power_w: f64,
+    /// Guaranteed battery-lifetime floor in hours, when a battery model
+    /// was supplied.
+    pub lifetime_floor_hours: Option<f64>,
+    /// The per-node epoch budget the verdict was checked against
+    /// (0 = unlimited).
+    pub budget_pj: f64,
+}
+
+impl EnergyBounds {
+    /// Whether the epoch budget (if any) is provably respected.
+    pub fn within_budget(&self) -> bool {
+        self.budget_pj <= 0.0 || self.per_epoch_pj <= self.budget_pj
+    }
+
+    /// Every energy verdict the deployment fails.
+    pub fn violations(&self) -> Vec<EnergyViolation> {
+        if self.within_budget() {
+            Vec::new()
+        } else {
+            vec![EnergyViolation::EnergyBudgetExceeded {
+                per_epoch_pj: self.per_epoch_pj,
+                budget_pj: self.budget_pj,
+            }]
+        }
+    }
+
+    /// The bounds as one canonical finding for the baseline/gate pipeline.
+    ///
+    /// Schema field reuse mirrors the timing rows: `bound` is the
+    /// worst-case per-epoch energy in pJ, `interval_width` the budget
+    /// (0 = unlimited), and `affine_width` the lifetime floor in hours
+    /// (0 when no battery model was supplied; infinite floors are clamped
+    /// to 0 to keep the canonical JSON finite).
+    pub fn finding(&self, config: &str) -> Finding {
+        let (rule, severity) = if self.within_budget() {
+            ("energy.budget.proven".to_string(), Severity::Proven)
+        } else {
+            ("energy.budget_exceeded".to_string(), Severity::Violation)
+        };
+        let floor = self
+            .lifetime_floor_hours
+            .filter(|h| h.is_finite())
+            .unwrap_or(0.0);
+        Finding {
+            config: config.to_string(),
+            cell: TIMING_CELL_BASE
+                + ENERGY_CELL_OFFSET
+                + match self.regime {
+                    RetryRegime::FaultFree => 0,
+                    RetryRegime::WorstCaseRetry => 1,
+                },
+            label: format!("energy@{}", self.regime.tag()),
+            rule,
+            severity,
+            bound: self.per_epoch_pj,
+            interval_width: self.budget_pj,
+            affine_width: floor,
+        }
+    }
+}
+
+/// Derives the sound sensor-energy bounds of a deployment under a regime.
+///
+/// `battery` supplies the lifetime floor; pass [`None`] when the sensor's
+/// battery model is unknown (the energy and budget bounds still hold).
+///
+/// # Errors
+///
+/// [`AnalyzeError::InvalidOption`] when a model field is out of range,
+/// exactly as [`crate::timing::analyze_timing`] reports it.
+pub fn analyze_energy(
+    model: &TimingModel,
+    regime: RetryRegime,
+    battery: Option<&BatteryModel>,
+) -> Result<EnergyBounds, AnalyzeError> {
+    // Reuse the timing validator so both analyzers reject identically.
+    crate::timing::analyze_timing(model, regime)?;
+    let attempts = f64::from(model.attempts(regime));
+    let radio_pj: f64 = model.frame_sensor_pj.iter().sum();
+    let per_segment_pj = model.sensor_compute_pj + attempts * radio_pj;
+    let segments_per_epoch = (model.duration_s / model.period_s).ceil() as u64;
+    let per_epoch_pj = segments_per_epoch as f64 * per_segment_pj;
+    let worst_avg_power_w = per_segment_pj * 1e-12 / model.period_s;
+    let lifetime_floor_hours =
+        battery.map(|b| b.lifetime_floor_hours(per_segment_pj, 1.0 / model.period_s));
+    Ok(EnergyBounds {
+        regime,
+        per_segment_pj,
+        segments_per_epoch,
+        per_epoch_pj,
+        worst_avg_power_w,
+        lifetime_floor_hours,
+        budget_pj: model.battery_budget_pj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel {
+            nodes: 4,
+            period_s: 0.5,
+            deadline_s: 1.0,
+            front_s: 0.002,
+            back_s: 0.001,
+            frame_airtimes_s: vec![0.002, 0.0001],
+            max_retries: 3,
+            backoff_base_s: 1e-3,
+            batch_wake_s: 0.0,
+            inbox_capacity: 256,
+            duration_s: 10.0,
+            sensor_compute_pj: 5.0e5,
+            frame_sensor_pj: vec![6.0e6, 5.0e4],
+            battery_budget_pj: 0.0,
+            unmodeled_faults: false,
+        }
+    }
+
+    #[test]
+    fn worst_case_scales_with_the_retry_budget() {
+        let m = model();
+        let ff = analyze_energy(&m, RetryRegime::FaultFree, None).unwrap();
+        let wc = analyze_energy(&m, RetryRegime::WorstCaseRetry, None).unwrap();
+        let radio = 6.05e6;
+        assert!((ff.per_segment_pj - (5.0e5 + radio)).abs() < 1.0);
+        assert!((wc.per_segment_pj - (5.0e5 + 4.0 * radio)).abs() < 1.0);
+        assert_eq!(ff.segments_per_epoch, 20);
+        assert!((ff.per_epoch_pj - 20.0 * ff.per_segment_pj).abs() < 1.0);
+        assert!(wc.per_epoch_pj > ff.per_epoch_pj);
+    }
+
+    #[test]
+    fn budget_verdicts_flow_into_findings() {
+        let mut m = model();
+        let ok = analyze_energy(&m, RetryRegime::WorstCaseRetry, None).unwrap();
+        assert!(ok.within_budget(), "budget 0 means unlimited");
+        assert!(ok.violations().is_empty());
+        let f = ok.finding("C1");
+        assert_eq!(f.rule, "energy.budget.proven");
+        assert_eq!(f.label, "energy@wc");
+        assert!(f.cell >= TIMING_CELL_BASE + ENERGY_CELL_OFFSET);
+
+        m.battery_budget_pj = 1.0e6; // far below one segment's worst case
+        let bad = analyze_energy(&m, RetryRegime::WorstCaseRetry, None).unwrap();
+        assert!(!bad.within_budget());
+        let v = bad.violations();
+        assert!(matches!(v[0], EnergyViolation::EnergyBudgetExceeded { .. }));
+        assert!(v[0].to_string().contains("exceeds budget"), "{}", v[0]);
+        assert_eq!(bad.finding("C1").rule, "energy.budget_exceeded");
+        assert_eq!(bad.finding("C1").severity, Severity::Violation);
+    }
+
+    #[test]
+    fn lifetime_floor_comes_from_the_battery_model() {
+        let m = model();
+        let battery = BatteryModel::sensor_40mah();
+        let b = analyze_energy(&m, RetryRegime::WorstCaseRetry, Some(&battery)).unwrap();
+        let floor = b.lifetime_floor_hours.unwrap();
+        assert!(floor.is_finite() && floor > 0.0);
+        // The floor must match the battery's own worst-case query.
+        let direct = battery.lifetime_floor_hours(b.per_segment_pj, 1.0 / m.period_s);
+        assert!((floor - direct).abs() < 1e-9);
+        // More retries -> more energy -> no longer lifetime.
+        let ff = analyze_energy(&m, RetryRegime::FaultFree, Some(&battery)).unwrap();
+        assert!(ff.lifetime_floor_hours.unwrap() >= floor);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected_like_timing() {
+        let mut m = model();
+        m.frame_sensor_pj = vec![-1.0];
+        assert!(analyze_energy(&m, RetryRegime::FaultFree, None).is_err());
+    }
+}

@@ -8,6 +8,12 @@
 //! line — so a checked-in baseline diffs byte-for-byte and CI can gate on
 //! regressions.
 //!
+//! Since format version 2 the same pipeline also carries the timing/energy
+//! calculus verdicts ([`crate::timing`], [`crate::energy`]): those findings
+//! use synthetic cell indices at [`TIMING_CELL_BASE`] and above (sorting
+//! after every real cell of a config) and `timing.*` / `energy.*` rule ids,
+//! with [`Severity::Violation`] marking an unprovable or exceeded budget.
+//!
 //! A *regression* is a severity increase for a `(config, label)` pair
 //! relative to the baseline, or a newly appearing finding that is not
 //! proven. Envelope-width drift alone is not a regression (widths move with
@@ -19,18 +25,30 @@
 use crate::analysis::{AnalysisReport, Verdict};
 
 /// Findings-format version stamped into every document.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the timing/energy findings family
+/// ([`Severity::Violation`], `timing.*` and `energy.*` rules); version-1
+/// documents still parse (the reader is line-based), but regenerate the
+/// baseline when bumping.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Severity of one finding, ordered from best to worst.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
-    /// The cell is proven overflow-free with bounded rounding error.
+    /// The property is proven: overflow-free with bounded rounding error
+    /// (range findings) or statically bounded within budget (timing and
+    /// energy findings).
     Proven,
     /// The cell is range-safe but its rounding envelope exceeds the
     /// configured threshold.
     PrecisionLoss,
     /// Some reachable input can drive an intermediate into saturation.
     MayOverflow,
+    /// A timing or energy budget is violated or unprovable: a deadline
+    /// without a finite WCRT under it, a queue bound above the inbox
+    /// capacity, a resource utilization over unity, or an energy budget
+    /// exceeded in the worst case.
+    Violation,
 }
 
 impl Severity {
@@ -40,6 +58,7 @@ impl Severity {
             Severity::Proven => "proven",
             Severity::PrecisionLoss => "precision",
             Severity::MayOverflow => "overflow",
+            Severity::Violation => "violation",
         }
     }
 
@@ -49,22 +68,32 @@ impl Severity {
             "proven" => Some(Severity::Proven),
             "precision" => Some(Severity::PrecisionLoss),
             "overflow" => Some(Severity::MayOverflow),
+            "violation" => Some(Severity::Violation),
             _ => None,
         }
     }
 }
 
+/// Base synthetic cell index for timing/energy findings: far above any
+/// real cell index so the canonical `(config, cell)` sort keeps a config's
+/// range findings first and its timing verdicts last.
+pub const TIMING_CELL_BASE: usize = 10_000;
+
 /// One machine-readable finding: the combined verdict for one cell of one
-/// analyzed configuration.
+/// analyzed configuration, or (at synthetic cell indices ≥
+/// [`TIMING_CELL_BASE`]) one timing/energy verdict of that configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Finding {
     /// Configuration the analysis ran on (dataset symbol or `"default"`).
     pub config: String,
-    /// Cell index within the graph.
+    /// Cell index within the graph, or a synthetic index ≥
+    /// [`TIMING_CELL_BASE`] for timing/energy findings.
     pub cell: usize,
-    /// The cell's label (e.g. `"Kurt@a5"`).
+    /// The cell's label (e.g. `"Kurt@a5"`), or the timing verdict's label
+    /// (e.g. `"wcrt@wc"`).
     pub label: String,
-    /// Rule id: `range.proven`, `precision.ulps`, or `overflow.<op>`.
+    /// Rule id: `range.proven`, `precision.ulps`, `overflow.<op>`,
+    /// `timing.<property>`, or `energy.<property>`.
     pub rule: String,
     /// Combined-verdict severity.
     pub severity: Severity,
@@ -295,6 +324,7 @@ mod tests {
                 Severity::Proven => "range.proven".into(),
                 Severity::PrecisionLoss => "precision.ulps".into(),
                 Severity::MayOverflow => "overflow.mul".into(),
+                Severity::Violation => "timing.wcrt".into(),
             },
             severity,
             bound: 1.5,
@@ -338,7 +368,7 @@ mod tests {
     fn labels_with_quotes_survive_the_roundtrip() {
         let mut f = finding("default", 0, "odd", Severity::Proven);
         f.label = "we\\ird".into();
-        let parsed = parse_findings(&render_findings(&[f.clone()])).expect("parse");
+        let parsed = parse_findings(&render_findings(std::slice::from_ref(&f))).expect("parse");
         // The minimal reader stops labels at the first quote, so escaped
         // backslashes parse back escaped — stable, if not identical.
         assert_eq!(parsed.len(), 1);
@@ -380,6 +410,37 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].baseline, None);
         assert!(regs[0].to_string().contains("new overflow finding"));
+    }
+
+    #[test]
+    fn violation_is_the_worst_severity_and_roundtrips() {
+        assert!(Severity::Violation > Severity::MayOverflow);
+        assert_eq!(Severity::parse("violation"), Some(Severity::Violation));
+        let f = finding("C1", TIMING_CELL_BASE, "wcrt@wc", Severity::Violation);
+        let parsed = parse_findings(&render_findings(std::slice::from_ref(&f))).expect("parse");
+        assert_eq!(parsed, vec![f]);
+    }
+
+    #[test]
+    fn timing_findings_sort_after_real_cells() {
+        let a = finding("C1", TIMING_CELL_BASE, "wcrt@wc", Severity::Proven);
+        let b = finding("C1", 63, "Fusion", Severity::Proven);
+        let doc = render_findings(&[a, b]);
+        let fusion = doc.find("Fusion").expect("fusion present");
+        let wcrt = doc.find("wcrt@wc").expect("wcrt present");
+        assert!(fusion < wcrt, "range findings come first:\n{doc}");
+    }
+
+    #[test]
+    fn new_violation_finding_is_a_regression() {
+        let baseline = vec![finding("C1", 0, "Var@d3", Severity::Proven)];
+        let current = vec![
+            finding("C1", 0, "Var@d3", Severity::Proven),
+            finding("C1", TIMING_CELL_BASE, "wcrt@wc", Severity::Violation),
+        ];
+        let regs = diff_findings(&baseline, &current);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].current, Severity::Violation);
     }
 
     #[test]

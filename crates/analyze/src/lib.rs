@@ -30,19 +30,34 @@
 //! cell on the fixed-point sensor end; the `analyze` binary prints the
 //! per-cell report and can emit machine-readable findings ([`gate`]) for
 //! CI regression gating.
+//!
+//! Beyond value ranges, the crate also bounds a deployment's *dynamics*:
+//! [`timing`] derives sound worst-case response-time, queue-occupancy and
+//! utilization bounds from a plain-number deployment model, and [`energy`]
+//! turns the same model into worst-case per-epoch energy and battery-
+//! lifetime floors. Those verdicts flow through the same findings gate at
+//! synthetic cell indices ([`gate::TIMING_CELL_BASE`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod affine;
 pub mod analysis;
+pub mod energy;
 pub mod gate;
 pub mod interval;
+pub mod timing;
 
 pub use affine::{AffineForm, SymbolCtx};
 pub use analysis::{
     analyze, try_analyze, AnalysisReport, AnalyzeError, AnalyzeOptions, CellReport, CellSpec,
     DomainReport, SignalBounds, ValueRange, Verdict,
 };
-pub use gate::{diff_findings, parse_findings, render_findings, Finding, Severity};
+pub use energy::{analyze_energy, EnergyBounds, EnergyViolation};
+pub use gate::{
+    diff_findings, parse_findings, render_findings, Finding, Severity, TIMING_CELL_BASE,
+};
 pub use interval::{Hazard, HazardOp, Interval};
+pub use timing::{
+    analyze_timing, Resource, RetryRegime, TimingBounds, TimingModel, TimingViolation,
+};

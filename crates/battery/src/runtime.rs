@@ -116,6 +116,22 @@ impl BatteryModel {
         let avg_power_w = energy_pj * 1e-12 * events_per_second;
         self.runtime_hours(avg_power_w)
     }
+
+    /// Sound lifetime *floor* for a static worst-case per-event energy
+    /// bound: the runtime at the worst-case average power.
+    ///
+    /// `runtime_hours` is monotonically non-increasing in power — usable
+    /// capacity shrinks with load (Peukert) while the discharge current
+    /// grows — so evaluating it at an energy *upper* bound can only
+    /// under-estimate the true lifetime. Static analyzers use this to turn
+    /// a worst-case energy bound into a guaranteed-lifetime claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    pub fn lifetime_floor_hours(&self, worst_energy_pj: f64, events_per_second: f64) -> f64 {
+        self.lifetime_hours(worst_energy_pj, events_per_second)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +197,23 @@ mod tests {
         let a = s.lifetime_hours(5e6, 2.0);
         let b = s.runtime_hours(10e-6);
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_is_monotone_in_power_so_the_floor_is_sound() {
+        // The soundness of `lifetime_floor_hours` rests on runtime being
+        // non-increasing in power; sweep a wide load range to check it.
+        let s = BatteryModel::sensor_40mah();
+        let mut prev = s.runtime_hours(0.0);
+        for i in 1..=200 {
+            let p = f64::from(i) * 2e-3; // up to 400 mW
+            let t = s.runtime_hours(p);
+            assert!(t <= prev + 1e-12, "runtime rose: {prev} -> {t} at {p} W");
+            prev = t;
+        }
+        // And the floor is exactly the worst-case-power lifetime.
+        let floor = s.lifetime_floor_hours(5e6, 2.0);
+        assert!((floor - s.lifetime_hours(5e6, 2.0)).abs() < 1e-12);
     }
 
     #[test]

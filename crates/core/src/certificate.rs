@@ -19,19 +19,18 @@
 //! simultaneously — a mutated cut either violates an invariant outright or
 //! is no longer minimum and fails the equality.
 //!
-//! [`verify_plan`] layers the deployment-level checks on top: a static
-//! re-derivation of the end-to-end delay from cell timings (independent of
-//! `partition::evaluate`) against the promised limit, and the numeric
-//! validation that no overflow-prone cell sits on the fixed-point sensor.
-//! The runtime's adaptive controller runs this on every epoch plan before
-//! committing it.
+//! [`verify_plan`] layers the deployment-level checks on top: the
+//! statically derived end-to-end delay ([`derive_delay_s`], backed by the
+//! shared [`crate::profile::segment_profile`] walk) against the promised
+//! limit, and the numeric validation that no overflow-prone cell sits on
+//! the fixed-point sensor. The runtime's adaptive controller runs this on
+//! every epoch plan before committing it.
 
 use crate::instance::XProInstance;
-use crate::layout::BITS_PER_SAMPLE;
 use crate::partition::Partition;
+use crate::profile::segment_profile;
 use crate::stgraph::build_network;
 use xpro_graph::dinic::{CutWitness, NodeId};
-use xpro_wireless::Frame;
 
 /// Relative tolerance for capacity, conservation, and weight comparisons.
 const TOL_REL: f64 = 1e-6;
@@ -336,52 +335,23 @@ pub fn check_cut_certificate(
     Ok(())
 }
 
-/// Statically re-derives a partition's end-to-end event delay from cell
-/// timings and frame air times. This is an independent implementation of
-/// the delay walk (not a call into `partition::evaluate`), so the checker
-/// does not inherit a pricing bug from the code it audits.
+/// Statically derives a partition's end-to-end event delay from cell
+/// timings and frame air times, via the shared
+/// [`crate::profile::segment_profile`] walk.
+///
+/// This used to be a hand-maintained second copy of the evaluator's
+/// delay loop; the copies are now deduplicated into one documented
+/// function that `partition::evaluate`, this checker, and the WCRT
+/// analyzer's best-case sanity check all call. Independence from the
+/// *pricing* code is preserved where it matters — the certificate checks
+/// (flow feasibility, weak duality) never consult the evaluator — while
+/// the delay number itself is defined in exactly one place.
 ///
 /// # Panics
 ///
 /// Panics if the partition size differs from the instance's cell count.
 pub fn derive_delay_s(instance: &XProInstance, partition: &Partition) -> f64 {
-    assert_eq!(
-        partition.in_sensor.len(),
-        instance.num_cells(),
-        "partition size mismatch"
-    );
-    let graph = &instance.built().graph;
-    let radio = &instance.config().radio;
-    let airtime = |samples: u64| -> f64 {
-        radio.frame_airtime_s(Frame::for_samples(samples, BITS_PER_SAMPLE))
-    };
-
-    let mut total = 0.0;
-    for c in 0..instance.num_cells() {
-        total += if partition.in_sensor[c] {
-            instance.sensor_time_s(c)
-        } else {
-            instance.aggregator_time_s(c)
-        };
-    }
-    for port in graph.active_ports() {
-        let producer_sensor = port.producer.is_none_or(|c| partition.in_sensor[c]);
-        let crosses = graph
-            .consumers_of(port)
-            .iter()
-            .any(|&c| partition.in_sensor[c] != producer_sensor);
-        if crosses {
-            let samples = match port.producer {
-                None => instance.segment_len() as u64,
-                Some(_) => graph.port_samples(port),
-            };
-            total += airtime(samples);
-        }
-    }
-    if partition.in_sensor[graph.result_cell()] {
-        total += airtime(1);
-    }
-    total
+    segment_profile(instance, partition).delay_s()
 }
 
 /// Full plan verification: the cut certificate (when the plan came from
@@ -451,9 +421,9 @@ mod tests {
 
     #[test]
     fn derived_delay_matches_the_evaluator() {
-        // Two independent delay derivations must agree on every partition
-        // shape — this is the cross-check that makes the re-derivation
-        // trustworthy.
+        // Both callers share one profile walk now, but this pins the
+        // contract that repackaging (breakdowns vs a scalar) never skews
+        // the total.
         let inst = tiny_instance(1);
         let n = inst.num_cells();
         let (cut, _) = certified_min_cut_partition(&inst, 1.0e9);

@@ -68,6 +68,7 @@ pub mod multinode;
 pub mod partition;
 pub mod pipeline;
 pub mod prelude;
+pub mod profile;
 pub mod report;
 pub mod stgraph;
 #[cfg(test)]
@@ -89,4 +90,5 @@ pub use multiclass::MulticlassPipeline;
 pub use multinode::{BsnEvaluation, BsnSystem};
 pub use partition::{evaluate, DelayBreakdown, EnergyBreakdown, Evaluation, Partition};
 pub use pipeline::{extract_features, PipelineConfig, XProPipeline};
+pub use profile::{segment_profile, FrameProfile, SegmentProfile};
 pub use report::EngineComparison;

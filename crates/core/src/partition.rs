@@ -7,10 +7,8 @@
 //! transmitted at most once — the "grouped cells" rule), plus delivery of
 //! the classification result to the aggregator.
 
-use crate::cellgraph::PortRef;
 use crate::instance::XProInstance;
-use crate::layout::BITS_PER_SAMPLE;
-use xpro_wireless::Frame;
+use crate::profile::segment_profile;
 
 /// An assignment of cells to ends.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,69 +132,21 @@ pub struct Evaluation {
 ///
 /// Panics if the partition size differs from the instance's cell count.
 pub fn evaluate(instance: &XProInstance, partition: &Partition) -> Evaluation {
-    assert_eq!(
-        partition.in_sensor.len(),
-        instance.num_cells(),
-        "partition size mismatch"
-    );
-    let graph = &instance.built().graph;
-    let radio = &instance.config().radio;
+    // The walk itself — per-end compute plus cross-end frames — is the
+    // shared `profile::segment_profile`; this function only repackages it
+    // into the paper's breakdowns and battery lifetimes.
+    let profile = segment_profile(instance, partition);
 
-    let mut sensor = EnergyBreakdown::default();
-    let mut delay = DelayBreakdown::default();
-    let mut aggregator_pj = 0.0;
-
-    // Compute energy and time per end.
-    for c in 0..instance.num_cells() {
-        if partition.in_sensor[c] {
-            sensor.compute_pj += instance.sensor_cost(c).energy_pj;
-            delay.front_end_s += instance.sensor_time_s(c);
-        } else {
-            aggregator_pj += instance.aggregator_energy_pj(c);
-            delay.back_end_s += instance.aggregator_time_s(c);
-        }
-    }
-
-    // Inter-end transfers: once per producer port with a cross-end consumer.
-    let side_of = |port: PortRef| -> bool {
-        match port.producer {
-            None => true, // raw data originates at the sensor
-            Some(c) => partition.in_sensor[c],
-        }
+    let sensor = EnergyBreakdown {
+        compute_pj: profile.sensor_compute_pj,
+        wireless_pj: profile.sensor_wireless_pj(),
     };
-    for port in graph.active_ports() {
-        let producer_sensor = side_of(port);
-        let consumers = graph.consumers_of(port);
-        let any_cross = consumers
-            .iter()
-            .any(|&c| partition.in_sensor[c] != producer_sensor);
-        if !any_cross {
-            continue;
-        }
-        let samples = match port.producer {
-            // The raw upload carries the true (unpadded) segment.
-            None => instance.segment_len() as u64,
-            Some(_) => graph.port_samples(port),
-        };
-        let frame = Frame::for_samples(samples, BITS_PER_SAMPLE);
-        delay.wireless_s += radio.frame_airtime_s(frame);
-        if producer_sensor {
-            sensor.wireless_pj += radio.tx_frame_pj(frame);
-            aggregator_pj += radio.rx_frame_pj(frame);
-        } else {
-            sensor.wireless_pj += radio.rx_frame_pj(frame);
-            aggregator_pj += radio.tx_frame_pj(frame);
-        }
-    }
-
-    // The classification result must reach the aggregator.
-    let result = graph.result_cell();
-    if partition.in_sensor[result] {
-        let frame = Frame::for_samples(1, BITS_PER_SAMPLE);
-        sensor.wireless_pj += radio.tx_frame_pj(frame);
-        aggregator_pj += radio.rx_frame_pj(frame);
-        delay.wireless_s += radio.frame_airtime_s(frame);
-    }
+    let delay = DelayBreakdown {
+        front_end_s: profile.front_s,
+        wireless_s: profile.wireless_s(),
+        back_end_s: profile.back_s,
+    };
+    let aggregator_pj = profile.agg_compute_pj + profile.agg_wireless_pj();
 
     let rate = instance.events_per_second();
     let sensor_battery_hours = instance

@@ -31,6 +31,9 @@
 //! assert_eq!(cut.capacity, 0.2); // cheaper to compute in-sensor
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod dag;
 pub mod dinic;
 

@@ -44,98 +44,16 @@ use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use xpro_core::instance::XProInstance;
-use xpro_core::layout::BITS_PER_SAMPLE;
 use xpro_core::partition::Partition;
+use xpro_core::profile::{segment_profile, SegmentProfile};
 use xpro_core::XProError;
-use xpro_wireless::Frame;
 
-/// One planned wireless transfer of a segment.
-#[derive(Clone, Copy, Debug)]
-struct FramePlan {
-    /// Channel occupancy per attempt.
-    airtime_s: f64,
-    /// Sensor radio energy per attempt (tx when uplink, rx when downlink).
-    sensor_pj: f64,
-    /// Aggregator radio energy per attempt.
-    agg_pj: f64,
-}
-
-/// The per-segment execution plan under one partition: the streaming
-/// equivalent of one `evaluate` call. The executor keeps one plan per
-/// *epoch* — every controller switch appends a new plan, and each segment
-/// runs start-to-finish under the plan of the epoch it arrived in.
-#[derive(Clone, Debug)]
-struct SegmentPlan {
-    front_s: f64,
-    back_s: f64,
-    sensor_compute_pj: f64,
-    agg_compute_pj: f64,
-    frames: Vec<FramePlan>,
-}
-
-impl SegmentPlan {
-    fn build(instance: &XProInstance, partition: &Partition) -> Self {
-        let graph = &instance.built().graph;
-        let radio = &instance.config().radio;
-        let mut plan = SegmentPlan {
-            front_s: 0.0,
-            back_s: 0.0,
-            sensor_compute_pj: 0.0,
-            agg_compute_pj: 0.0,
-            frames: Vec::new(),
-        };
-        for c in 0..instance.num_cells() {
-            if partition.in_sensor[c] {
-                plan.sensor_compute_pj += instance.sensor_cost(c).energy_pj;
-                plan.front_s += instance.sensor_time_s(c);
-            } else {
-                plan.agg_compute_pj += instance.aggregator_energy_pj(c);
-                plan.back_s += instance.aggregator_time_s(c);
-            }
-        }
-        // Cross-end transfers: once per producer port with a cross-end
-        // consumer (the grouped-cells rule), exactly as `evaluate`.
-        let side_of = |producer: Option<usize>| -> bool {
-            match producer {
-                None => true, // raw data originates at the sensor
-                Some(c) => partition.in_sensor[c],
-            }
-        };
-        let mut push = |samples: u64, producer_sensor: bool| {
-            let frame = Frame::for_samples(samples, BITS_PER_SAMPLE);
-            let (sensor_pj, agg_pj) = if producer_sensor {
-                (radio.tx_frame_pj(frame), radio.rx_frame_pj(frame))
-            } else {
-                (radio.rx_frame_pj(frame), radio.tx_frame_pj(frame))
-            };
-            plan.frames.push(FramePlan {
-                airtime_s: radio.frame_airtime_s(frame),
-                sensor_pj,
-                agg_pj,
-            });
-        };
-        for port in graph.active_ports() {
-            let producer_sensor = side_of(port.producer);
-            let any_cross = graph
-                .consumers_of(port)
-                .iter()
-                .any(|&c| partition.in_sensor[c] != producer_sensor);
-            if !any_cross {
-                continue;
-            }
-            let samples = match port.producer {
-                None => instance.segment_len() as u64,
-                Some(_) => graph.port_samples(port),
-            };
-            push(samples, producer_sensor);
-        }
-        let result = graph.result_cell();
-        if partition.in_sensor[result] {
-            push(1, true);
-        }
-        plan
-    }
-}
+/// The per-segment execution plan under one partition: the shared
+/// [`segment_profile`] walk, the streaming equivalent of one `evaluate`
+/// call. The executor keeps one plan per *epoch* — every controller
+/// switch appends a new plan, and each segment runs start-to-finish under
+/// the plan of the epoch it arrived in.
+type SegmentPlan = SegmentProfile;
 
 #[derive(Clone, Copy, Debug)]
 enum EventKind {
@@ -215,6 +133,9 @@ struct AggState {
     max_batch: u64,
     /// Finish times of queued/in-service jobs: the bounded inbox.
     inbox: VecDeque<f64>,
+    /// Worst inbox occupancy observed (queued + in service), the dynamic
+    /// counterpart of the static queue bound in `xpro_analyze::timing`.
+    peak_inbox: usize,
 }
 
 /// A configured streaming run over one instance and partition.
@@ -260,7 +181,7 @@ impl<'a> Executor<'a> {
     #[allow(clippy::too_many_lines)] // one serialized event loop reads best unsplit
     pub fn run(&self) -> RunReport {
         let cfg = &self.config;
-        let mut plans = vec![SegmentPlan::build(self.instance, self.partition)];
+        let mut plans: Vec<SegmentPlan> = vec![segment_profile(self.instance, self.partition)];
         let mut epoch = 0usize;
         let period_s = self.instance.segment_len() as f64 / self.instance.config().sampling_hz;
 
@@ -361,7 +282,7 @@ impl<'a> Executor<'a> {
                         // boundaries: this segment and later ones run
                         // under the new epoch, in-flight ones do not.
                         if let Some(p) = ctl.maybe_replan(ev.time_s, self.instance) {
-                            plans.push(SegmentPlan::build(self.instance, &p));
+                            plans.push(segment_profile(self.instance, &p));
                             epoch = plans.len() - 1;
                             metrics.inc("partition_switches", 1);
                         }
@@ -527,6 +448,7 @@ impl<'a> Executor<'a> {
                     agg.cpu_busy_s += done - start;
                     agg.cpu_free_s = done;
                     agg.inbox.push_back(done);
+                    agg.peak_inbox = agg.peak_inbox.max(agg.inbox.len());
                     agg.energy_pj += plan.agg_compute_pj;
                     let st = &mut nodes[node];
                     st.completed += 1;
@@ -584,6 +506,7 @@ impl<'a> Executor<'a> {
         let channel_utilization = link.busy_s() / duration;
         metrics.set_gauge("channel_utilization", channel_utilization);
         metrics.set_gauge("aggregator_utilization", agg.cpu_busy_s / duration);
+        metrics.set_gauge("peak_inbox", agg.peak_inbox as f64);
         metrics.set_gauge("channel_bad_s", link.bad_s());
         let crashes_total: u64 = lives.iter().map(NodeLifecycle::crashes).sum();
         if crashes_total > 0 {
@@ -626,6 +549,7 @@ impl<'a> Executor<'a> {
         let aggregator = AggregatorReport {
             batches: agg.batches,
             max_batch: agg.max_batch,
+            peak_inbox: agg.peak_inbox as u64,
             busy_s: agg.cpu_busy_s,
             utilization: agg.cpu_busy_s / duration,
             energy_pj: agg.energy_pj,

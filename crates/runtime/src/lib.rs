@@ -36,6 +36,11 @@
 //! The single-event dataflow simulator that used to live in the retired
 //! `xpro-sim` crate is absorbed here as [`trace`].
 //!
+//! The [`soundness`] module closes the loop with the static calculus in
+//! `xpro-analyze`: it extracts the plain-number timing/energy model of a
+//! deployment and cross-checks a finished [`RunReport`] against the
+//! statically derived WCRT, queue, energy and channel bounds.
+//!
 //! ```
 //! use xpro_runtime::{Executor, RuntimeConfig};
 //! # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
@@ -62,6 +67,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod controller;
 pub mod executor;
@@ -70,6 +78,7 @@ pub mod link;
 pub mod metrics;
 pub mod report;
 pub mod rng;
+pub mod soundness;
 pub mod trace;
 
 #[cfg(test)]
@@ -82,3 +91,4 @@ pub use lifecycle::{NodeLifecycle, OutageSchedule};
 pub use link::{BurstProfile, LossyLink};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
+pub use soundness::{check_report, deployment_bounds, timing_model, BoundViolation};

@@ -122,6 +122,10 @@ pub struct AggregatorReport {
     pub batches: u64,
     /// Largest number of segments served in one batch.
     pub max_batch: u64,
+    /// Worst inbox occupancy observed (jobs queued or in service) — the
+    /// dynamic counterpart of the static queue bound derived by
+    /// `xpro_analyze::timing`.
+    pub peak_inbox: u64,
     /// Time the CPU spent executing cells.
     pub busy_s: f64,
     /// CPU busy time over the simulated duration.
@@ -222,11 +226,12 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
-            "channel: {:.1} % busy; aggregator CPU: {:.1} % busy, {} batches (max {})",
+            "channel: {:.1} % busy; aggregator CPU: {:.1} % busy, {} batches (max {}), inbox peak {}",
             self.channel_utilization * 100.0,
             self.aggregator.utilization * 100.0,
             self.aggregator.batches,
             self.aggregator.max_batch,
+            self.aggregator.peak_inbox,
         );
         let crashes: u64 = self.nodes.iter().map(|n| n.crashes).sum();
         if crashes > 0
@@ -375,7 +380,7 @@ impl RunReport {
              \"partition_switches\":[{}],\
              \"tier_times\":{{\"normal_s\":{},\"classify_only_s\":{},\"shed_s\":{}}},\
              \"plan_audit\":{{\"certified\":{},\"rejected\":{}}},\
-             \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"busy_s\":{},\
+             \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"peak_inbox\":{},\"busy_s\":{},\
              \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{},\
              \"outage_s\":{},\"inbox_overflows\":{}}},\
              \"nodes\":[{}]}}",
@@ -394,6 +399,7 @@ impl RunReport {
             self.plan_audit.rejected,
             self.aggregator.batches,
             self.aggregator.max_batch,
+            self.aggregator.peak_inbox,
             num(self.aggregator.busy_s),
             num(self.aggregator.utilization),
             num(self.aggregator.energy_pj),

@@ -1,0 +1,343 @@
+//! Glue between the static timing/energy calculus and the dynamic
+//! executor: model extraction and the bound-vs-observation cross-check.
+//!
+//! `xpro-analyze` sits below `xpro-core` in the dependency order, so its
+//! [`TimingModel`] is a plain-number struct. This module derives those
+//! numbers from a concrete deployment — the same
+//! [`segment_profile`] walk the analytic evaluator and the executor plan
+//! from, plus the [`RuntimeConfig`] knobs — and checks a finished
+//! [`RunReport`] against the resulting bounds.
+//!
+//! The contract is one-directional: a seeded run whose fault envelope the
+//! calculus models (iid drops with bounded retries, or no faults at all)
+//! must never *observe* a latency, inbox occupancy, energy spend or
+//! channel busy-time above the static bound. Config knobs outside that
+//! envelope (channel bursts, crash lifecycles, aggregator outages, the
+//! adaptive controller) set the model's `unmodeled_faults` flag, which
+//! makes the analyzer refuse the deadline/queue proofs instead of
+//! reporting unsound numbers.
+
+use crate::config::RuntimeConfig;
+use crate::report::RunReport;
+use xpro_analyze::energy::EnergyBounds;
+use xpro_analyze::timing::{RetryRegime, TimingBounds, TimingModel};
+use xpro_analyze::{analyze_energy, analyze_timing};
+use xpro_core::instance::XProInstance;
+use xpro_core::partition::Partition;
+use xpro_core::profile::segment_profile;
+use xpro_core::XProError;
+
+/// Extracts the plain-number timing/energy model of one deployment.
+///
+/// Every field comes from the shared per-segment profile walk (so the
+/// model prices segments exactly as the executor does) and the runtime
+/// configuration (fleet size, retry policy, deadline, inbox, epoch).
+///
+/// # Panics
+///
+/// Panics if the partition size differs from the instance's cell count
+/// (the profile walk's contract).
+pub fn timing_model(
+    instance: &XProInstance,
+    partition: &Partition,
+    cfg: &RuntimeConfig,
+) -> TimingModel {
+    let profile = segment_profile(instance, partition);
+    let period_s = instance.segment_len() as f64 / instance.config().sampling_hz;
+    TimingModel {
+        nodes: cfg.nodes,
+        period_s,
+        deadline_s: cfg.timeout_s,
+        front_s: profile.front_s,
+        back_s: profile.back_s,
+        frame_airtimes_s: profile.frames.iter().map(|f| f.airtime_s).collect(),
+        max_retries: cfg.max_retries,
+        backoff_base_s: cfg.backoff_base_s,
+        batch_wake_s: cfg.batch_wake_s,
+        inbox_capacity: cfg.agg_inbox,
+        duration_s: cfg.duration_s,
+        sensor_compute_pj: profile.sensor_compute_pj,
+        frame_sensor_pj: profile.frames.iter().map(|f| f.sensor_pj).collect(),
+        battery_budget_pj: cfg.battery_budget_pj,
+        unmodeled_faults: cfg.burst_enabled()
+            || cfg.lifecycle_enabled()
+            || cfg.outage_enabled()
+            || cfg.adaptive,
+    }
+}
+
+/// Derives both bound sets of a deployment under one retry regime, with
+/// the lifetime floor evaluated against the instance's sensor battery.
+///
+/// # Errors
+///
+/// Returns [`XProError::Config`] when the extracted model is rejected by
+/// the analyzers (out-of-range period, deadline or cost — in practice a
+/// sign the runtime configuration itself is out of range).
+///
+/// # Panics
+///
+/// Panics if the partition size differs from the instance's cell count.
+pub fn deployment_bounds(
+    instance: &XProInstance,
+    partition: &Partition,
+    cfg: &RuntimeConfig,
+    regime: RetryRegime,
+) -> Result<(TimingBounds, EnergyBounds), XProError> {
+    let model = timing_model(instance, partition, cfg);
+    let timing = analyze_timing(&model, regime)
+        .map_err(|e| XProError::config(format!("timing model rejected: {e}")))?;
+    let energy = analyze_energy(&model, regime, Some(&instance.config().sensor_battery))
+        .map_err(|e| XProError::config(format!("energy model rejected: {e}")))?;
+    Ok((timing, energy))
+}
+
+/// One observed quantity exceeding its static bound — a soundness bug in
+/// either the calculus or the executor, never an expected outcome.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BoundViolation {
+    /// A node's worst completed-segment latency exceeded the WCRT.
+    LatencyAboveWcrt {
+        /// The offending node.
+        node: usize,
+        /// Worst observed latency in seconds.
+        observed_s: f64,
+        /// The static WCRT in seconds.
+        bound_s: f64,
+    },
+    /// The aggregator inbox grew past the static occupancy bound.
+    InboxAboveBound {
+        /// Peak observed occupancy (jobs queued + in service).
+        observed: u64,
+        /// The static occupancy bound.
+        bound: u64,
+    },
+    /// A node spent more sensor energy than the per-epoch worst case.
+    EnergyAboveBound {
+        /// The offending node.
+        node: usize,
+        /// Observed compute + wireless spend in pJ.
+        observed_pj: f64,
+        /// The static per-epoch bound in pJ.
+        bound_pj: f64,
+    },
+    /// The channel carried more traffic than the fleet-wide demand
+    /// envelope allows.
+    ChannelAboveBound {
+        /// Observed channel busy time in seconds.
+        observed_s: f64,
+        /// The static fleet-wide demand bound in seconds.
+        bound_s: f64,
+    },
+}
+
+impl std::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundViolation::LatencyAboveWcrt {
+                node,
+                observed_s,
+                bound_s,
+            } => write!(
+                f,
+                "node {node}: observed latency {observed_s:.6} s > WCRT {bound_s:.6} s"
+            ),
+            BoundViolation::InboxAboveBound { observed, bound } => {
+                write!(f, "inbox peak {observed} > static bound {bound}")
+            }
+            BoundViolation::EnergyAboveBound {
+                node,
+                observed_pj,
+                bound_pj,
+            } => write!(
+                f,
+                "node {node}: spent {observed_pj:.0} pJ > epoch bound {bound_pj:.0} pJ"
+            ),
+            BoundViolation::ChannelAboveBound {
+                observed_s,
+                bound_s,
+            } => write!(
+                f,
+                "channel busy {observed_s:.6} s > demand envelope {bound_s:.6} s"
+            ),
+        }
+    }
+}
+
+/// Whether an observation exceeds its bound beyond floating-point
+/// accumulation noise: the executor accumulates costs term by term while
+/// the analyzer computes closed-form products, so the two can differ by a
+/// few ulps on *equal* quantities. The slack is relative at `1e-9` — far
+/// below any real bound violation, far above accumulated rounding.
+fn exceeds(observed: f64, bound: f64) -> bool {
+    observed > bound + bound.abs() * 1e-9
+}
+
+/// Checks a finished run against the static bounds, returning every
+/// observation that exceeds its bound (empty = the soundness contract
+/// held).
+///
+/// Unprovable bounds (`wcrt_s`/`queue_bound` of [`None`]) check nothing:
+/// the analyzer already refused the claim, so there is no bound to
+/// violate. Energy and channel envelopes are always finite and always
+/// checked.
+pub fn check_report(
+    report: &RunReport,
+    timing: &TimingBounds,
+    energy: &EnergyBounds,
+) -> Vec<BoundViolation> {
+    let mut out = Vec::new();
+    if let Some(wcrt) = timing.wcrt_s {
+        for n in &report.nodes {
+            if exceeds(n.latency.max_s, wcrt) {
+                out.push(BoundViolation::LatencyAboveWcrt {
+                    node: n.node,
+                    observed_s: n.latency.max_s,
+                    bound_s: wcrt,
+                });
+            }
+        }
+    }
+    if let Some(bound) = timing.queue_bound {
+        if report.aggregator.peak_inbox > bound {
+            out.push(BoundViolation::InboxAboveBound {
+                observed: report.aggregator.peak_inbox,
+                bound,
+            });
+        }
+    }
+    for n in &report.nodes {
+        if exceeds(n.total_pj(), energy.per_epoch_pj) {
+            out.push(BoundViolation::EnergyAboveBound {
+                node: n.node,
+                observed_pj: n.total_pj(),
+                bound_pj: energy.per_epoch_pj,
+            });
+        }
+    }
+    let channel_bound_s =
+        report.nodes.len() as f64 * energy.segments_per_epoch as f64 * timing.channel_demand_s;
+    if exceeds(report.channel_busy_s, channel_bound_s) {
+        out.push(BoundViolation::ChannelAboveBound {
+            observed_s: report.channel_busy_s,
+            bound_s: channel_bound_s,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+    use crate::executor::Executor;
+    use crate::testutil::tiny_instance;
+    use xpro_core::generator::{Engine, XProGenerator};
+
+    fn cross_end(inst: &XProInstance) -> Partition {
+        XProGenerator::new(inst)
+            .partition_for(Engine::CrossEnd)
+            .unwrap()
+    }
+
+    #[test]
+    fn model_extraction_matches_the_shared_profile() {
+        let inst = tiny_instance(1);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::default();
+        let m = timing_model(&inst, &p, &cfg);
+        let profile = segment_profile(&inst, &p);
+        assert_eq!(m.nodes, cfg.nodes);
+        assert_eq!(m.frame_airtimes_s.len(), profile.frames.len());
+        assert!((m.best_case_s() - profile.delay_s()).abs() < 1e-15);
+        assert!(!m.unmodeled_faults);
+        let with_burst = RuntimeConfig::builder()
+            .burst_bad_rate(0.5)
+            .burst_p_enter(0.1)
+            .build()
+            .unwrap();
+        assert!(timing_model(&inst, &p, &with_burst).unmodeled_faults);
+    }
+
+    #[test]
+    fn fault_free_run_stays_under_every_bound() {
+        let inst = tiny_instance(2);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.0)
+            .seed(7)
+            .build()
+            .unwrap();
+        let (timing, energy) = deployment_bounds(&inst, &p, &cfg, RetryRegime::FaultFree).unwrap();
+        assert!(timing.wcrt_s.is_some(), "a tiny fleet must be provable");
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let violations = check_report(&report, &timing, &energy);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn lossy_run_stays_under_the_worst_case_retry_bounds() {
+        let inst = tiny_instance(3);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.3)
+            .seed(11)
+            .build()
+            .unwrap();
+        let (timing, energy) =
+            deployment_bounds(&inst, &p, &cfg, RetryRegime::WorstCaseRetry).unwrap();
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let violations = check_report(&report, &timing, &energy);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn check_report_flags_fabricated_excesses() {
+        let inst = tiny_instance(4);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::default();
+        let (timing, energy) = deployment_bounds(&inst, &p, &cfg, RetryRegime::FaultFree).unwrap();
+        let mut report = Executor::new(&inst, &p, cfg).unwrap().run();
+        report.nodes[0].latency.max_s = timing.wcrt_s.unwrap() + 1.0;
+        report.aggregator.peak_inbox = timing.queue_bound.unwrap() + 1;
+        report.nodes[1].wireless_pj = energy.per_epoch_pj + 1.0;
+        let v = check_report(&report, &timing, &energy);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, BoundViolation::LatencyAboveWcrt { node: 0, .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, BoundViolation::InboxAboveBound { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, BoundViolation::EnergyAboveBound { node: 1, .. })));
+        for violation in &v {
+            assert!(!violation.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn unmodeled_faults_disable_the_refutable_checks() {
+        let inst = tiny_instance(5);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .mtbf_s(1.0)
+            .mttr_s(0.5)
+            .build()
+            .unwrap();
+        let (timing, energy) =
+            deployment_bounds(&inst, &p, &cfg, RetryRegime::WorstCaseRetry).unwrap();
+        assert!(timing.wcrt_s.is_none());
+        assert!(timing.queue_bound.is_none());
+        // Energy/channel envelopes still hold: crashes only remove work.
+        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let violations = check_report(&report, &timing, &energy);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

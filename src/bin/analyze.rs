@@ -11,10 +11,13 @@
 //!
 //! For CI the tool also speaks a machine-readable dialect: `--table1`
 //! analyzes the framework graph under every Table-1 dataset's signal
-//! bounds, `--json` emits the findings in the canonical byte-stable
-//! baseline format, `--write-baseline` records them to a file, and
-//! `--gate` diffs the current findings against a checked-in baseline and
-//! fails on any severity regression.
+//! bounds — per-cell range/overflow verdicts plus the static
+//! timing/energy verdicts (WCRT, queue, utilization, energy budget) of
+//! the generator's cross-end cut under the default fleet — `--json` emits
+//! the findings in the canonical byte-stable baseline format,
+//! `--write-baseline` records them to a file, and `--gate` diffs the
+//! current findings against a checked-in baseline and fails on any
+//! severity regression.
 //!
 //! Exit status: 0 on success, 1 on bad usage, 2 if `--fail-on-overflow`
 //! was given and some cell may overflow, 3 if `--gate` found a verdict
@@ -23,7 +26,6 @@
 use std::process::ExitCode;
 use xpro::analyze::gate::findings_for_report;
 use xpro::analyze::{diff_findings, parse_findings, render_findings, Finding, SignalBounds};
-use xpro::core::analysis::analyze_graph;
 use xpro::core::builder::{build_full_cell_graph, BuildOptions};
 use xpro::core::config::SystemConfig;
 use xpro::core::generator::XProGenerator;
@@ -32,6 +34,7 @@ use xpro::core::pipeline::{PipelineConfig, XProPipeline};
 use xpro::core::XProError;
 use xpro::data::{generate_case_sized, CaseId};
 use xpro::ml::SubspaceConfig;
+use xpro::sweep::{table1_findings, SweepOptions};
 
 const USAGE: &str = "\
 usage: analyze [options]
@@ -52,7 +55,8 @@ options:
   --fail-on-overflow    exit with status 2 if any cell may overflow
   --table1              analyze the framework graph under the normalized
                         default bounds plus every Table-1 dataset's signal
-                        bounds, one findings set per config
+                        bounds, one findings set per config (range rows
+                        plus static timing/energy verdicts per regime)
   --json                print the machine-readable findings document
                         instead of the human verdict table
   --gate <FILE>         diff the findings against the baseline in FILE and
@@ -157,34 +161,19 @@ fn parse_args() -> Result<Args, String> {
 
 /// Analyzes the framework graph under the normalized default bounds plus
 /// every Table-1 dataset's measured signal bounds, one findings set per
-/// config. Configs that may overflow are reported, not refused — the
-/// baseline records their severity so the gate can catch regressions.
+/// config — range/overflow rows per cell plus the timing/energy verdicts
+/// of the generator's cross-end cut. Configs that may overflow are
+/// reported, not refused — the baseline records their severity so the
+/// gate can catch regressions. The sweep itself lives in [`xpro::sweep`]
+/// so the byte-stability tests exercise the same code path.
 fn run_table1(args: &Args) -> Result<(bool, Vec<Finding>), XProError> {
-    let mut findings = Vec::new();
-    let mut all_proven = true;
-    let mut analyze_config = |config: &str, bounds: SignalBounds| {
-        let built = build_full_cell_graph(&BuildOptions::default(), args.bases, args.sv);
-        let report = analyze_graph(&built.graph, bounds, &Default::default());
-        if !args.json {
-            println!(
-                "config {config}: bounds [{:.3}, {:.3}], {} cells, {} may overflow, {} demoted by affine",
-                bounds.lo,
-                bounds.hi,
-                report.cells.len(),
-                report.overflowing().len(),
-                report.demoted().len(),
-            );
-        }
-        all_proven &= report.is_overflow_free();
-        findings.extend(findings_for_report(config, &report));
-    };
-    analyze_config("default", SignalBounds::default());
-    for case in CaseId::ALL {
-        let data = generate_case_sized(case, args.segments, 42);
-        let (lo, hi) = data.signal_range();
-        analyze_config(case.symbol(), SignalBounds::new(lo, hi));
-    }
-    Ok((all_proven, findings))
+    table1_findings(&SweepOptions {
+        bases: args.bases,
+        sv: args.sv,
+        segments: args.segments,
+        verbose: !args.json,
+        ..SweepOptions::default()
+    })
 }
 
 fn run(args: &Args) -> Result<(bool, Vec<Finding>), XProError> {

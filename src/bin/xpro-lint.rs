@@ -1,0 +1,308 @@
+//! `xpro-lint` — sharding-readiness lint for the deterministic runtime.
+//!
+//! The executor's claim to determinism (equal seeds reproduce runs
+//! bit-for-bit) and any future sharded/parallel execution both die on the
+//! same few patterns: iteration order of hashed containers feeding event
+//! order, shared RNG streams, wall-clock reads inside virtual-time code,
+//! and hidden shared mutability. This tool is a dependency-free
+//! source-level pass over the runtime-critical crates flagging exactly
+//! those:
+//!
+//! * `hash-iter` — `HashMap`/`HashSet` (iteration order is randomized per
+//!   process; use `BTreeMap`/`BTreeSet` or sorted `Vec`s);
+//! * `wall-clock` — `Instant::now`/`SystemTime` (virtual-time simulations
+//!   must never read host time);
+//! * `global-rng` — `thread_rng`/`from_entropy`/`rand::random` (fault
+//!   streams must be per-node, derived from the run seed);
+//! * `static-mut` — `static mut` globals;
+//! * `interior-mut` — `RefCell<`/`Mutex<`/`RwLock<` (shared mutability
+//!   that a sharded executor would race on).
+//!
+//! Line comments are skipped. Known-benign uses are recorded in an
+//! allowlist file (default `xpro-lint.allow`), one `path:rule # reason`
+//! entry per line; every entry must still match a real occurrence, so the
+//! allowlist cannot silently rot.
+//!
+//! Usage: `xpro-lint [--allow <FILE>] [--root <DIR>]...`
+//! Default roots: `crates/runtime/src` and `crates/core/src`.
+//!
+//! Exit status: 0 clean, 1 usage or I/O error, 4 violations found.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a stable name and the substrings that trigger it.
+struct Rule {
+    name: &'static str,
+    needles: &'static [&'static str],
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iter",
+        needles: &["HashMap", "HashSet"],
+        why: "hashed iteration order is nondeterministic; use BTreeMap/BTreeSet",
+    },
+    Rule {
+        name: "wall-clock",
+        needles: &["Instant::now", "SystemTime"],
+        why: "virtual-time code must not read the host clock",
+    },
+    Rule {
+        name: "global-rng",
+        needles: &["thread_rng", "from_entropy", "rand::random"],
+        why: "randomness must come from per-node streams of the run seed",
+    },
+    Rule {
+        name: "static-mut",
+        needles: &["static mut"],
+        why: "mutable globals race under sharded execution",
+    },
+    Rule {
+        name: "interior-mut",
+        needles: &["RefCell<", "Mutex<", "RwLock<"],
+        why: "shared interior mutability hides cross-shard state",
+    },
+];
+
+/// Whether a source line is a line comment (`//`, `///`, `//!`), which the
+/// scanner ignores. Trailing comments on code lines are NOT stripped: the
+/// code part still gets scanned, and a needle inside the comment part is
+/// a tolerable false positive for a CI lint (allowlist it).
+fn is_comment(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Rules a source line trips.
+fn scan_line(line: &str) -> Vec<&'static Rule> {
+    if is_comment(line) {
+        return Vec::new();
+    }
+    RULES
+        .iter()
+        .filter(|r| r.needles.iter().any(|n| line.contains(n)))
+        .collect()
+}
+
+/// One `path:rule` allowlist entry (comment stripped).
+#[derive(Debug, PartialEq)]
+struct AllowEntry {
+    path: String,
+    rule: String,
+}
+
+/// Parses the allowlist format: one `path:rule` per line, `#` starts a
+/// comment, blank lines are ignored.
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((path, rule)) = line.rsplit_once(':') else {
+            return Err(format!("allowlist line {}: expected path:rule", i + 1));
+        };
+        let rule = rule.trim();
+        if !RULES.iter().any(|r| r.name == rule) {
+            return Err(format!("allowlist line {}: unknown rule {rule:?}", i + 1));
+        }
+        out.push(AllowEntry {
+            path: path.trim().to_string(),
+            rule: rule.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under a root, sorted for
+/// deterministic output.
+fn rust_files(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    why: &'static str,
+    text: String,
+}
+
+fn run(roots: &[PathBuf], allow: &[AllowEntry]) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for root in roots {
+        rust_files(root, &mut files)?;
+    }
+    let mut violations = Vec::new();
+    let mut used = vec![false; allow.len()];
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        // Normalized repo-relative-ish path for stable allowlist matching.
+        let shown = file.to_string_lossy().replace('\\', "/");
+        for (i, line) in text.lines().enumerate() {
+            for rule in scan_line(line) {
+                let allowed = allow
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| a.rule == rule.name && shown.ends_with(a.path.as_str()));
+                if let Some((ai, _)) = allowed {
+                    used[ai] = true;
+                    continue;
+                }
+                violations.push(Violation {
+                    path: shown.clone(),
+                    line: i + 1,
+                    rule: rule.name,
+                    why: rule.why,
+                    text: line.trim().to_string(),
+                });
+            }
+        }
+    }
+    for (a, used) in allow.iter().zip(&used) {
+        if !used {
+            eprintln!(
+                "warning: allowlist entry {}:{} matched nothing (stale?)",
+                a.path, a.rule
+            );
+        }
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--allow" => match it.next() {
+                Some(p) => allow_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --allow requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => roots.push(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: xpro-lint [--allow <FILE>] [--root <DIR>]...");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if roots.is_empty() {
+        roots = vec![
+            PathBuf::from("crates/runtime/src"),
+            PathBuf::from("crates/core/src"),
+        ];
+    }
+    let allow_path = allow_path.unwrap_or_else(|| PathBuf::from("xpro-lint.allow"));
+    let allow = if allow_path.exists() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match parse_allowlist(&text) {
+                Ok(allow) => allow,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", allow_path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let violations = match run(&roots, &allow) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!(
+            "xpro-lint: clean ({} roots, {} allowlist entries)",
+            roots.len(),
+            allow.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{}:{}: [{}] {} — {}", v.path, v.line, v.rule, v.text, v.why);
+    }
+    println!("xpro-lint: {} violation(s)", violations.len());
+    ExitCode::from(4)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+
+    #[test]
+    fn scan_flags_each_rule_once() {
+        let hits = scan_line("let m: HashMap<u32, u32> = HashMap::new();");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "hash-iter");
+        assert_eq!(scan_line("let t = Instant::now();")[0].name, "wall-clock");
+        assert_eq!(scan_line("let r = thread_rng();")[0].name, "global-rng");
+        assert_eq!(
+            scan_line("static mut COUNT: u32 = 0;")[0].name,
+            "static-mut"
+        );
+        assert_eq!(scan_line("state: Mutex<Vec<u8>>,")[0].name, "interior-mut");
+    }
+
+    #[test]
+    fn clean_and_comment_lines_pass() {
+        assert!(scan_line("let m = BTreeMap::new();").is_empty());
+        assert!(scan_line("// HashMap would be wrong here").is_empty());
+        assert!(scan_line("    /// uses SystemTime? no.").is_empty());
+        // A plain non-generic `Cell` struct (the cell graph's node type)
+        // must not trip interior-mut.
+        assert!(scan_line("pub struct Cell { pub label: String }").is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_unknown_rules() {
+        let allow =
+            parse_allowlist("# comment\ncrates/core/src/layout.rs:hash-iter # uniqueness\n\n")
+                .unwrap();
+        assert_eq!(allow.len(), 1);
+        assert_eq!(allow[0].path, "crates/core/src/layout.rs");
+        assert_eq!(allow[0].rule, "hash-iter");
+        assert!(parse_allowlist("a.rs:nonsense-rule").is_err());
+        assert!(parse_allowlist("no-colon-here").is_err());
+    }
+
+    #[test]
+    fn multiple_rules_on_one_line_all_fire() {
+        let hits = scan_line("let x = HashMap::from(thread_rng());");
+        let names: Vec<&str> = hits.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["hash-iter", "global-rng"]);
+    }
+}

@@ -64,6 +64,8 @@
 //! # }
 //! ```
 
+pub mod sweep;
+
 pub use xpro_analyze as analyze;
 pub use xpro_battery as battery;
 pub use xpro_core as core;
