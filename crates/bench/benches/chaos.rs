@@ -10,10 +10,19 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xpro_core::config::SystemConfig;
 use xpro_core::instance::XProInstance;
 use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+use xpro_core::Partition;
 use xpro_core::XProGenerator;
 use xpro_data::{generate_case_sized, CaseId};
 use xpro_ml::SubspaceConfig;
-use xpro_runtime::{Executor, RuntimeConfig, RuntimeConfigBuilder};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig, RuntimeConfigBuilder};
+
+fn run(inst: &XProInstance, cut: &Partition, cfg: RuntimeConfig) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, cut, cfg).expect("valid spec"))
+        .build()
+        .expect("valid build")
+        .run()
+        .report
+}
 
 fn trained_instance() -> XProInstance {
     let data = generate_case_sized(CaseId::C1, 60, 42);
@@ -104,11 +113,7 @@ fn bench_chaos(c: &mut Criterion) {
     let mut group = c.benchmark_group("chaos_executor");
     for (name, cfg) in &scenarios {
         group.bench_with_input(BenchmarkId::new("run", name), cfg, |b, cfg| {
-            b.iter(|| {
-                Executor::new(&inst, &cut, cfg.clone())
-                    .expect("executor")
-                    .run()
-            });
+            b.iter(|| run(&inst, &cut, cfg.clone()));
         });
     }
     group.finish();

@@ -2,7 +2,8 @@
 //! simulating a fleet through the discrete-event runtime, at zero loss and
 //! under fault injection. Besides the ns/iter report, writes
 //! `BENCH_runtime.json` at the workspace root (virtual-seconds-per-wall-
-//! second and segment throughput per scenario) for the perf trajectory.
+//! second and segment throughput per scenario, plus a nodes × shards
+//! scaling sweep) for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
@@ -12,7 +13,7 @@ use xpro_core::pipeline::{PipelineConfig, XProPipeline};
 use xpro_core::{Partition, XProGenerator};
 use xpro_data::{generate_case_sized, CaseId};
 use xpro_ml::SubspaceConfig;
-use xpro_runtime::{Executor, RuntimeConfig};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig};
 
 fn trained_instance() -> XProInstance {
     let data = generate_case_sized(CaseId::C1, 60, 42);
@@ -40,6 +41,20 @@ fn run_config(nodes: usize, drop_rate: f64, virtual_s: f64) -> RuntimeConfig {
         .seed(7)
         .build()
         .expect("valid config")
+}
+
+fn run_sharded(
+    inst: &XProInstance,
+    cut: &Partition,
+    cfg: &RuntimeConfig,
+    shards: usize,
+) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, cut, cfg.clone()).expect("valid spec"))
+        .shards(shards)
+        .build()
+        .expect("valid build")
+        .run()
+        .report
 }
 
 /// One measured scenario for `BENCH_runtime.json`.
@@ -71,28 +86,53 @@ const SCENARIOS: &[Scenario] = &[
     },
 ];
 
+/// The nodes axis of the scaling sweep: `(fleet size, virtual seconds,
+/// timed repetitions)`. Virtual time shrinks as the fleet grows so every
+/// point stays inside a bench-friendly wall budget; repetitions shrink
+/// with it because big fleets time stably (millions of events per run).
+const SWEEP: &[(usize, f64, usize)] = &[
+    (1, 10.0, 5),
+    (100, 10.0, 5),
+    (1_000, 5.0, 4),
+    (10_000, 3.0, 4),
+    (100_000, 2.0, 1),
+];
+
+/// The shards axis of the scaling sweep.
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+fn median_wall_ns(
+    inst: &XProInstance,
+    cut: &Partition,
+    cfg: &RuntimeConfig,
+    shards: usize,
+    reps: usize,
+) -> (f64, u64) {
+    let mut wall_ns = Vec::new();
+    let mut completed = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = run_sharded(inst, cut, cfg, shards);
+        wall_ns.push(start.elapsed().as_nanos() as f64);
+        completed = report.total_completed();
+    }
+    wall_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (wall_ns[wall_ns.len() / 2], completed)
+}
+
 /// Times each scenario directly (the vendored criterion stand-in keeps no
-/// machine-readable output) and writes the JSON trajectory file.
+/// machine-readable output) and writes the JSON trajectory file, including
+/// the nodes × shards sweep that pins the per-shard event wheels' scaling:
+/// at large fleets the sharded runs must beat the single wheel even on one
+/// core, because N small heaps sift shallower than one giant heap and each
+/// shard's working set stays cache-resident for its whole round.
 fn write_trajectory(inst: &XProInstance, cut: &Partition) {
     let mut entries = Vec::new();
     for s in SCENARIOS {
         let cfg = run_config(s.nodes, s.drop_rate, s.virtual_s);
         // Warm-up run, then median of five timed runs.
-        let _ = Executor::new(inst, cut, cfg.clone())
-            .expect("executor")
-            .run();
-        let mut wall_ns = Vec::new();
-        let mut completed = 0u64;
-        for _ in 0..5 {
-            let start = Instant::now();
-            let report = Executor::new(inst, cut, cfg.clone())
-                .expect("executor")
-                .run();
-            wall_ns.push(start.elapsed().as_nanos() as f64);
-            completed = report.total_completed();
-        }
-        wall_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        let median_ns = wall_ns[wall_ns.len() / 2];
+        let _ = run_sharded(inst, cut, &cfg, 1);
+        let (median_ns, completed) = median_wall_ns(inst, cut, &cfg, 1, 5);
         entries.push(format!(
             concat!(
                 "    {{\"scenario\": \"{}\", \"nodes\": {}, \"drop_rate\": {}, ",
@@ -110,9 +150,59 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
             s.virtual_s / (median_ns * 1e-9),
         ));
     }
+
+    let mut sweep_entries = Vec::new();
+    for &(nodes, virtual_s, reps) in SWEEP {
+        let cfg = run_config(nodes, 0.05, virtual_s);
+        // `reps` interleaved rounds, each timing every shard count once
+        // and keeping the per-count minimum. Every timed run is preceded
+        // by an identical untimed warm-up so it starts from the heap and
+        // page state its own allocation pattern leaves behind — without
+        // this, each config inherits whatever the *previous, differently
+        // shaped* config left in the allocator, which at 100k nodes
+        // (gigabyte-scale run state) swings timings by 2×. Interleaving
+        // spreads machine drift evenly across shard counts; the minimum
+        // discards interference spikes — a per-count median can do
+        // neither, because each count's repetitions cluster in time.
+        let mut best_ns = vec![f64::INFINITY; SHARD_COUNTS.len()];
+        let mut completed = 0u64;
+        for _ in 0..reps {
+            for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+                let _ = run_sharded(inst, cut, &cfg, shards);
+                let start = Instant::now();
+                let report = run_sharded(inst, cut, &cfg, shards);
+                let ns = start.elapsed().as_nanos() as f64;
+                best_ns[i] = best_ns[i].min(ns);
+                completed = report.total_completed();
+            }
+        }
+        let one_shard_ns = best_ns[0];
+        for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
+            let wall_ns = best_ns[i];
+            sweep_entries.push(format!(
+                concat!(
+                    "    {{\"nodes\": {}, \"shards\": {}, \"virtual_s\": {}, ",
+                    "\"wall_ns_per_run\": {:.0}, \"segments_completed\": {}, ",
+                    "\"segments_per_wall_s\": {:.0}, \"speedup_over_1shard\": {:.3}}}"
+                ),
+                nodes,
+                shards,
+                virtual_s,
+                wall_ns,
+                completed,
+                completed as f64 / (wall_ns * 1e-9),
+                one_shard_ns / wall_ns,
+            ));
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        concat!(
+            "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ],\n",
+            "  \"shard_sweep\": [\n{}\n  ]\n}}\n"
+        ),
+        entries.join(",\n"),
+        sweep_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     if let Err(e) = std::fs::write(path, json) {
@@ -130,11 +220,7 @@ fn bench_runtime(c: &mut Criterion) {
     for s in SCENARIOS {
         let cfg = run_config(s.nodes, s.drop_rate, 2.0);
         group.bench_with_input(BenchmarkId::new("run", s.name), &cfg, |b, cfg| {
-            b.iter(|| {
-                Executor::new(&inst, &cut, cfg.clone())
-                    .expect("executor")
-                    .run()
-            });
+            b.iter(|| run_sharded(&inst, &cut, cfg, 1));
         });
     }
     group.finish();

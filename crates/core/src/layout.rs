@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<String> =
+        let labels: std::collections::BTreeSet<String> =
             Domain::all().iter().map(|d| d.label()).collect();
         assert_eq!(labels.len(), 7);
         assert_eq!(Domain::Detail(3).to_string(), "d3");

@@ -162,6 +162,121 @@ impl RuntimeConfig {
     pub fn outage_enabled(&self) -> bool {
         self.agg_outage_period_s > 0.0 && self.agg_outage_s > 0.0
     }
+
+    /// Validates every field against its documented range. Called by
+    /// [`RuntimeConfigBuilder::build`], and again by
+    /// [`crate::ExecutorBuilder::build`] because builder overrides (seed,
+    /// adaptive) can change which invariants apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when any field is out of range: zero
+    /// nodes, non-positive duration or timeout, probabilities outside their
+    /// unit ranges, a non-positive burst slot, negative lifecycle times, an
+    /// outage at least as long as its period, a zero inbox, a hysteresis
+    /// band not above 1, or a negative/non-finite backoff, dwell or batch
+    /// overhead.
+    pub fn validate(&self) -> Result<(), XProError> {
+        let c = self;
+        if c.nodes == 0 {
+            return Err(XProError::config("fleet needs at least one node"));
+        }
+        if !(c.duration_s.is_finite() && c.duration_s > 0.0) {
+            return Err(XProError::config(format!(
+                "duration_s must be positive and finite, got {}",
+                c.duration_s
+            )));
+        }
+        if !(c.drop_rate >= 0.0 && c.drop_rate < 1.0) {
+            return Err(XProError::config(format!(
+                "drop_rate must be in [0, 1), got {}",
+                c.drop_rate
+            )));
+        }
+        if !(c.backoff_base_s.is_finite() && c.backoff_base_s >= 0.0) {
+            return Err(XProError::config(format!(
+                "backoff_base_s must be non-negative and finite, got {}",
+                c.backoff_base_s
+            )));
+        }
+        if !(c.timeout_s.is_finite() && c.timeout_s > 0.0) {
+            return Err(XProError::config(format!(
+                "timeout_s must be positive and finite, got {}",
+                c.timeout_s
+            )));
+        }
+        if !(c.batch_wake_s.is_finite() && c.batch_wake_s >= 0.0) {
+            return Err(XProError::config(format!(
+                "batch_wake_s must be non-negative and finite, got {}",
+                c.batch_wake_s
+            )));
+        }
+        if !(c.burst_bad_rate >= 0.0 && c.burst_bad_rate < 1.0) {
+            return Err(XProError::config(format!(
+                "burst_bad_rate must be in [0, 1), got {}",
+                c.burst_bad_rate
+            )));
+        }
+        for (name, p) in [
+            ("burst_p_enter", c.burst_p_enter),
+            ("burst_p_exit", c.burst_p_exit),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(XProError::config(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !(c.burst_slot_s.is_finite() && c.burst_slot_s > 0.0) {
+            return Err(XProError::config(format!(
+                "burst_slot_s must be positive and finite, got {}",
+                c.burst_slot_s
+            )));
+        }
+        for (name, v) in [
+            ("mtbf_s", c.mtbf_s),
+            ("mttr_s", c.mttr_s),
+            ("reboot_warmup_s", c.reboot_warmup_s),
+            ("battery_budget_pj", c.battery_budget_pj),
+            ("agg_outage_period_s", c.agg_outage_period_s),
+            ("agg_outage_s", c.agg_outage_s),
+            ("min_dwell_s", c.min_dwell_s),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(XProError::config(format!(
+                    "{name} must be non-negative and finite, got {v}"
+                )));
+            }
+        }
+        if c.lifecycle_enabled() && c.mttr_s <= 0.0 {
+            return Err(XProError::config(
+                "mttr_s must be positive when the crash lifecycle is enabled",
+            ));
+        }
+        if c.outage_enabled() && c.agg_outage_s >= c.agg_outage_period_s {
+            return Err(XProError::config(format!(
+                "agg_outage_s ({}) must be shorter than agg_outage_period_s ({})",
+                c.agg_outage_s, c.agg_outage_period_s
+            )));
+        }
+        if c.agg_inbox == 0 {
+            return Err(XProError::config("agg_inbox must hold at least one job"));
+        }
+        if c.adaptive {
+            if c.adaptive_window == 0 {
+                return Err(XProError::config(
+                    "adaptive_window must be positive when the controller is on",
+                ));
+            }
+            if !(c.hysteresis.is_finite() && c.hysteresis > 1.0) {
+                return Err(XProError::config(format!(
+                    "hysteresis must be > 1, got {}",
+                    c.hysteresis
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Fluent builder for [`RuntimeConfig`]; validated once, at
@@ -322,115 +437,15 @@ impl RuntimeConfigBuilder {
         self
     }
 
-    /// Validates the accumulated configuration.
+    /// Validates the accumulated configuration
+    /// (see [`RuntimeConfig::validate`] for the invariants).
     ///
     /// # Errors
     ///
-    /// Returns [`XProError::Config`] when any field is out of range: zero
-    /// nodes, non-positive duration or timeout, probabilities outside their
-    /// unit ranges, a non-positive burst slot, negative lifecycle times, an
-    /// outage at least as long as its period, a zero inbox, a hysteresis
-    /// band not above 1, or a negative/non-finite backoff, dwell or batch
-    /// overhead.
+    /// Returns [`XProError::Config`] when any field is out of its
+    /// documented range.
     pub fn build(self) -> Result<RuntimeConfig, XProError> {
-        let c = &self.cfg;
-        if c.nodes == 0 {
-            return Err(XProError::config("fleet needs at least one node"));
-        }
-        if !(c.duration_s.is_finite() && c.duration_s > 0.0) {
-            return Err(XProError::config(format!(
-                "duration_s must be positive and finite, got {}",
-                c.duration_s
-            )));
-        }
-        if !(c.drop_rate >= 0.0 && c.drop_rate < 1.0) {
-            return Err(XProError::config(format!(
-                "drop_rate must be in [0, 1), got {}",
-                c.drop_rate
-            )));
-        }
-        if !(c.backoff_base_s.is_finite() && c.backoff_base_s >= 0.0) {
-            return Err(XProError::config(format!(
-                "backoff_base_s must be non-negative and finite, got {}",
-                c.backoff_base_s
-            )));
-        }
-        if !(c.timeout_s.is_finite() && c.timeout_s > 0.0) {
-            return Err(XProError::config(format!(
-                "timeout_s must be positive and finite, got {}",
-                c.timeout_s
-            )));
-        }
-        if !(c.batch_wake_s.is_finite() && c.batch_wake_s >= 0.0) {
-            return Err(XProError::config(format!(
-                "batch_wake_s must be non-negative and finite, got {}",
-                c.batch_wake_s
-            )));
-        }
-        if !(c.burst_bad_rate >= 0.0 && c.burst_bad_rate < 1.0) {
-            return Err(XProError::config(format!(
-                "burst_bad_rate must be in [0, 1), got {}",
-                c.burst_bad_rate
-            )));
-        }
-        for (name, p) in [
-            ("burst_p_enter", c.burst_p_enter),
-            ("burst_p_exit", c.burst_p_exit),
-        ] {
-            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-                return Err(XProError::config(format!(
-                    "{name} must be in [0, 1], got {p}"
-                )));
-            }
-        }
-        if !(c.burst_slot_s.is_finite() && c.burst_slot_s > 0.0) {
-            return Err(XProError::config(format!(
-                "burst_slot_s must be positive and finite, got {}",
-                c.burst_slot_s
-            )));
-        }
-        for (name, v) in [
-            ("mtbf_s", c.mtbf_s),
-            ("mttr_s", c.mttr_s),
-            ("reboot_warmup_s", c.reboot_warmup_s),
-            ("battery_budget_pj", c.battery_budget_pj),
-            ("agg_outage_period_s", c.agg_outage_period_s),
-            ("agg_outage_s", c.agg_outage_s),
-            ("min_dwell_s", c.min_dwell_s),
-        ] {
-            if !(v.is_finite() && v >= 0.0) {
-                return Err(XProError::config(format!(
-                    "{name} must be non-negative and finite, got {v}"
-                )));
-            }
-        }
-        if c.lifecycle_enabled() && c.mttr_s <= 0.0 {
-            return Err(XProError::config(
-                "mttr_s must be positive when the crash lifecycle is enabled",
-            ));
-        }
-        if c.outage_enabled() && c.agg_outage_s >= c.agg_outage_period_s {
-            return Err(XProError::config(format!(
-                "agg_outage_s ({}) must be shorter than agg_outage_period_s ({})",
-                c.agg_outage_s, c.agg_outage_period_s
-            )));
-        }
-        if c.agg_inbox == 0 {
-            return Err(XProError::config("agg_inbox must hold at least one job"));
-        }
-        if c.adaptive {
-            if c.adaptive_window == 0 {
-                return Err(XProError::config(
-                    "adaptive_window must be positive when the controller is on",
-                ));
-            }
-            if !(c.hysteresis.is_finite() && c.hysteresis > 1.0) {
-                return Err(XProError::config(format!(
-                    "hysteresis must be > 1, got {}",
-                    c.hysteresis
-                )));
-            }
-        }
+        self.cfg.validate()?;
         Ok(self.cfg)
     }
 }

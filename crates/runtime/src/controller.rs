@@ -198,9 +198,22 @@ impl Controller {
     }
 
     /// Whether a segment with this per-node sequence number is shed under
-    /// the current tier.
+    /// the current tier. The engine applies the tier through
+    /// [`Controller::shed_every`] broadcasts; this predicate remains the
+    /// executable specification of the shed rule.
+    #[cfg(test)]
     pub fn sheds(&self, segment_seq: u64) -> bool {
         self.tier == Tier::Shed && !segment_seq.is_multiple_of(self.shed_keep_every)
+    }
+
+    /// Shed modulus in effect: `Some(k)` when the fleet is in
+    /// [`Tier::Shed`] (one segment in `k` is attempted, judged against the
+    /// per-node sequence number as in [`Controller::sheds`]), `None`
+    /// otherwise. The sharded executor broadcasts this to every shard at
+    /// each barrier so shards apply the tier without consulting the
+    /// controller mid-round.
+    pub fn shed_every(&self) -> Option<u64> {
+        (self.tier == Tier::Shed).then_some(self.shed_keep_every)
     }
 
     /// The active degradation tier.

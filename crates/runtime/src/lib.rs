@@ -6,14 +6,18 @@
 //! streams segments through that partition continuously, sharing one
 //! lossy wireless channel and one aggregator.
 //!
-//! The centrepiece is [`Executor`], a deterministic virtual-time
-//! discrete-event simulation:
+//! The centrepiece is the sharded fleet executor — a [`FleetSpec`]
+//! validated and run through [`ExecutorBuilder`] — a deterministic
+//! virtual-time discrete-event simulation:
 //!
-//! * per-node segment windowing at the configured sampling rate;
+//! * per-node segment windowing at the configured sampling rate, sharded
+//!   by node across per-core event wheels ([`shard`]) with deterministic
+//!   barrier merges — reports are bit-identical for any shard count;
 //! * per-cell sensor/aggregator execution using the instance's energy and
 //!   delay prices (the same numbers as `xpro_core::partition::evaluate`);
-//! * the wireless link as a lossy FIFO queue ([`LossyLink`]) with seeded
-//!   Bernoulli drops, bounded exponential-backoff retransmission and a
+//! * each node's wireless radio as a lossy half-duplex link
+//!   ([`LossyLink`]) with seeded per-node Bernoulli drops, fleet-global
+//!   burst weather, bounded exponential-backoff retransmission and a
 //!   per-segment deadline — overload and loss degrade the stream
 //!   gracefully instead of stalling it;
 //! * aggregator batching across nodes on the shared serial CPU, behind a
@@ -42,7 +46,7 @@
 //! statically derived WCRT, queue, energy and channel bounds.
 //!
 //! ```
-//! use xpro_runtime::{Executor, RuntimeConfig};
+//! use xpro_runtime::{ExecutorBuilder, FleetSpec, RuntimeConfig, ShardCount};
 //! # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
 //! # use xpro_core::config::SystemConfig;
 //! # use xpro_core::generator::{Engine, XProGenerator};
@@ -61,8 +65,11 @@
 //!     .drop_rate(0.05)
 //!     .seed(42)
 //!     .build()?;
-//! let report = Executor::new(&instance, &partition, config)?.run();
-//! assert!(report.total_completed() > 0);
+//! let handle = ExecutorBuilder::new(FleetSpec::new(&instance, &partition, config)?)
+//!     .shards(ShardCount::Auto)
+//!     .build()?
+//!     .run();
+//! assert!(handle.report.total_completed() > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -78,6 +85,7 @@ pub mod link;
 pub mod metrics;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod soundness;
 pub mod trace;
 
@@ -86,7 +94,9 @@ mod testutil;
 
 pub use config::{RuntimeConfig, RuntimeConfigBuilder};
 pub use controller::{PartitionSwitch, PlanAudit, Tier, TierTimes};
+#[allow(deprecated)]
 pub use executor::Executor;
+pub use executor::{ExecutorBuilder, FleetExecutor, FleetSpec, RunHandle, ShardCount};
 pub use lifecycle::{NodeLifecycle, OutageSchedule};
 pub use link::{BurstProfile, LossyLink};
 pub use metrics::{Histogram, MetricsRegistry};

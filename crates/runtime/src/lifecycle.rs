@@ -11,7 +11,7 @@
 //! k ≥ 1, covers `[k·period, k·period + duration)`), modelling scheduled
 //! unavailability such as gateway radio duty-cycling or phone OS doze.
 
-use crate::rng::XorShiftRng;
+use crate::rng::{stream_seed, XorShiftRng};
 
 /// Salt multiplied by `(node + 1)` and XOR-ed into the seed so each node's
 /// lifecycle draws come from an independent stream.
@@ -47,8 +47,7 @@ impl NodeLifecycle {
         if mtbf_s <= 0.0 {
             return NodeLifecycle::healthy();
         }
-        let salt = LIFECYCLE_STREAM_SALT.wrapping_mul(node as u64 + 1);
-        let mut rng = XorShiftRng::new(seed ^ salt);
+        let mut rng = XorShiftRng::new(stream_seed(seed, LIFECYCLE_STREAM_SALT, node as u64));
         let mut exp = move |mean: f64| -> f64 {
             // Inverse-CDF sample; next_f64() < 1 keeps ln(1-u) finite.
             -mean * (1.0 - rng.next_f64()).ln()

@@ -1,11 +1,15 @@
-//! The shared wireless channel as a lossy FIFO queue, with an optional
+//! A wearable's wireless uplink as a lossy FIFO queue, with an optional
 //! Gilbert–Elliott two-state burst model.
 //!
-//! All nodes of the fleet contend for one half-duplex channel. A
-//! transmission attempt occupies the channel for the frame's airtime
-//! whether or not it is delivered (the receiver still has to wait out the
-//! corrupted frame); delivery is a Bernoulli trial drawn from a seeded
-//! generator so runs are reproducible.
+//! One [`LossyLink`] models one half-duplex radio: a transmission attempt
+//! occupies it for the frame's airtime whether or not it is delivered (the
+//! receiver still has to wait out the corrupted frame); delivery is a
+//! Bernoulli trial drawn from a seeded generator so runs are reproducible.
+//! The sharded executor gives every node its own link (nodes interact only
+//! through the aggregator, which is what makes the fleet shardable);
+//! [`LossyLink::for_node`] derives the node's delivery stream from the run
+//! seed so the draw sequence is a per-node property, independent of how
+//! the fleet is sharded or how other nodes transmit.
 //!
 //! With a [`BurstProfile`] attached, the per-attempt drop rate is selected
 //! by a two-state (good/bad) Markov chain advanced in fixed time slots.
@@ -14,15 +18,24 @@
 //! seed and the profile — two runs with the same seed see the *same*
 //! channel weather even when their executors make different numbers of
 //! delivery draws (e.g. an adaptive run that retries less than a static
-//! one). Only the per-attempt delivery draw comes from the main stream,
+//! one). Channel weather is environmental and fleet-global: every node's
+//! link carries an identical chain seeded from the *run* seed, so all
+//! radios see the same good/bad timeline, and
+//! [`LossyLink::weather_bad_s`] reports it without simulating traffic.
+//! Only the per-attempt delivery draw comes from the link's main stream,
 //! which also keeps an iid-configured link bit-identical to the historical
 //! behavior.
 
-use crate::rng::XorShiftRng;
+use crate::rng::{stream_seed, XorShiftRng};
 
 /// Salt XOR-ed into the link seed to derive the independent burst-state
 /// stream.
 const BURST_STREAM_SALT: u64 = 0xB1A5_7C4A_11E1_7B0D;
+
+/// Salt for the per-node delivery-draw streams ([`LossyLink::for_node`]):
+/// multiplied by `(node + 1)` and XOR-ed into the run seed, the same idiom
+/// as the lifecycle streams.
+const LINK_STREAM_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
 
 /// Parameters of the Gilbert–Elliott two-state channel.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,6 +143,29 @@ impl LossyLink {
         let mut link = LossyLink::new(profile.good_drop_rate, seed);
         link.burst = Some(BurstState::new(profile, seed));
         link
+    }
+
+    /// The radio of one fleet node: delivery draws come from a node-salted
+    /// stream of the run seed (so the sequence each node sees is a pure
+    /// per-node property, independent of sharding and of other nodes'
+    /// traffic), while the optional burst chain is seeded from the run
+    /// seed alone — every node's copy follows the identical, traffic-
+    /// independent good/bad timeline (shared weather, per-node fading).
+    pub fn for_node(drop_rate: f64, burst: Option<BurstProfile>, seed: u64, node: u64) -> Self {
+        let mut link = LossyLink::new(drop_rate, stream_seed(seed, LINK_STREAM_SALT, node));
+        link.burst = burst.map(|profile| BurstState::new(profile, seed));
+        link
+    }
+
+    /// Time the burst chain spends in the bad state over `[0, duration_s]`
+    /// slot boundaries, as a pure function of `(profile, seed)` — no
+    /// traffic is simulated. This is the fleet-global channel weather every
+    /// [`LossyLink::for_node`] link observes, and what the run report's
+    /// `channel_bad_s` carries.
+    pub fn weather_bad_s(profile: BurstProfile, seed: u64, duration_s: f64) -> f64 {
+        let mut chain = BurstState::new(profile, seed);
+        chain.rate_at(duration_s);
+        chain.bad_s
     }
 
     /// Transmits one frame of `airtime_s` requested at `now_s`: the frame
@@ -298,6 +334,49 @@ mod tests {
         for i in 1..50 {
             assert!(!link.transmit(i as f64, 1e-9).delivered);
         }
+    }
+
+    #[test]
+    fn per_node_links_draw_distinct_delivery_streams() {
+        let mut a = LossyLink::for_node(0.5, None, 9, 0);
+        let mut b = LossyLink::for_node(0.5, None, 9, 1);
+        let outcomes =
+            |l: &mut LossyLink| (0..64).map(|_| l.transmit(0.0, 1e-9).delivered).collect();
+        let oa: Vec<bool> = outcomes(&mut a);
+        let ob: Vec<bool> = outcomes(&mut b);
+        assert_ne!(oa, ob, "nodes must not share a delivery stream");
+        let mut a2 = LossyLink::for_node(0.5, None, 9, 0);
+        assert_eq!(oa, outcomes(&mut a2), "per-node stream must reproduce");
+    }
+
+    #[test]
+    fn per_node_links_share_the_burst_timeline() {
+        // Same seed, different nodes: the chain state (revealed by the
+        // 0.0/~1.0 drop rates) must agree at equal times.
+        let profile = stormy();
+        let mut a = LossyLink::for_node(0.0, Some(profile), 5, 0);
+        let mut b = LossyLink::for_node(0.0, Some(profile), 5, 3);
+        for i in 0..200 {
+            let t = i as f64 * 0.5;
+            assert_eq!(
+                a.transmit(t, 1e-9).delivered,
+                b.transmit(t, 1e-9).delivered,
+                "weather diverged at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn weather_bad_s_matches_a_driven_chain() {
+        let profile = stormy();
+        let mut link = LossyLink::with_burst(profile, 77);
+        for i in 0..100 {
+            link.transmit(i as f64, 1e-9);
+        }
+        // Driving traffic up to t advances the same chain the pure
+        // function replays.
+        assert_eq!(link.bad_s(), LossyLink::weather_bad_s(profile, 77, 99.0));
+        assert_eq!(LossyLink::weather_bad_s(profile, 77, 0.0), 0.0);
     }
 
     #[test]

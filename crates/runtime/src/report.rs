@@ -140,7 +140,9 @@ pub struct AggregatorReport {
     pub inbox_overflows: u64,
 }
 
-/// Results of one [`crate::Executor::run`].
+/// Results of one [`crate::FleetExecutor::run`]. Deliberately ignorant of
+/// how the run was sharded: the report is byte-identical for any shard
+/// count.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Simulated duration in seconds.

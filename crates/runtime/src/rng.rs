@@ -6,6 +6,15 @@
 //! generators"). Statistical quality far exceeds what a Bernoulli drop
 //! model needs.
 
+/// Derives the seed of an independent sub-stream from a run seed: `salt`
+/// is multiplied by `(index + 1)` and XOR-ed into the seed, the idiom
+/// shared by every per-node stream in this crate (lifecycle windows, link
+/// delivery draws). Index 0 is a valid stream — the `+ 1` keeps the salt
+/// from vanishing for it.
+pub fn stream_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    seed ^ salt.wrapping_mul(index.wrapping_add(1))
+}
+
 /// A seeded xorshift64* pseudo-random number generator.
 #[derive(Clone, Debug)]
 pub struct XorShiftRng {
@@ -76,6 +85,17 @@ mod tests {
         }
         let mean = sum / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_per_index() {
+        let seeds: Vec<u64> = (0..8).map(|i| stream_seed(42, 0x5851_F42D, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "stream seeds collided");
+            }
+        }
+        assert_eq!(stream_seed(42, 7, 3), stream_seed(42, 7, 3));
     }
 
     #[test]

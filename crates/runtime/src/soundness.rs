@@ -199,6 +199,10 @@ pub fn check_report(
             }
         }
     }
+    // `peak_inbox` is measured on the *merged* inbox — the aggregator
+    // phase runs single-threaded in the executor regardless of how many
+    // event wheels simulated the fleet — so the static queue bound is
+    // checked against the same quantity for every shard count.
     if let Some(bound) = timing.queue_bound {
         if report.aggregator.peak_inbox > bound {
             out.push(BoundViolation::InboxAboveBound {
@@ -232,7 +236,8 @@ mod tests {
     #![allow(clippy::unwrap_used)] // tests fail loudly by design
 
     use super::*;
-    use crate::executor::Executor;
+    use crate::executor::{ExecutorBuilder, FleetSpec};
+    use crate::report::RunReport;
     use crate::testutil::tiny_instance;
     use xpro_core::generator::{Engine, XProGenerator};
 
@@ -240,6 +245,14 @@ mod tests {
         XProGenerator::new(inst)
             .partition_for(Engine::CrossEnd)
             .unwrap()
+    }
+
+    fn run(inst: &XProInstance, p: &Partition, cfg: RuntimeConfig) -> RunReport {
+        ExecutorBuilder::new(FleetSpec::new(inst, p, cfg).unwrap())
+            .build()
+            .unwrap()
+            .run()
+            .report
     }
 
     #[test]
@@ -274,7 +287,7 @@ mod tests {
             .unwrap();
         let (timing, energy) = deployment_bounds(&inst, &p, &cfg, RetryRegime::FaultFree).unwrap();
         assert!(timing.wcrt_s.is_some(), "a tiny fleet must be provable");
-        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let report = run(&inst, &p, cfg);
         let violations = check_report(&report, &timing, &energy);
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -292,7 +305,7 @@ mod tests {
             .unwrap();
         let (timing, energy) =
             deployment_bounds(&inst, &p, &cfg, RetryRegime::WorstCaseRetry).unwrap();
-        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let report = run(&inst, &p, cfg);
         let violations = check_report(&report, &timing, &energy);
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -303,7 +316,7 @@ mod tests {
         let p = cross_end(&inst);
         let cfg = RuntimeConfig::default();
         let (timing, energy) = deployment_bounds(&inst, &p, &cfg, RetryRegime::FaultFree).unwrap();
-        let mut report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let mut report = run(&inst, &p, cfg);
         report.nodes[0].latency.max_s = timing.wcrt_s.unwrap() + 1.0;
         report.aggregator.peak_inbox = timing.queue_bound.unwrap() + 1;
         report.nodes[1].wireless_pj = energy.per_epoch_pj + 1.0;
@@ -336,7 +349,7 @@ mod tests {
         assert!(timing.wcrt_s.is_none());
         assert!(timing.queue_bound.is_none());
         // Energy/channel envelopes still hold: crashes only remove work.
-        let report = Executor::new(&inst, &p, cfg).unwrap().run();
+        let report = run(&inst, &p, cfg);
         let violations = check_report(&report, &timing, &energy);
         assert!(violations.is_empty(), "{violations:?}");
     }

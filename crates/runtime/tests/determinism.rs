@@ -1,4 +1,4 @@
-//! Executor determinism under fault injection.
+//! Executor determinism under fault injection and sharding.
 //!
 //! The whole point of seeding every fault stream (delivery draws, burst
 //! chain, per-node crash schedules) is that a run is a pure function of
@@ -7,6 +7,10 @@
 //! reports — including under channel bursts, node crashes, battery
 //! depletion, aggregator outages and the adaptive controller, whose
 //! replanning decisions depend on everything upstream of them.
+//!
+//! The sharded engine adds a second axis: the shard count is an execution
+//! knob, never a simulation input, so the same spec run on 1, 2, 4 or 8
+//! event wheels must also agree byte-for-byte.
 
 #![allow(clippy::unwrap_used)] // tests fail loudly by design
 
@@ -20,7 +24,7 @@ use xpro_core::instance::XProInstance;
 use xpro_core::layout::Domain;
 use xpro_core::partition::Partition;
 use xpro_hw::ModuleKind;
-use xpro_runtime::{Executor, RuntimeConfig};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig};
 use xpro_signal::stats::FeatureKind;
 
 /// A small instance: four time-domain features over the raw window, one
@@ -83,9 +87,23 @@ fn cross_end(inst: &XProInstance) -> Partition {
         .unwrap()
 }
 
+fn run_sharded(
+    inst: &XProInstance,
+    partition: &Partition,
+    cfg: &RuntimeConfig,
+    shards: usize,
+) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, partition, cfg.clone()).unwrap())
+        .shards(shards)
+        .build()
+        .unwrap()
+        .run()
+        .report
+}
+
 fn assert_reproducible(inst: &XProInstance, partition: &Partition, cfg: &RuntimeConfig) {
-    let a = Executor::new(inst, partition, cfg.clone()).unwrap().run();
-    let b = Executor::new(inst, partition, cfg.clone()).unwrap().run();
+    let a = run_sharded(inst, partition, cfg, 1);
+    let b = run_sharded(inst, partition, cfg, 1);
     assert_eq!(a, b, "structurally unequal reports for {cfg:?}");
     assert_eq!(a.to_json(), b.to_json(), "JSON reports differ for {cfg:?}");
 }
@@ -124,10 +142,51 @@ proptest! {
             b = b.mtbf_s(0.6).mttr_s(0.2).reboot_warmup_s(0.05);
         }
         let cfg = b.build().unwrap();
-        let a = Executor::new(&inst, &partition, cfg.clone()).unwrap().run();
-        let c = Executor::new(&inst, &partition, cfg.clone()).unwrap().run();
+        let a = run_sharded(&inst, &partition, &cfg, 1);
+        let c = run_sharded(&inst, &partition, &cfg, 1);
         prop_assert_eq!(&a, &c);
         prop_assert_eq!(a.to_json(), c.to_json());
+    }
+
+    /// The acceptance property of the sharded engine: randomized fleets
+    /// with the full fault stack and adaptive replanning produce
+    /// byte-identical JSON for every shard count in {1, 2, 4, 8}.
+    #[test]
+    fn report_is_byte_identical_across_shard_counts(
+        seed in 0u64..10_000,
+        nodes in 1usize..9,
+        drop in 0.0f64..0.4,
+        adaptive in any::<bool>(),
+    ) {
+        let inst = tiny_instance(seed % 5);
+        let partition = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(nodes)
+            .duration_s(1.5)
+            .drop_rate(drop)
+            .burst_bad_rate(0.85)
+            .burst_p_enter(0.2)
+            .burst_p_exit(0.3)
+            .burst_slot_s(0.1)
+            .max_retries(5)
+            .mtbf_s(0.6)
+            .mttr_s(0.2)
+            .reboot_warmup_s(0.05)
+            .adaptive(adaptive)
+            .adaptive_window(16)
+            .min_dwell_s(0.1)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let baseline = run_sharded(&inst, &partition, &cfg, 1);
+        let json = baseline.to_json();
+        for shards in [2usize, 4, 8] {
+            let sharded = run_sharded(&inst, &partition, &cfg, shards);
+            prop_assert_eq!(&baseline, &sharded,
+                "{} shards diverged structurally", shards);
+            prop_assert_eq!(&json, &sharded.to_json(),
+                "{} shards diverged in JSON", shards);
+        }
     }
 }
 
@@ -179,7 +238,7 @@ fn different_seeds_diverge_under_faults() {
             .build()
             .unwrap()
     };
-    let a = Executor::new(&inst, &partition, build(1)).unwrap().run();
-    let b = Executor::new(&inst, &partition, build(2)).unwrap().run();
+    let a = run_sharded(&inst, &partition, &build(1), 1);
+    let b = run_sharded(&inst, &partition, &build(2), 1);
     assert_ne!(a, b, "seeds 1 and 2 produced identical faulty runs");
 }

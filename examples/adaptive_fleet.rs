@@ -45,11 +45,14 @@ fn main() -> Result<(), XProError> {
             .burst_slot_s(0.5)
             .max_retries(6)
             .seed(41)
-            .adaptive(adaptive)
             .adaptive_window(32)
             .min_dwell_s(0.3)
             .build()?;
-        let report = Executor::new(&instance, &partition, run_cfg)?.run();
+        let report = ExecutorBuilder::new(FleetSpec::new(&instance, &partition, run_cfg)?)
+            .adaptive(adaptive)
+            .build()?
+            .run()
+            .report;
         let label = if adaptive { "adaptive" } else { "static  " };
         let energy_pj: f64 = report.nodes.iter().map(NodeReport::total_pj).sum();
         println!(

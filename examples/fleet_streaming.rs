@@ -42,7 +42,10 @@ fn main() -> Result<(), XProError> {
             .max_retries(4)
             .seed(7)
             .build()?;
-        let report = Executor::new(&instance, &partition, run_cfg)?.run();
+        let report = ExecutorBuilder::new(FleetSpec::new(&instance, &partition, run_cfg)?)
+            .build()?
+            .run()
+            .report;
         let fleet = report.fleet_latency();
         println!(
             "drop rate {:>4.0} % — {} completed, {} lost, {} retries, p99 {:.3} ms",

@@ -43,6 +43,9 @@ options:
                       abandoned (default 3)
   --timeout <S>       per-segment deadline in seconds (default 1)
   --seed <N>          fault-injection RNG seed (default 1)
+  --shards <N|auto>   event wheels the fleet is sharded across; an
+                      execution knob only — reports are bit-identical
+                      for any value (default auto: one per core)
 
 fault injection (all disabled by default):
   --burst-bad-rate <P>   Gilbert-Elliott bad-state drop rate in [0, 1);
@@ -81,6 +84,7 @@ struct Args {
     max_retries: u32,
     timeout_s: f64,
     seed: u64,
+    shards: ShardCount,
     burst_bad_rate: f64,
     burst_p_enter: f64,
     burst_p_exit: f64,
@@ -109,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         max_retries: 3,
         timeout_s: 1.0,
         seed: 1,
+        shards: ShardCount::Auto,
         burst_bad_rate: 0.0,
         burst_p_enter: 0.0,
         burst_p_exit: 0.0,
@@ -179,6 +184,14 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shards" => {
+                let spec = value("--shards")?;
+                args.shards = if spec.eq_ignore_ascii_case("auto") {
+                    ShardCount::Auto
+                } else {
+                    ShardCount::Fixed(spec.parse().map_err(|e| format!("--shards: {e}"))?)
+                };
             }
             "--burst-bad-rate" => {
                 args.burst_bad_rate = value("--burst-bad-rate")?
@@ -306,7 +319,12 @@ fn run(args: &Args) -> Result<(), XProError> {
         .hysteresis(args.hysteresis)
         .min_dwell_s(args.min_dwell_s)
         .build()?;
-    let report = Executor::new(&instance, &partition, run_cfg)?.run();
+    let spec = FleetSpec::new(&instance, &partition, run_cfg)?;
+    let report = ExecutorBuilder::new(spec)
+        .shards(args.shards)
+        .build()?
+        .run()
+        .report;
 
     if args.json {
         println!("{}", report.to_json());

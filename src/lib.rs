@@ -51,15 +51,20 @@
 //! let cmp = EngineComparison::evaluate("C1", &instance)?;
 //! assert!(cmp.lifetime_gain_over(Engine::InAggregator) >= 1.0);
 //!
-//! // 5. Stream it: a 4-node fleet over a 5 % lossy link.
+//! // 5. Stream it: a 4-node fleet over a 5 % lossy link, sharded
+//! //    across the available cores (the report does not depend on the
+//! //    shard count).
 //! let partition = XProGenerator::new(&instance).generate()?;
 //! let run_cfg = RuntimeConfig::builder()
 //!     .nodes(4)
 //!     .duration_s(1.0)
 //!     .drop_rate(0.05)
 //!     .build()?;
-//! let report = Executor::new(&instance, &partition, run_cfg)?.run();
-//! assert!(report.total_completed() > 0);
+//! let handle = ExecutorBuilder::new(FleetSpec::new(&instance, &partition, run_cfg)?)
+//!     .shards(ShardCount::Auto)
+//!     .build()?
+//!     .run();
+//! assert!(handle.report.total_completed() > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -79,7 +84,13 @@ pub use xpro_wireless as wireless;
 
 /// One-import surface for the common workflow: everything from
 /// [`xpro_core::prelude`] plus the streaming executor types.
+///
+/// The deprecated `Executor` facade is intentionally absent: new code
+/// builds a [`FleetSpec`](xpro_runtime::FleetSpec) and runs it through
+/// [`ExecutorBuilder`](xpro_runtime::ExecutorBuilder).
 pub mod prelude {
     pub use xpro_core::prelude::*;
-    pub use xpro_runtime::{Executor, RunReport, RuntimeConfig};
+    pub use xpro_runtime::{
+        ExecutorBuilder, FleetExecutor, FleetSpec, RunHandle, RunReport, RuntimeConfig, ShardCount,
+    };
 }

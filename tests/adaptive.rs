@@ -17,6 +17,14 @@ use xpro::prelude::*;
 use xpro::runtime::{NodeReport, RuntimeConfigBuilder};
 use xpro::wireless::TransceiverModel;
 
+fn run(inst: &XProInstance, cut: &Partition, cfg: RuntimeConfig) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, cut, cfg).expect("valid spec"))
+        .build()
+        .expect("valid build")
+        .run()
+        .report
+}
+
 /// A pipeline whose pristine optimum is a genuine mid-graph cut: enough
 /// training data that the classifier stage is heavy (lots of support
 /// vectors), plus the low-energy Model-3 radio so shipping features is
@@ -70,12 +78,8 @@ fn adaptive_beats_static_under_identical_mid_run_degradation() {
     let inst = instance(CaseId::C1);
     let cut = XProGenerator::new(&inst).generate().expect("static cut");
 
-    let static_report = Executor::new(&inst, &cut, degrading_channel(false).build().unwrap())
-        .expect("static executor")
-        .run();
-    let adaptive_report = Executor::new(&inst, &cut, degrading_channel(true).build().unwrap())
-        .expect("adaptive executor")
-        .run();
+    let static_report = run(&inst, &cut, degrading_channel(false).build().unwrap());
+    let adaptive_report = run(&inst, &cut, degrading_channel(true).build().unwrap());
 
     // Both fleets saw the same channel weather.
     assert!(
@@ -123,10 +127,8 @@ fn adaptive_run_is_reproducible_and_accounts_for_every_segment() {
         .mttr_s(0.5)
         .build()
         .unwrap();
-    let a = Executor::new(&inst, &cut, cfg.clone())
-        .expect("executor")
-        .run();
-    let b = Executor::new(&inst, &cut, cfg).expect("executor").run();
+    let a = run(&inst, &cut, cfg.clone());
+    let b = run(&inst, &cut, cfg);
     assert_eq!(
         a.to_json(),
         b.to_json(),
@@ -161,7 +163,7 @@ fn disabled_fault_knobs_leave_the_analytic_parity_intact() {
         .adaptive(true) // may observe, but a clean channel never triggers
         .build()
         .unwrap();
-    let report = Executor::new(&inst, &cut, cfg).expect("executor").run();
+    let report = run(&inst, &cut, cfg);
     let node = &report.nodes[0];
     assert_eq!(node.segments_offered, node.segments_completed);
     assert!(report.partition_switches.is_empty());

@@ -9,6 +9,14 @@ use xpro::ml::SubspaceConfig;
 use xpro::prelude::*;
 use xpro::runtime::trace::{simulate_event, simulate_stream};
 
+fn run(inst: &XProInstance, p: &Partition, cfg: RuntimeConfig) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, p, cfg).expect("valid spec"))
+        .build()
+        .expect("valid build")
+        .run()
+        .report
+}
+
 fn instance(case: CaseId) -> XProInstance {
     let data = generate_case_sized(case, 100, 17);
     let cfg = PipelineConfig::builder()
@@ -115,7 +123,7 @@ fn lossless_streaming_run_reproduces_the_analytic_model() {
             .drop_rate(0.0)
             .build()
             .expect("valid config");
-        let report = Executor::new(&inst, &p, cfg).expect("executor").run();
+        let report = run(&inst, &p, cfg);
         let node = &report.nodes[0];
         assert_eq!(node.segments_offered, node.segments_completed, "{engine}");
         let energy = node.total_pj() / node.segments_completed as f64;
@@ -140,7 +148,7 @@ fn retry_counts_rise_monotonically_across_a_drop_rate_sweep() {
             .seed(2024)
             .build()
             .expect("valid config");
-        let report = Executor::new(&inst, &p, cfg).expect("executor").run();
+        let report = run(&inst, &p, cfg);
         let retries = report.total_retries();
         assert!(
             retries >= last,
@@ -154,7 +162,7 @@ fn retry_counts_rise_monotonically_across_a_drop_rate_sweep() {
             .seed(2024)
             .build()
             .expect("valid config");
-        let again = Executor::new(&inst, &p, cfg2).expect("executor").run();
+        let again = run(&inst, &p, cfg2);
         assert_eq!(report, again, "non-deterministic at drop rate {rate}");
         last = retries;
     }
@@ -175,7 +183,7 @@ fn fleet_run_with_loss_completes_without_stalling() {
         .seed(42)
         .build()
         .expect("valid config");
-    let report = Executor::new(&inst, &p, cfg).expect("executor").run();
+    let report = run(&inst, &p, cfg);
     let offered: u64 = report.nodes.iter().map(|n| n.segments_offered).sum();
     assert!(offered > 0);
     assert_eq!(offered, report.total_completed() + report.total_lost());
@@ -206,7 +214,7 @@ fn timeouts_skip_segments_instead_of_stalling_the_stream() {
         .seed(11)
         .build()
         .expect("valid config");
-    let report = Executor::new(&inst, &p, cfg).expect("executor").run();
+    let report = run(&inst, &p, cfg);
     let offered: u64 = report.nodes.iter().map(|n| n.segments_offered).sum();
     assert_eq!(offered, report.total_completed() + report.total_lost());
     assert!(report.total_lost() > 0, "nothing lost at 80 % drop");

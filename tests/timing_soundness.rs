@@ -22,7 +22,18 @@ use xpro::core::config::SystemConfig;
 use xpro::core::generator::XProGenerator;
 use xpro::core::instance::XProInstance;
 use xpro::core::partition::Partition;
-use xpro::runtime::{check_report, deployment_bounds, Executor, RuntimeConfig};
+use xpro::runtime::{
+    check_report, deployment_bounds, ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig,
+};
+
+fn run_sharded(inst: &XProInstance, p: &Partition, cfg: RuntimeConfig, shards: usize) -> RunReport {
+    ExecutorBuilder::new(FleetSpec::new(inst, p, cfg).unwrap())
+        .shards(shards)
+        .build()
+        .unwrap()
+        .run()
+        .report
+}
 
 /// A small framework instance (one SVM base keeps the sweep fast) with
 /// the generator's minimum-sensor-energy cross-end cut.
@@ -59,7 +70,7 @@ proptest! {
             .unwrap();
         let (timing, energy) =
             deployment_bounds(&instance, &partition, &cfg, RetryRegime::FaultFree).unwrap();
-        let report = Executor::new(&instance, &partition, cfg).unwrap().run();
+        let report = run_sharded(&instance, &partition, cfg, 1);
         let violations = check_report(&report, &timing, &energy);
         prop_assert!(violations.is_empty(), "{violations:?}");
     }
@@ -86,7 +97,35 @@ proptest! {
         let (timing, energy) =
             deployment_bounds(&instance, &partition, &cfg, RetryRegime::WorstCaseRetry)
                 .unwrap();
-        let report = Executor::new(&instance, &partition, cfg).unwrap().run();
+        let report = run_sharded(&instance, &partition, cfg, 1);
+        let violations = check_report(&report, &timing, &energy);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Sharding must not loosen the calculus: the same static bounds that
+    /// dominate a 1-shard run dominate every sharded run — in particular
+    /// `peak_inbox` bounds the *merged* aggregator inbox, which is a
+    /// single global queue regardless of how many event wheels fed it.
+    #[test]
+    fn static_bounds_dominate_sharded_runs(
+        seed in 0u64..10_000,
+        nodes in 2usize..9,
+        drop in 0.0f64..0.4,
+        shards in 2usize..9,
+    ) {
+        let (instance, partition) = framework_deployment();
+        let cfg = RuntimeConfig::builder()
+            .nodes(nodes)
+            .duration_s(1.5)
+            .drop_rate(drop)
+            .max_retries(3)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let (timing, energy) =
+            deployment_bounds(&instance, &partition, &cfg, RetryRegime::WorstCaseRetry)
+                .unwrap();
+        let report = run_sharded(&instance, &partition, cfg, shards);
         let violations = check_report(&report, &timing, &energy);
         prop_assert!(violations.is_empty(), "{violations:?}");
     }
