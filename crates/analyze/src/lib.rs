@@ -59,5 +59,6 @@ pub use gate::{
 };
 pub use interval::{Hazard, HazardOp, Interval};
 pub use timing::{
-    analyze_timing, Resource, RetryRegime, TimingBounds, TimingModel, TimingViolation,
+    analyze_tenant_timing, analyze_timing, tenant_findings, Resource, RetryRegime, TenantModel,
+    TenantTimingBounds, TimingBounds, TimingModel, TimingViolation,
 };

@@ -479,6 +479,162 @@ impl TimingBounds {
     }
 }
 
+/// Plain-number description of one tenant sharing the deployment — the
+/// admission-relevant slice of `xpro_runtime::TenantSpec`, kept free of
+/// runtime types because `xpro-analyze` sits below `xpro-core`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantModel {
+    /// Tenant name (propagated into finding labels).
+    pub name: String,
+    /// Nodes the tenant owns (tenant node counts must sum to the fleet).
+    pub nodes: usize,
+    /// Token-bucket refill rate in admitted jobs per second (0 =
+    /// unlimited).
+    pub quota_hz: f64,
+    /// Token-bucket depth in jobs.
+    pub quota_burst: u32,
+    /// Whether the tenant's plan degrades under overload. Plan swaps are
+    /// outside the static model, so a degrading tenant's bounds are
+    /// refused rather than proven unsoundly.
+    pub degrade: bool,
+}
+
+/// Per-tenant bounds derived from the fleet envelope: a tenant's segment
+/// is served by the same three shared resources, so the fleet WCRT bounds
+/// every tenant's response time, and the tenant's admitted-job window
+/// (or its token bucket, when tighter) bounds its inbox share.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantTimingBounds {
+    /// Tenant name.
+    pub name: String,
+    /// Nodes the tenant owns.
+    pub nodes: usize,
+    /// Sound per-segment WCRT for the tenant's segments; [`None`] when
+    /// refused (fleet unprovable, or the tenant degrades).
+    pub wcrt_s: Option<f64>,
+    /// Sound bound on the tenant's aggregator-inbox occupancy:
+    /// `min(⌈n_t·(R/period + 1)⌉, ⌈burst + quota_hz·R⌉)` — the window
+    /// argument per tenant, tightened by the token bucket when a rate
+    /// quota is set. [`None`] exactly when `wcrt_s` is.
+    pub queue_bound: Option<u64>,
+    /// Why the bounds were refused, when they were: the stable rule name
+    /// emitted as the finding (`timing.tenant_unprovable`).
+    pub unprovable: bool,
+}
+
+/// Synthetic-cell offset of the per-tenant finding block (above the
+/// per-regime timing rows at +0/+10 and the energy rows at +20).
+const TENANT_CELL_OFFSET: usize = 100;
+
+/// Derives per-tenant bounds from a deployment's fleet envelope.
+///
+/// The `model` must already be the *envelope* of every plan a tenant can
+/// run under (the caller maxes the primary and fallback profiles
+/// per-term), so the fleet fixed point dominates any mixed-plan fleet.
+/// Tenant node counts must sum to `model.nodes`.
+///
+/// A tenant's bounds are refused (`wcrt_s = None`, `unprovable = true`)
+/// when the fleet fixed point itself is unprovable or when the tenant
+/// degrades under overload — a mid-run plan swap is an adaptation the
+/// static calculus does not model.
+///
+/// # Errors
+///
+/// [`AnalyzeError::InvalidOption`] when the model is out of range, a
+/// tenant has zero nodes or a non-finite/negative quota, or the node
+/// counts do not sum to the fleet size.
+pub fn analyze_tenant_timing(
+    model: &TimingModel,
+    tenants: &[TenantModel],
+    regime: RetryRegime,
+) -> Result<(TimingBounds, Vec<TenantTimingBounds>), AnalyzeError> {
+    let fleet = analyze_timing(model, regime)?;
+    let mut covered = 0usize;
+    for t in tenants {
+        if t.nodes == 0 {
+            return Err(AnalyzeError::InvalidOption {
+                name: "tenant.nodes",
+                value: 0.0,
+            });
+        }
+        if !t.quota_hz.is_finite() || t.quota_hz < 0.0 {
+            return Err(AnalyzeError::InvalidOption {
+                name: "tenant.quota_hz",
+                value: t.quota_hz,
+            });
+        }
+        covered += t.nodes;
+    }
+    if covered != model.nodes {
+        return Err(AnalyzeError::InvalidOption {
+            name: "tenant.nodes",
+            value: covered as f64,
+        });
+    }
+    let bounds = tenants
+        .iter()
+        .map(|t| {
+            let provable = fleet.wcrt_s.is_some() && !t.degrade;
+            let wcrt_s = provable.then_some(fleet.wcrt_s).flatten();
+            let queue_bound = wcrt_s.map(|r| {
+                let window = (t.nodes as f64 * (r / model.period_s + 1.0)).ceil() as u64;
+                if t.quota_hz > 0.0 {
+                    let bucket = (f64::from(t.quota_burst) + t.quota_hz * r).ceil() as u64;
+                    window.min(bucket)
+                } else {
+                    window
+                }
+            });
+            TenantTimingBounds {
+                name: t.name.clone(),
+                nodes: t.nodes,
+                wcrt_s,
+                queue_bound,
+                unprovable: !provable,
+            }
+        })
+        .collect();
+    Ok((fleet, bounds))
+}
+
+/// The per-tenant bounds as canonical findings: one row per tenant at
+/// stable synthetic cells (`TIMING_CELL_BASE + 100 + 2·i + regime`), so
+/// baselines only grow when a tenant table is actually supplied. `bound`
+/// carries the tenant WCRT, `interval_width` its queue bound,
+/// `affine_width` the fleet contraction factor.
+pub fn tenant_findings(
+    config: &str,
+    fleet: &TimingBounds,
+    tenants: &[TenantTimingBounds],
+) -> Vec<Finding> {
+    let tag = fleet.regime.tag();
+    let regime_slot = match fleet.regime {
+        RetryRegime::FaultFree => 0,
+        RetryRegime::WorstCaseRetry => 1,
+    };
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let (rule, severity) = if t.unprovable {
+                ("timing.tenant_unprovable".to_string(), Severity::Violation)
+            } else {
+                ("timing.tenant.proven".to_string(), Severity::Proven)
+            };
+            Finding {
+                config: config.to_string(),
+                cell: TIMING_CELL_BASE + TENANT_CELL_OFFSET + 2 * i + regime_slot,
+                label: format!("tenant.{}@{tag}", t.name),
+                rule,
+                severity,
+                bound: t.wcrt_s.unwrap_or(0.0),
+                interval_width: t.queue_bound.map_or(0.0, |b| b as f64),
+                affine_width: fleet.contraction,
+            }
+        })
+        .collect()
+}
+
 /// Derives the sound timing bounds of a deployment under a regime.
 ///
 /// See the module documentation for the arrival/service model and the
@@ -684,6 +840,128 @@ mod tests {
         let f = bad.findings("C1");
         assert_eq!(f[0].rule, "timing.deadline_unprovable");
         assert!(f.iter().all(|f| f.severity == Severity::Violation));
+    }
+
+    #[test]
+    fn tenant_bounds_follow_the_fleet_envelope() {
+        let m = light_model();
+        let tenants = vec![
+            TenantModel {
+                name: "a".into(),
+                nodes: 3,
+                quota_hz: 0.0,
+                quota_burst: 8,
+                degrade: false,
+            },
+            TenantModel {
+                name: "b".into(),
+                nodes: 1,
+                quota_hz: 1.0,
+                quota_burst: 1,
+                degrade: false,
+            },
+        ];
+        let (fleet, tb) = analyze_tenant_timing(&m, &tenants, RetryRegime::FaultFree).unwrap();
+        let r = fleet.wcrt_s.unwrap();
+        assert_eq!(tb[0].wcrt_s, Some(r), "tenant WCRT is the fleet envelope");
+        // Tenant a: window bound over its 3 nodes.
+        assert_eq!(
+            tb[0].queue_bound,
+            Some((3.0 * (r / m.period_s + 1.0)).ceil() as u64)
+        );
+        // Tenant b: the token bucket (1 + 1·R, R < 1 s) beats its window.
+        assert_eq!(tb[1].queue_bound, Some(2));
+        assert!(tb[1].queue_bound < tb[0].queue_bound);
+        // The tenant bounds must sum to no less than... nothing; but each
+        // must be at most the fleet queue bound.
+        let fleet_q = fleet.queue_bound.unwrap();
+        assert!(tb.iter().all(|t| t.queue_bound.unwrap() <= fleet_q));
+    }
+
+    #[test]
+    fn degrading_or_unprovable_tenants_are_refused() {
+        let m = light_model();
+        let degrading = vec![TenantModel {
+            name: "d".into(),
+            nodes: 4,
+            quota_hz: 0.0,
+            quota_burst: 8,
+            degrade: true,
+        }];
+        let (_, tb) = analyze_tenant_timing(&m, &degrading, RetryRegime::FaultFree).unwrap();
+        assert!(tb[0].unprovable);
+        assert!(tb[0].wcrt_s.is_none() && tb[0].queue_bound.is_none());
+
+        let mut saturated = light_model();
+        saturated.frame_airtimes_s = vec![0.2];
+        let steady = vec![TenantModel {
+            name: "s".into(),
+            nodes: 4,
+            quota_hz: 0.0,
+            quota_burst: 8,
+            degrade: false,
+        }];
+        let (fleet, tb) =
+            analyze_tenant_timing(&saturated, &steady, RetryRegime::FaultFree).unwrap();
+        assert!(fleet.wcrt_s.is_none());
+        assert!(tb[0].unprovable, "fleet unprovable refuses every tenant");
+    }
+
+    #[test]
+    fn tenant_findings_use_stable_cells_and_rules() {
+        let m = light_model();
+        let tenants = vec![
+            TenantModel {
+                name: "a".into(),
+                nodes: 3,
+                quota_hz: 0.0,
+                quota_burst: 8,
+                degrade: false,
+            },
+            TenantModel {
+                name: "d".into(),
+                nodes: 1,
+                quota_hz: 0.0,
+                quota_burst: 8,
+                degrade: true,
+            },
+        ];
+        for (regime, slot) in [
+            (RetryRegime::FaultFree, 0),
+            (RetryRegime::WorstCaseRetry, 1),
+        ] {
+            let (fleet, tb) = analyze_tenant_timing(&m, &tenants, regime).unwrap();
+            let f = tenant_findings("C1", &fleet, &tb);
+            assert_eq!(f.len(), 2);
+            assert_eq!(f[0].cell, TIMING_CELL_BASE + 100 + slot);
+            assert_eq!(f[1].cell, TIMING_CELL_BASE + 100 + 2 + slot);
+            assert_eq!(f[0].rule, "timing.tenant.proven");
+            assert_eq!(f[0].severity, Severity::Proven);
+            assert_eq!(f[1].rule, "timing.tenant_unprovable");
+            assert_eq!(f[1].severity, Severity::Violation);
+            assert!(f[0].label.starts_with("tenant.a@"));
+        }
+    }
+
+    #[test]
+    fn tenant_tables_must_cover_the_fleet() {
+        let m = light_model();
+        let short = vec![TenantModel {
+            name: "a".into(),
+            nodes: 3,
+            quota_hz: 0.0,
+            quota_burst: 8,
+            degrade: false,
+        }];
+        assert!(analyze_tenant_timing(&m, &short, RetryRegime::FaultFree).is_err());
+        let bad_quota = vec![TenantModel {
+            name: "a".into(),
+            nodes: 4,
+            quota_hz: f64::NAN,
+            quota_burst: 8,
+            degrade: false,
+        }];
+        assert!(analyze_tenant_timing(&m, &bad_quota, RetryRegime::FaultFree).is_err());
     }
 
     #[test]

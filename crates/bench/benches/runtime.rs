@@ -13,7 +13,7 @@ use xpro_core::pipeline::{PipelineConfig, XProPipeline};
 use xpro_core::{Partition, XProGenerator};
 use xpro_data::{generate_case_sized, CaseId};
 use xpro_ml::SubspaceConfig;
-use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig, TenantSpec};
 
 fn trained_instance() -> XProInstance {
     let data = generate_case_sized(CaseId::C1, 60, 42);
@@ -196,13 +196,56 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
         }
     }
 
+    // Tenants × nodes sweep: the admission layer (token buckets,
+    // weighted-fair inbox accounting, barrier-round tier machine) prices
+    // every aggregator job, so its overhead is measured against the
+    // tenancy-off run of the same fleet. Half the tenants are metered
+    // below the offered rate, keeping rejection, degradation and
+    // quarantine on the hot path rather than benching the all-admitted
+    // fast path.
+    let mut tenant_entries = Vec::new();
+    for &nodes in &[8usize, 64, 512] {
+        let cfg_off = run_config(nodes, 0.05, 2.0);
+        let _ = run_sharded(inst, cut, &cfg_off, 1);
+        let (off_ns, _) = median_wall_ns(inst, cut, &cfg_off, 1, 3);
+        for &tenants in &[1usize, 4, 16] {
+            if tenants > nodes {
+                continue;
+            }
+            let table = tenant_table(nodes, tenants);
+            let cfg_on = RuntimeConfig::builder()
+                .nodes(nodes)
+                .duration_s(2.0)
+                .drop_rate(0.05)
+                .seed(7)
+                .tenants(table)
+                .build()
+                .expect("valid tenant config");
+            let _ = run_sharded(inst, cut, &cfg_on, 1);
+            let (on_ns, completed) = median_wall_ns(inst, cut, &cfg_on, 1, 3);
+            tenant_entries.push(format!(
+                concat!(
+                    "    {{\"nodes\": {}, \"tenants\": {}, \"virtual_s\": 2.0, ",
+                    "\"wall_ns_per_run\": {:.0}, \"segments_completed\": {}, ",
+                    "\"overhead_vs_no_tenancy\": {:.3}}}"
+                ),
+                nodes,
+                tenants,
+                on_ns,
+                completed,
+                on_ns / off_ns,
+            ));
+        }
+    }
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ],\n",
-            "  \"shard_sweep\": [\n{}\n  ]\n}}\n"
+            "  \"shard_sweep\": [\n{}\n  ],\n  \"tenant_sweep\": [\n{}\n  ]\n}}\n"
         ),
         entries.join(",\n"),
-        sweep_entries.join(",\n")
+        sweep_entries.join(",\n"),
+        tenant_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     if let Err(e) = std::fs::write(path, json) {
@@ -210,6 +253,27 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
     } else {
         println!("wrote {path}");
     }
+}
+
+/// An even split of `nodes` across `tenants`, alternating unmetered and
+/// tightly metered (degrading, breaker-armed) tenants.
+fn tenant_table(nodes: usize, tenants: usize) -> Vec<TenantSpec> {
+    let base = nodes / tenants;
+    let extra = nodes % tenants;
+    (0..tenants)
+        .map(|i| {
+            let share = base + usize::from(i < extra);
+            let spec = TenantSpec::new(format!("t{i}"), share);
+            if i % 2 == 1 {
+                spec.quota_hz(2.0)
+                    .quota_burst(2)
+                    .breaker_rounds(2)
+                    .cooldown_s(0.5)
+            } else {
+                spec.degrade(false)
+            }
+        })
+        .collect()
 }
 
 fn bench_runtime(c: &mut Criterion) {

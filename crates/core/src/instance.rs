@@ -47,16 +47,6 @@ impl XProInstance {
         XProInstance::try_with_bounds(built, config, segment_len, SignalBounds::default())
     }
 
-    /// Deprecated panicking constructor; use [`XProInstance::try_new`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `segment_len == 0` or the graph is empty.
-    #[deprecated(since = "0.2.0", note = "use `XProInstance::try_new` instead")]
-    pub fn new(built: BuiltGraph, config: SystemConfig, segment_len: usize) -> Self {
-        XProInstance::try_new(built, config, segment_len).expect("valid instance")
-    }
-
     /// Prices a built graph under a system configuration and runs the
     /// static range analysis against explicit input-signal bounds (e.g.
     /// from dataset metadata).
@@ -120,22 +110,6 @@ impl XProInstance {
     /// an already-valid instance).
     pub fn reconfigured(&self, config: SystemConfig) -> Result<Self, XProError> {
         XProInstance::try_with_bounds(self.built.clone(), config, self.segment_len, self.bounds)
-    }
-
-    /// Deprecated panicking constructor; use
-    /// [`XProInstance::try_with_bounds`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `segment_len == 0` or the graph is empty.
-    #[deprecated(since = "0.2.0", note = "use `XProInstance::try_with_bounds` instead")]
-    pub fn with_bounds(
-        built: BuiltGraph,
-        config: SystemConfig,
-        segment_len: usize,
-        bounds: SignalBounds,
-    ) -> Self {
-        XProInstance::try_with_bounds(built, config, segment_len, bounds).expect("valid instance")
     }
 
     /// The static range analysis of the graph under this instance's input

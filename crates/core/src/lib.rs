@@ -67,6 +67,7 @@ pub mod multiclass;
 pub mod multinode;
 pub mod partition;
 pub mod pipeline;
+pub mod plancache;
 pub mod prelude;
 pub mod profile;
 pub mod report;
@@ -90,5 +91,6 @@ pub use multiclass::MulticlassPipeline;
 pub use multinode::{BsnEvaluation, BsnSystem};
 pub use partition::{evaluate, DelayBreakdown, EnergyBreakdown, Evaluation, Partition};
 pub use pipeline::{extract_features, PipelineConfig, XProPipeline};
+pub use plancache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use profile::{segment_profile, FrameProfile, SegmentProfile};
 pub use report::EngineComparison;

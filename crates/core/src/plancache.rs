@@ -1,0 +1,346 @@
+//! Certificate-guarded memoized plan cache.
+//!
+//! The Automatic XPro Generator (`XProGenerator`) prices every candidate
+//! λ in a sweep and solves a min-cut per candidate — cheap for one
+//! device, wasteful for a fleet where thousands of devices share a
+//! handful of distinct `(pipeline, tech node, radio, deadline)`
+//! configurations. [`PlanCache`] collapses those invocations to
+//! once-per-distinct-config: plans are memoized in a sharded map keyed
+//! by a canonical digest of the instance (cell graph, system config,
+//! segment length) and the deadline, and **every hit is re-verified by
+//! the independent min-cut certificate checker before it is handed
+//! out** ([`verify_plan`]). A stale or corrupted entry can therefore
+//! never ship an unsound plan: verification failure evicts the entry
+//! and falls back to cold generation, exactly as if the cache did not
+//! exist.
+//!
+//! The cache is deliberately free of interior mutability (no locks, no
+//! `RefCell`) — all mutation flows through `&mut self`, which keeps it
+//! inside the workspace's sharding lint rules and makes its behaviour
+//! a pure function of the call sequence (determinism-friendly). Shard
+//! selection uses a fixed FNV-1a hash of the canonical key, not the
+//! randomized `std` hasher, so shard layout is stable across processes.
+
+use std::collections::BTreeMap;
+
+use crate::certificate::{verify_plan, CutCertificate};
+use crate::error::XProError;
+use crate::generator::XProGenerator;
+use crate::instance::XProInstance;
+use crate::partition::Partition;
+
+/// A memoized plan: the partition the generator chose for a
+/// configuration plus the min-cut certificate that proves it (when the
+/// winning cut came out of the certified λ-sweep; reference engines may
+/// legitimately carry no certificate).
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The memoized cut.
+    pub partition: Partition,
+    /// The min-cut/delay certificate verified on every hit.
+    pub certificate: Option<CutCertificate>,
+}
+
+/// Hit/miss/rejection counters for a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache after certificate re-verification.
+    pub hits: u64,
+    /// Lookups that fell through to cold generation.
+    pub misses: u64,
+    /// Cached entries that failed certificate re-verification and were
+    /// evicted (the lookup then proceeds as a miss, counted separately).
+    pub rejected: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    /// Zero when no lookups have been made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte string: fixed, process-independent shard
+/// selection (the `std` hasher is randomized per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Sharded, certificate-guarded memoization of
+/// [`XProGenerator::delay_constrained_cut_certified`].
+///
+/// See the [module docs](self) for the safety argument. Typical use:
+///
+/// ```
+/// use xpro_core::plancache::PlanCache;
+/// # use xpro_core::config::SystemConfig;
+/// # use xpro_core::instance::XProInstance;
+/// # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
+/// # use xpro_data::{generate_case, CaseId};
+/// # let data = generate_case(CaseId::C1, 42);
+/// # let pipeline =
+/// #     XProPipeline::train(&data, &PipelineConfig::default()).unwrap();
+/// # let len = pipeline.segment_len();
+/// # let instance = XProInstance::try_new(
+/// #     pipeline.into_built(), SystemConfig::default(), len).unwrap();
+/// let mut cache = PlanCache::new(8);
+/// let limit = 0.5;
+/// let (cold, _) = cache.plan_for(&instance, limit).unwrap();
+/// let (hit, _) = cache.plan_for(&instance, limit).unwrap();
+/// assert_eq!(cold, hit);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlanCache {
+    shards: Vec<BTreeMap<String, CachedPlan>>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache with `shards` internal map shards (clamped to at
+    /// least one). Sharding bounds per-map size when many distinct
+    /// configurations are cached; it does not affect results.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: vec![BTreeMap::new(); shards.max(1)],
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Canonical cache key for `(instance, deadline)`: an FNV-1a digest
+    /// of the instance's full debug rendering (cell graph, system
+    /// config — cost model, tech node, radio, aggregator, batteries,
+    /// sampling rate — signal bounds and analysis verdicts) plus the
+    /// exact bit pattern of the deadline. Two instances with any
+    /// observable difference produce different digests; and because
+    /// every hit is re-verified against the *presented* instance, even
+    /// a digest collision cannot yield an unsound plan.
+    #[must_use]
+    pub fn key(instance: &XProInstance, t_limit_s: f64) -> String {
+        let rendered = format!("{instance:?}");
+        format!(
+            "{:016x}:{:016x}:{}c{}s",
+            fnv1a(rendered.as_bytes()),
+            t_limit_s.to_bits(),
+            instance.num_cells(),
+            instance.segment_len(),
+        )
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Returns the delay-constrained certified plan for `instance`,
+    /// from cache when a previously memoized plan for an identical
+    /// configuration re-passes certificate verification, otherwise by
+    /// invoking the generator cold (and memoizing the result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failure ([`XProError`]) on a cold miss;
+    /// never fails on the cache path itself (verification failure
+    /// silently degrades to a cold miss).
+    pub fn plan_for(
+        &mut self,
+        instance: &XProInstance,
+        t_limit_s: f64,
+    ) -> Result<(Partition, Option<CutCertificate>), XProError> {
+        let key = Self::key(instance, t_limit_s);
+        let shard = self.shard_of(&key);
+        if let Some(cached) = self.shards[shard].get(&key) {
+            if verify_plan(
+                instance,
+                &cached.partition,
+                cached.certificate.as_ref(),
+                t_limit_s,
+            )
+            .is_ok()
+            {
+                self.stats.hits += 1;
+                return Ok((cached.partition.clone(), cached.certificate.clone()));
+            }
+            // Certificate no longer checks out against the presented
+            // instance: evict and regenerate.
+            self.stats.rejected += 1;
+            self.shards[shard].remove(&key);
+        }
+        self.stats.misses += 1;
+        let (partition, certificate) =
+            XProGenerator::new(instance).delay_constrained_cut_certified(t_limit_s)?;
+        self.shards[shard].insert(
+            key,
+            CachedPlan {
+                partition: partition.clone(),
+                certificate: certificate.clone(),
+            },
+        );
+        Ok((partition, certificate))
+    }
+
+    /// Re-plans `instance` under a different radio (the adaptive
+    /// controller's derated-channel path), reusing memoized plans per
+    /// distinct effective configuration. The cached-or-cold plan is
+    /// certificate-verified either way; the repriced instance is
+    /// returned alongside it so callers audit against the same pricing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconfiguration or generator failure.
+    pub fn replan(
+        &mut self,
+        instance: &XProInstance,
+        radio: xpro_wireless::TransceiverModel,
+        t_limit_s: f64,
+    ) -> Result<(XProInstance, Partition, Option<CutCertificate>), XProError> {
+        let mut config = instance.config().clone();
+        config.radio = radio;
+        let repriced = instance.reconfigured(config)?;
+        let (partition, certificate) = self.plan_for(&repriced, t_limit_s)?;
+        Ok((repriced, partition, certificate))
+    }
+
+    /// Hit/miss/rejection counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Number of memoized configurations across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Whether nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(BTreeMap::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::pipeline::{PipelineConfig, XProPipeline};
+    use xpro_data::{generate_case, CaseId};
+
+    fn instance() -> XProInstance {
+        let data = generate_case(CaseId::C1, 42);
+        let pipeline = XProPipeline::train(&data, &PipelineConfig::default()).unwrap();
+        let segment_len = pipeline.segment_len();
+        XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len).unwrap()
+    }
+
+    #[test]
+    fn hit_matches_cold_generation_exactly() {
+        let inst = instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let (cold, cold_cert) = XProGenerator::new(&inst)
+            .delay_constrained_cut_certified(limit)
+            .unwrap();
+
+        let mut cache = PlanCache::new(4);
+        let (first, _) = cache.plan_for(&inst, limit).unwrap();
+        let (second, second_cert) = cache.plan_for(&inst, limit).unwrap();
+        assert_eq!(first, cold);
+        assert_eq!(second, cold);
+        assert_eq!(cold_cert.is_some(), second_cert.is_some());
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                rejected: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_deadlines_are_distinct_entries() {
+        let inst = instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let mut cache = PlanCache::new(4);
+        cache.plan_for(&inst, limit).unwrap();
+        cache.plan_for(&inst, limit * 2.0).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn reconfigured_instance_misses_then_hits() {
+        let inst = instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let mut cache = PlanCache::new(4);
+        cache.plan_for(&inst, limit).unwrap();
+
+        // A derated radio stretches airtime, so give the re-plan a
+        // proportionally relaxed deadline (the controller keeps the
+        // baseline limit but sees a 2x-priced channel; here the point
+        // is key separation and the miss-then-hit sequence).
+        let relaxed = limit * 4.0;
+        let derated = inst.config().radio.derated(2.0);
+        let (repriced, p1, _) = cache.replan(&inst, derated.clone(), relaxed).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        let (_, p2, _) = cache.replan(&inst, derated, relaxed).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(cache.stats().hits, 1);
+        assert!(PlanCache::key(&inst, relaxed) != PlanCache::key(&repriced, relaxed));
+    }
+
+    #[test]
+    fn corrupted_entry_is_rejected_and_regenerated() {
+        let inst = instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let mut cache = PlanCache::new(1);
+        let (good, _) = cache.plan_for(&inst, limit).unwrap();
+
+        // Tamper: swap the cached partition out from under its
+        // certificate. The hit-side `verify_plan` must catch the
+        // mismatch, evict, and regenerate the original plan. (Only
+        // meaningful when the winning cut carried a certificate.)
+        let key = PlanCache::key(&inst, limit);
+        if cache.shards[0].get(&key).unwrap().certificate.is_none() {
+            return;
+        }
+        let tampered =
+            XProGenerator::new(&inst).partition_for(if good.sensor_count() == inst.num_cells() {
+                crate::generator::Engine::InAggregator
+            } else {
+                crate::generator::Engine::InSensor
+            });
+        if let Ok(bad) = tampered {
+            if bad != good {
+                cache.shards[0].get_mut(&key).unwrap().partition = bad;
+                let (replanned, _) = cache.plan_for(&inst, limit).unwrap();
+                assert_eq!(replanned, good);
+                assert_eq!(cache.stats().rejected, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let cache = PlanCache::new(0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.shards.len(), 1);
+    }
+}

@@ -11,7 +11,7 @@ use xpro_core::config::SystemConfig;
 use xpro_core::instance::XProInstance;
 use xpro_core::layout::Domain;
 use xpro_core::partition::{evaluate, Partition};
-use xpro_core::XProGenerator;
+use xpro_core::{check_cut_certificate, PlanCache, XProGenerator};
 use xpro_hw::ModuleKind;
 use xpro_signal::stats::FeatureKind;
 
@@ -162,5 +162,40 @@ proptest! {
             .map(|c| inst.sensor_cost(c).energy_pj)
             .sum();
         prop_assert!((e.sensor.compute_pj - compute_expected).abs() < 1e-9);
+    }
+
+    /// The certificate-guarded plan cache is transparent: a cache hit
+    /// returns a plan byte-identical to the cold generator's, every hit
+    /// re-passes first-principles certificate verification, and the
+    /// hit/miss counters account for exactly the requests made.
+    #[test]
+    fn plan_cache_hits_are_byte_identical_to_cold_plans(
+        nf in 2usize..6, ns in 1usize..4, seed in 0u64..40, shards in 1usize..5
+    ) {
+        let inst = random_instance(nf, ns, seed, 100);
+        let limit = evaluate(&inst, &Partition::all_aggregator(inst.num_cells()))
+            .delay
+            .total_s()
+            * 2.0;
+        let (cold_p, cold_cert) = XProGenerator::new(&inst)
+            .delay_constrained_cut_certified(limit)
+            .unwrap();
+        let mut cache = PlanCache::new(shards);
+        let (miss_p, miss_cert) = cache.plan_for(&inst, limit).unwrap();
+        let (hit_p, hit_cert) = cache.plan_for(&inst, limit).unwrap();
+        prop_assert_eq!(&miss_p, &cold_p, "cold miss diverged from the generator");
+        prop_assert_eq!(&hit_p, &cold_p, "cache hit diverged from the cold plan");
+        prop_assert_eq!(format!("{:?}", miss_cert), format!("{:?}", cold_cert));
+        prop_assert_eq!(format!("{:?}", hit_cert), format!("{:?}", cold_cert));
+        if let Some(cert) = &hit_cert {
+            prop_assert!(check_cut_certificate(&inst, &hit_p, cert).is_ok());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, 1);
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.rejected, 0);
+        // A different deadline is a different configuration: cold again.
+        let (_, _) = cache.plan_for(&inst, limit * 2.0).unwrap();
+        prop_assert_eq!(cache.stats().misses, 2);
     }
 }

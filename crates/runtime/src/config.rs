@@ -1,5 +1,6 @@
 //! Fleet/runtime configuration with a validating fluent builder.
 
+use crate::tenant::{validate_tenants, TenantSpec};
 use xpro_core::XProError;
 
 /// Configuration of one streaming executor run.
@@ -95,6 +96,12 @@ pub struct RuntimeConfig {
     pub hysteresis: f64,
     /// Minimum time between partition switches (anti-flap dwell).
     pub min_dwell_s: f64,
+
+    // --- Multi-tenant admission (enabled when non-empty) ---
+    /// Tenant table partitioning the fleet's nodes, in declaration
+    /// order; node counts must sum to `nodes`. Empty = single-tenant
+    /// legacy behaviour (no admission layer, byte-identical reports).
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for RuntimeConfig {
@@ -124,6 +131,7 @@ impl Default for RuntimeConfig {
             adaptive_window: 64,
             hysteresis: 1.5,
             min_dwell_s: 0.5,
+            tenants: Vec::new(),
         }
     }
 }
@@ -275,7 +283,13 @@ impl RuntimeConfig {
                 )));
             }
         }
+        validate_tenants(&c.tenants, c.nodes)?;
         Ok(())
+    }
+
+    /// Whether the multi-tenant admission layer is active.
+    pub fn tenancy_enabled(&self) -> bool {
+        !self.tenants.is_empty()
     }
 }
 
@@ -437,6 +451,13 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Tenant table partitioning the fleet's nodes (empty disables the
+    /// admission layer).
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.cfg.tenants = tenants;
+        self
+    }
+
     /// Validates the accumulated configuration
     /// (see [`RuntimeConfig::validate`] for the invariants).
     ///
@@ -553,6 +574,7 @@ mod tests {
             .adaptive_window(48)
             .hysteresis(2.0)
             .min_dwell_s(0.25)
+            .tenants(vec![TenantSpec::new("t0", 2)])
             .build()
             .unwrap();
         assert_eq!(cfg.nodes, 2);
@@ -579,6 +601,9 @@ mod tests {
         assert_eq!(cfg.adaptive_window, 48);
         assert_eq!(cfg.hysteresis, 2.0);
         assert_eq!(cfg.min_dwell_s, 0.25);
+        assert_eq!(cfg.tenants.len(), 1);
+        assert_eq!(cfg.tenants[0].name, "t0");
+        assert!(cfg.tenancy_enabled());
         assert!(cfg.burst_enabled() && cfg.lifecycle_enabled() && cfg.outage_enabled());
     }
 }

@@ -9,10 +9,13 @@
 //!    [`EffectiveEnergyEstimator`] (attempts per planned frame);
 //! 2. when the estimated inflation factor leaves the hysteresis band
 //!    around the factor the current plan was chosen under — and a minimum
-//!    dwell has passed — the controller re-enters the generator
-//!    ([`xpro_core::replan_certified`]) with the radio derated by the
-//!    observed factor, against the *baseline* delay limit of the pristine
-//!    instance;
+//!    dwell has passed — the controller re-enters the generator through
+//!    the certificate-guarded plan cache ([`xpro_core::PlanCache`]) with
+//!    the radio derated by the observed factor, against the *baseline*
+//!    delay limit of the pristine instance; repeated decisions at the
+//!    same effective configuration reuse the memoized cut (after it
+//!    re-passes certificate verification) instead of re-running the
+//!    λ-sweep;
 //! 3. before committing, every feasible re-plan is re-verified at the
 //!    commit point through [`xpro_core::verify_plan`]: the max-flow/min-cut
 //!    witness attached by the generator is checked edge by edge and the
@@ -41,7 +44,7 @@ use xpro_core::generator::XProGenerator;
 use xpro_core::instance::XProInstance;
 use xpro_core::layout::BITS_PER_SAMPLE;
 use xpro_core::partition::Partition;
-use xpro_core::{replan_certified, verify_plan};
+use xpro_core::{verify_plan, PlanCache, PlanCacheStats};
 use xpro_wireless::{EffectiveEnergyEstimator, Frame, TransferSample};
 
 /// Degradation tier the fleet is operating in.
@@ -109,7 +112,7 @@ pub struct TierTimes {
 }
 
 impl TierTimes {
-    fn add(&mut self, tier: Tier, dt_s: f64) {
+    pub(crate) fn add(&mut self, tier: Tier, dt_s: f64) {
         let dt = dt_s.max(0.0);
         match tier {
             Tier::Normal => self.normal_s += dt,
@@ -149,6 +152,11 @@ pub(crate) struct Controller {
     switches: Vec<PartitionSwitch>,
     /// In [`Tier::Shed`], one segment in `shed_keep_every` is attempted.
     shed_keep_every: u64,
+    /// Certificate-guarded memoization of the generator: repeated
+    /// decisions at the same effective configuration (instance × derated
+    /// radio × baseline limit) reuse the memoized cut after it re-passes
+    /// certificate verification, instead of re-running the λ-sweep.
+    cache: PlanCache,
 }
 
 impl Controller {
@@ -185,6 +193,7 @@ impl Controller {
             audit: PlanAudit::default(),
             switches: Vec::new(),
             shed_keep_every: 2,
+            cache: PlanCache::new(8),
         }
     }
 
@@ -246,7 +255,7 @@ impl Controller {
         // checks out against an independently rebuilt network and the delay
         // bound re-derives under the limit; a plan that fails the gate is
         // treated exactly like an infeasible one.
-        let certified_cut = match replan_certified(instance, radio, self.baseline_limit_s) {
+        let certified_cut = match self.cache.replan(instance, radio, self.baseline_limit_s) {
             Ok((repriced, cut, cert)) => {
                 match verify_plan(&repriced, &cut, cert.as_ref(), self.baseline_limit_s) {
                     Ok(()) => {
@@ -292,10 +301,13 @@ impl Controller {
     }
 
     /// Closes the books at the end of the run.
-    pub fn finish(mut self, duration_s: f64) -> (Vec<PartitionSwitch>, TierTimes, PlanAudit) {
+    pub fn finish(
+        mut self,
+        duration_s: f64,
+    ) -> (Vec<PartitionSwitch>, TierTimes, PlanAudit, PlanCacheStats) {
         let dt = duration_s - self.tier_entered_s;
         self.times.add(self.tier, dt);
-        (self.switches, self.times, self.audit)
+        (self.switches, self.times, self.audit, self.cache.stats())
     }
 }
 
@@ -367,7 +379,8 @@ mod tests {
             ctl.observe(1);
         }
         assert!(ctl.maybe_replan(10.0, &inst).is_none());
-        let (switches, times, audit) = ctl.finish(20.0);
+        let (switches, times, audit, cache) = ctl.finish(20.0);
+        assert_eq!(cache, PlanCacheStats::default(), "no decisions, no lookups");
         assert!(switches.is_empty());
         assert_eq!(times.normal_s, 20.0);
         assert_eq!(times.classify_only_s + times.shed_s, 0.0);
@@ -395,7 +408,12 @@ mod tests {
         let restored = ctl.maybe_replan(2.0, &inst).expect("must recover");
         assert_eq!(ctl.tier(), Tier::Normal);
         assert_eq!(restored, initial, "recovery returns the static cut");
-        let (switches, times, audit) = ctl.finish(3.0);
+        let (switches, times, audit, cache) = ctl.finish(3.0);
+        assert_eq!(
+            cache.hits + cache.misses,
+            2,
+            "every decision consults the plan cache exactly once"
+        );
         assert!(
             audit.certified >= 1,
             "the recovery re-plan must pass the certificate gate: {audit:?}"

@@ -56,14 +56,16 @@ use crate::controller::{Controller, PartitionSwitch, PlanAudit, TierTimes};
 use crate::lifecycle::OutageSchedule;
 use crate::link::LossyLink;
 use crate::metrics::MetricsRegistry;
-use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
+use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport, TenantReport};
 use crate::shard::{burst_profile, AggJobRec, Obs, ShardSim};
+use crate::tenant::{Admission, Tenancy};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use xpro_core::generator::XProGenerator;
 use xpro_core::instance::XProInstance;
 use xpro_core::partition::Partition;
 use xpro_core::profile::{segment_profile, SegmentProfile};
-use xpro_core::XProError;
+use xpro_core::{PlanCacheStats, XProError};
 
 /// The per-segment execution plan under one partition: the shared
 /// [`segment_profile`] walk, the streaming equivalent of one `evaluate`
@@ -284,8 +286,10 @@ struct AggPhase {
     batches: u64,
     batch_len: u64,
     max_batch: u64,
-    /// Finish times of queued/in-service jobs: the bounded inbox.
-    inbox: VecDeque<f64>,
+    /// Finish times of queued/in-service jobs plus the owning tenant
+    /// index (0 without a tenant table): the bounded inbox. The tenant
+    /// tag lets the drain release weighted-fair slots.
+    inbox: VecDeque<(f64, u16)>,
     /// Worst merged-inbox occupancy observed (queued + in service), the
     /// dynamic counterpart of the static queue bound in
     /// `xpro_analyze::timing`.
@@ -302,6 +306,10 @@ struct AggPhase {
     pending: Vec<AggJobRec>,
     completed: Vec<u64>,
     overflowed: Vec<u64>,
+    /// Per-node jobs rejected by the owning tenant's rate quota.
+    admission_rejected: Vec<u64>,
+    /// Per-node jobs dropped while the owning tenant was quarantined.
+    quarantined: Vec<u64>,
     latencies: Vec<Vec<f64>>,
 }
 
@@ -319,6 +327,8 @@ impl AggPhase {
             pending: Vec::new(),
             completed: vec![0; nodes],
             overflowed: vec![0; nodes],
+            admission_rejected: vec![0; nodes],
+            quarantined: vec![0; nodes],
             latencies: vec![Vec::new(); nodes],
         }
     }
@@ -373,6 +383,7 @@ impl AggPhase {
         plans: &[Arc<SegmentPlan>],
         cfg: &RuntimeConfig,
         outage: &OutageSchedule,
+        tenancy: &mut Option<Tenancy>,
         metrics: &mut MetricsRegistry,
     ) {
         debug_assert!(self.pending.windows(2).all(|w| w[0] < w[1]));
@@ -380,16 +391,52 @@ impl AggPhase {
         for i in 0..ready {
             let job = self.pending[i];
             let now = job.ready_s;
-            // Bounded inbox: drain finished jobs, then reject the arrival
-            // if the queue is still at capacity.
-            while self.inbox.front().is_some_and(|&f| f <= now) {
+            // Bounded inbox: drain finished jobs (releasing their
+            // tenants' weighted-fair slots), then gate the arrival.
+            while let Some(&(finish, owner)) = self.inbox.front() {
+                if finish > now {
+                    break;
+                }
                 self.inbox.pop_front();
+                if let Some(tn) = tenancy.as_mut() {
+                    tn.inbox_release(owner);
+                }
             }
-            if self.inbox.len() >= cfg.agg_inbox {
-                self.overflowed[job.node as usize] += 1;
-                metrics.inc("inbox_overflows", 1);
-                continue;
-            }
+            // Admission: quarantine, then rate quota, then inbox
+            // capacity — the cheapest rejection wins, and a rejected job
+            // never occupies inbox space or CPU time.
+            let ti = match tenancy.as_mut() {
+                Some(tn) => {
+                    let ti = tn.tenant_of(job.node);
+                    match tn.admit(ti, now) {
+                        Admission::Quarantined => {
+                            self.quarantined[job.node as usize] += 1;
+                            metrics.inc("quarantine_dropped", 1);
+                            continue;
+                        }
+                        Admission::QuotaRejected => {
+                            self.admission_rejected[job.node as usize] += 1;
+                            metrics.inc("admission_rejected", 1);
+                            continue;
+                        }
+                        Admission::Admit => {}
+                    }
+                    if !tn.inbox_admit(ti) {
+                        self.overflowed[job.node as usize] += 1;
+                        metrics.inc("inbox_overflows", 1);
+                        continue;
+                    }
+                    ti
+                }
+                None => {
+                    if self.inbox.len() >= cfg.agg_inbox {
+                        self.overflowed[job.node as usize] += 1;
+                        metrics.inc("inbox_overflows", 1);
+                        continue;
+                    }
+                    0
+                }
+            };
             let plan = &plans[job.epoch as usize];
             let idle = now >= self.cpu_free_s;
             let wake = if idle {
@@ -412,7 +459,7 @@ impl AggPhase {
             let done = start + wake + plan.back_s;
             self.cpu_busy_s += done - start;
             self.cpu_free_s = done;
-            self.inbox.push_back(done);
+            self.inbox.push_back((done, ti));
             self.peak_inbox = self.peak_inbox.max(self.inbox.len());
             self.compute_pj += plan.agg_compute_pj;
             self.completed[job.node as usize] += 1;
@@ -493,6 +540,28 @@ impl FleetExecutor<'_> {
             first += count;
         }
 
+        // Multi-tenant admission: the fallback (classify-only) plan is
+        // pinned at epoch 1 on every shard *before* any controller plan,
+        // so epoch indices agree across shards and degraded tenants'
+        // arrivals run under it.
+        let mut tenancy = cfg
+            .tenancy_enabled()
+            .then(|| Tenancy::new(&cfg.tenants, cfg.agg_inbox));
+        if tenancy.is_some() {
+            let generator = XProGenerator::new(instance);
+            let all_sensor = Partition::all_sensor(instance.num_cells());
+            let fallback = if generator.numerically_valid(&all_sensor) {
+                all_sensor
+            } else {
+                generator.trivial_cut()
+            };
+            let fb_plan: Arc<SegmentPlan> = Arc::new(segment_profile(instance, &fallback));
+            plans.push(Arc::clone(&fb_plan));
+            for sh in &mut shards {
+                sh.install_fallback(Arc::clone(&fb_plan));
+            }
+        }
+
         let mut controller = cfg
             .adaptive
             .then(|| Controller::new(instance, self.spec.partition, cfg));
@@ -500,13 +569,14 @@ impl FleetExecutor<'_> {
         let outage = OutageSchedule::new(cfg.agg_outage_period_s, cfg.agg_outage_s);
         let mut agg = AggPhase::new(cfg.nodes);
 
-        // Adaptive runs barrier once per segment period (the controller
-        // acts at segment boundaries); non-adaptive runs drain in a single
-        // round — the aggregator never feeds back into the nodes.
+        // Adaptive and multi-tenant runs barrier once per segment period
+        // (the controller and the tenancy state machines act at segment
+        // boundaries); plain runs drain in a single round — the
+        // aggregator never feeds back into the nodes.
         let mut k = 1u64;
         loop {
             let t_k = period_s * k as f64;
-            let barrier = controller.is_some() && t_k < cfg.duration_s;
+            let barrier = (controller.is_some() || tenancy.is_some()) && t_k < cfg.duration_s;
             let target = if barrier { t_k } else { f64::INFINITY };
             run_round(&mut shards, target);
 
@@ -528,7 +598,7 @@ impl FleetExecutor<'_> {
                 }
             }
             agg.merge_runs(&mut shards);
-            agg.process_ready(target, &plans, cfg, &outage, &mut metrics);
+            agg.process_ready(target, &plans, cfg, &outage, &mut tenancy, &mut metrics);
 
             if !barrier {
                 break;
@@ -547,6 +617,22 @@ impl FleetExecutor<'_> {
                     sh.set_shed_every(shed);
                 }
             }
+            if let Some(tn) = tenancy.as_mut() {
+                // Tier/breaker state advances at the barrier in global
+                // tenant order; a policy change re-broadcasts every
+                // node's (degraded, shed) pair to its shard.
+                if tn.barrier_round(t_k) {
+                    metrics.inc("tenant_policy_changes", 1);
+                    for sh in &mut shards {
+                        for local in 0..sh.cores.len() {
+                            let node = sh.first_node + local as u32;
+                            let ti = tn.tenant_of(node);
+                            let (degraded, shed) = tn.node_policy(ti);
+                            sh.set_node_policy(node, degraded, shed);
+                        }
+                    }
+                }
+            }
             k += 1;
         }
         agg.max_batch = agg.max_batch.max(agg.batch_len);
@@ -554,7 +640,10 @@ impl FleetExecutor<'_> {
             metrics.observe("batch_size", agg.batch_len as f64);
         }
 
-        let (switches, tier_times, plan_audit) = match controller {
+        if let Some(tn) = tenancy.as_mut() {
+            tn.finish(cfg.duration_s);
+        }
+        let (switches, tier_times, plan_audit, plan_cache) = match controller {
             Some(ctl) => ctl.finish(cfg.duration_s),
             None => (
                 Vec::new(),
@@ -563,6 +652,7 @@ impl FleetExecutor<'_> {
                     ..Default::default()
                 },
                 PlanAudit::default(),
+                PlanCacheStats::default(),
             ),
         };
         if plan_audit.certified > 0 {
@@ -571,9 +661,18 @@ impl FleetExecutor<'_> {
         if plan_audit.rejected > 0 {
             metrics.inc("plans_rejected", plan_audit.rejected);
         }
+        if plan_cache.hits > 0 {
+            metrics.inc("plan_cache_hits", plan_cache.hits);
+        }
+        if plan_cache.misses > 0 {
+            metrics.inc("plan_cache_misses", plan_cache.misses);
+        }
+        if plan_cache.rejected > 0 {
+            metrics.inc("plan_cache_rejected", plan_cache.rejected);
+        }
 
         let report = self.digest(
-            &shards, &outage, metrics, agg, switches, tier_times, plan_audit,
+            &shards, &outage, metrics, agg, tenancy, switches, tier_times, plan_audit, plan_cache,
         );
         RunHandle {
             audit: report.plan_audit,
@@ -590,13 +689,32 @@ impl FleetExecutor<'_> {
         outage: &OutageSchedule,
         mut metrics: MetricsRegistry,
         mut agg: AggPhase,
+        tenancy: Option<Tenancy>,
         switches: Vec<PartitionSwitch>,
         tier_times: TierTimes,
         plan_audit: PlanAudit,
+        plan_cache: PlanCacheStats,
     ) -> RunReport {
         let cfg = &self.spec.config;
         let sys = self.spec.instance.config();
         let duration = cfg.duration_s;
+
+        // Per-tenant latency samples must be gathered (in node order)
+        // before the node loop consumes the per-node sample vectors.
+        let mut tenant_latencies: Vec<Vec<f64>> = tenancy.as_ref().map_or_else(Vec::new, |tn| {
+            tn.specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let first = tn.first_node[i] as usize;
+                    let mut samples = Vec::new();
+                    for node in first..first + spec.nodes {
+                        samples.extend_from_slice(&agg.latencies[node]);
+                    }
+                    samples
+                })
+                .collect()
+        });
 
         // Cross-node folds run in global node order (shards are contiguous
         // ranges in order), so every f64 sum is shard-count-independent.
@@ -640,6 +758,8 @@ impl FleetExecutor<'_> {
                     segments_lost_to_crash: core.lost_to_crash,
                     segments_shed: core.shed,
                     segments_overflowed: agg.overflowed[node],
+                    segments_admission_rejected: agg.admission_rejected[node],
+                    segments_quarantined: agg.quarantined[node],
                     crashes: sh.lives[local].crashes(),
                     battery_depleted: core.depleted,
                     frame_attempts: core.frame_attempts,
@@ -674,6 +794,56 @@ impl FleetExecutor<'_> {
             }
         }
 
+        // Per-tenant digests: node-order folds over the tenant's range
+        // plus the admission layer's own counters and tier history.
+        let mut tenants: Vec<TenantReport> = Vec::new();
+        if let Some(tn) = &tenancy {
+            for (i, (spec, st)) in tn.specs.iter().zip(&tn.states).enumerate() {
+                let first = tn.first_node[i] as usize;
+                let range = &node_reports[first..first + spec.nodes];
+                let t_offered: u64 = range.iter().map(|n| n.segments_offered).sum();
+                let t_completed: u64 = range.iter().map(|n| n.segments_completed).sum();
+                let latency = LatencyStats::from_samples(std::mem::take(&mut tenant_latencies[i]));
+                for (name, value) in [
+                    ("admitted", st.admitted),
+                    ("admission_rejected", st.admission_rejected),
+                    ("inbox_overflow", st.inbox_overflow),
+                    ("quarantine_dropped", st.quarantine_dropped),
+                    ("quarantines", st.quarantines),
+                ] {
+                    if value > 0 {
+                        metrics.inc(&format!("tenant.{}.{name}", spec.name), value);
+                    }
+                }
+                metrics.set_gauge(&format!("tenant.{}.p99_s", spec.name), latency.p99_s);
+                metrics.set_gauge(
+                    &format!("tenant.{}.peak_inbox", spec.name),
+                    st.peak_occupancy as f64,
+                );
+                tenants.push(TenantReport {
+                    name: spec.name.clone(),
+                    first_node: first,
+                    nodes: spec.nodes,
+                    segments_offered: t_offered,
+                    admitted: st.admitted,
+                    completed: t_completed,
+                    admission_rejected: st.admission_rejected,
+                    inbox_overflow: st.inbox_overflow,
+                    quarantine_dropped: st.quarantine_dropped,
+                    quarantines: st.quarantines,
+                    reserved_inbox: st.reserved as u64,
+                    peak_inbox: st.peak_occupancy as u64,
+                    delivery_rate: if t_offered > 0 {
+                        t_completed as f64 / t_offered as f64
+                    } else {
+                        0.0
+                    },
+                    latency,
+                    tier_times: st.tier_times,
+                });
+            }
+        }
+
         let channel_utilization = channel_busy_s / duration;
         // Channel weather is a pure function of (profile, seed): replay
         // the chain over the run window instead of asking any one link.
@@ -689,6 +859,11 @@ impl FleetExecutor<'_> {
         let energy_pj = agg_rx_pj + agg.compute_pj;
         let agg_power_w = energy_pj * 1e-12 / duration;
         let inbox_overflows = node_reports.iter().map(|n| n.segments_overflowed).sum();
+        let admission_rejected = node_reports
+            .iter()
+            .map(|n| n.segments_admission_rejected)
+            .sum();
+        let quarantine_dropped = node_reports.iter().map(|n| n.segments_quarantined).sum();
         let aggregator = AggregatorReport {
             batches: agg.batches,
             max_batch: agg.max_batch,
@@ -699,11 +874,14 @@ impl FleetExecutor<'_> {
             battery_hours: sys.aggregator_battery.runtime_hours(agg_power_w),
             outage_s: outage.total_outage_s(duration),
             inbox_overflows,
+            admission_rejected,
+            quarantine_dropped,
         };
 
         RunReport {
             duration_s: duration,
             nodes: node_reports,
+            tenants,
             aggregator,
             channel_busy_s,
             channel_utilization,
@@ -711,50 +889,9 @@ impl FleetExecutor<'_> {
             partition_switches: switches,
             tier_times,
             plan_audit,
+            plan_cache,
             metrics,
         }
-    }
-}
-
-/// A configured streaming run over one instance and partition.
-///
-/// One-release compatibility facade over [`FleetSpec`] +
-/// [`ExecutorBuilder`]: `run()` delegates to the sharded engine with
-/// [`ShardCount::Auto`] and returns only the report half of the
-/// [`RunHandle`].
-#[deprecated(note = "use FleetSpec::new(..) with ExecutorBuilder; this facade lasts one release")]
-#[derive(Clone, Debug)]
-pub struct Executor<'a> {
-    spec: FleetSpec<'a>,
-}
-
-#[allow(deprecated)]
-impl<'a> Executor<'a> {
-    /// Binds an instance, a partition and a runtime configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`XProError::Config`] when the partition size does not match
-    /// the instance's cell count (or the configuration fails validation).
-    pub fn new(
-        instance: &'a XProInstance,
-        partition: &'a Partition,
-        config: RuntimeConfig,
-    ) -> Result<Self, XProError> {
-        Ok(Executor {
-            spec: FleetSpec::new(instance, partition, config)?,
-        })
-    }
-
-    /// Runs the fleet to completion and digests the result.
-    pub fn run(&self) -> RunReport {
-        let shards = ShardCount::Auto.resolve(self.spec.config.nodes);
-        FleetExecutor {
-            spec: self.spec.clone(),
-            shards,
-        }
-        .run()
-        .report
     }
 }
 
@@ -763,6 +900,7 @@ mod tests {
     #![allow(clippy::unwrap_used)] // tests fail loudly by design
 
     use super::*;
+    use crate::tenant::TenantSpec;
     use crate::testutil::tiny_instance;
     use xpro_core::generator::{Engine, XProGenerator};
     use xpro_core::partition::evaluate;
@@ -800,7 +938,9 @@ mod tests {
                     + n.segments_timed_out
                     + n.segments_lost_to_crash
                     + n.segments_shed
-                    + n.segments_overflowed,
+                    + n.segments_overflowed
+                    + n.segments_admission_rejected
+                    + n.segments_quarantined,
                 "node {} leaks segments",
                 n.node
             );
@@ -988,8 +1128,7 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_facade_matches_the_builder_engine() {
-        #![allow(deprecated)]
+    fn auto_shards_match_any_fixed_count() {
         let inst = tiny_instance(5);
         let p = cross_end(&inst);
         let cfg = RuntimeConfig::builder()
@@ -999,8 +1138,79 @@ mod tests {
             .seed(8)
             .build()
             .unwrap();
-        let facade = Executor::new(&inst, &p, cfg.clone()).unwrap().run();
-        assert_eq!(facade, run(&inst, &p, cfg));
+        let auto = run(&inst, &p, cfg.clone());
+        for shards in [1, 2, 3] {
+            assert_eq!(auto, run_sharded(&inst, &p, cfg.clone(), shards));
+        }
+    }
+
+    #[test]
+    fn tenancy_off_is_byte_identical_to_the_legacy_engine() {
+        // An empty tenant table must not perturb a single draw or fold:
+        // the run report (JSON included) is the exact legacy output.
+        let inst = tiny_instance(5);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(3)
+            .duration_s(1.0)
+            .drop_rate(0.2)
+            .seed(8)
+            .build()
+            .unwrap();
+        let plain = run(&inst, &p, cfg.clone());
+        let empty_table = RuntimeConfig {
+            tenants: Vec::new(),
+            ..cfg
+        };
+        let tagged = run(&inst, &p, empty_table);
+        assert_eq!(plain, tagged);
+        assert_eq!(plain.to_json(), tagged.to_json());
+        assert!(plain.tenants.is_empty());
+    }
+
+    #[test]
+    fn tenant_quota_rejects_and_isolates_the_neighbor() {
+        let inst = tiny_instance(5);
+        let p = cross_end(&inst);
+        // Tenant "cap" gets a starvation-level quota; "free" is
+        // unlimited. The fleet must keep every "free" segment while
+        // "cap" eats admission rejections.
+        let tenants = vec![
+            TenantSpec::new("cap", 2)
+                .quota_hz(0.5)
+                .quota_burst(1)
+                .degrade(false)
+                .breaker_rounds(0),
+            TenantSpec::new("free", 2),
+        ];
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.0)
+            .seed(8)
+            .tenants(tenants)
+            .build()
+            .unwrap();
+        let report = run(&inst, &p, cfg);
+        assert_accounted(&report);
+        assert_eq!(report.tenants.len(), 2);
+        let cap = &report.tenants[0];
+        let free = &report.tenants[1];
+        assert!(
+            cap.admission_rejected > 0,
+            "a 0.5 Hz quota must reject most jobs"
+        );
+        assert_eq!(free.admission_rejected, 0);
+        assert_eq!(
+            free.completed, free.segments_offered,
+            "the unlimited tenant must be untouched"
+        );
+        assert_eq!(
+            report.aggregator.admission_rejected, cap.admission_rejected,
+            "fleet counter folds the per-tenant ones"
+        );
+        assert!(report.to_json().contains("\"tenants\":[{\"name\":\"cap\""));
+        assert!(report.render().contains("cap"));
     }
 
     #[test]

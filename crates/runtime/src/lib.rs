@@ -45,6 +45,13 @@
 //! deployment and cross-checks a finished [`RunReport`] against the
 //! statically derived WCRT, queue, energy and channel bounds.
 //!
+//! The [`tenant`] module turns the aggregator into a multi-tenant
+//! admission layer: a [`TenantSpec`] table partitions the fleet into
+//! contiguous per-tenant node ranges with weighted-fair inbox shares,
+//! token-bucket rate quotas, overload degradation through the existing
+//! tiers and a quarantining circuit breaker — all advancing at barrier
+//! rounds so reports stay byte-identical for any shard count.
+//!
 //! ```
 //! use xpro_runtime::{ExecutorBuilder, FleetSpec, RuntimeConfig, ShardCount};
 //! # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
@@ -87,6 +94,7 @@ pub mod report;
 pub mod rng;
 pub mod shard;
 pub mod soundness;
+pub mod tenant;
 pub mod trace;
 
 #[cfg(test)]
@@ -94,11 +102,13 @@ mod testutil;
 
 pub use config::{RuntimeConfig, RuntimeConfigBuilder};
 pub use controller::{PartitionSwitch, PlanAudit, Tier, TierTimes};
-#[allow(deprecated)]
-pub use executor::Executor;
 pub use executor::{ExecutorBuilder, FleetExecutor, FleetSpec, RunHandle, ShardCount};
 pub use lifecycle::{NodeLifecycle, OutageSchedule};
 pub use link::{BurstProfile, LossyLink};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport};
-pub use soundness::{check_report, deployment_bounds, timing_model, BoundViolation};
+pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport, TenantReport};
+pub use soundness::{
+    check_report, check_tenant_report, deployment_bounds, envelope_timing_model, tenant_bounds,
+    tenant_models, timing_model, BoundViolation,
+};
+pub use tenant::TenantSpec;

@@ -5,6 +5,7 @@
 use crate::controller::{PartitionSwitch, PlanAudit, TierTimes};
 use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
+use xpro_core::PlanCacheStats;
 
 /// Latency percentiles over the completed segments of one node, computed
 /// exactly from the recorded samples.
@@ -73,6 +74,12 @@ pub struct NodeReport {
     pub segments_shed: u64,
     /// Segments rejected by the aggregator's bounded inbox.
     pub segments_overflowed: u64,
+    /// Segments rejected by the tenant's rate quota at admission (0
+    /// without a tenant table).
+    pub segments_admission_rejected: u64,
+    /// Segments dropped while the tenant was quarantined by its circuit
+    /// breaker (0 without a tenant table).
+    pub segments_quarantined: u64,
     /// Crashes scheduled for this node during the run.
     pub crashes: u64,
     /// Whether the node exhausted its energy budget and shut down.
@@ -111,6 +118,8 @@ impl NodeReport {
             + self.segments_lost_to_crash
             + self.segments_shed
             + self.segments_overflowed
+            + self.segments_admission_rejected
+            + self.segments_quarantined
     }
 }
 
@@ -138,6 +147,49 @@ pub struct AggregatorReport {
     pub outage_s: f64,
     /// Segments rejected by the bounded inbox (fleet-wide).
     pub inbox_overflows: u64,
+    /// Segments rejected by tenant rate quotas (fleet-wide; 0 without a
+    /// tenant table).
+    pub admission_rejected: u64,
+    /// Segments dropped at the door of quarantined tenants (fleet-wide;
+    /// 0 without a tenant table).
+    pub quarantine_dropped: u64,
+}
+
+/// One tenant's view of the run: its nodes' traffic folded in node
+/// order, its admission counters, and its tier/breaker history. Present
+/// only when the configuration carries a tenant table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name from its [`crate::TenantSpec`].
+    pub name: String,
+    /// First global node index of the tenant's contiguous range.
+    pub first_node: usize,
+    /// Number of nodes the tenant owns.
+    pub nodes: usize,
+    /// Segments its nodes offered (arrivals seen).
+    pub segments_offered: u64,
+    /// Jobs admitted past quota and inbox checks.
+    pub admitted: u64,
+    /// Segments completed at the aggregator.
+    pub completed: u64,
+    /// Jobs rejected by the rate quota.
+    pub admission_rejected: u64,
+    /// Jobs rejected by inbox capacity (reserved + shared exhausted).
+    pub inbox_overflow: u64,
+    /// Jobs dropped while quarantined.
+    pub quarantine_dropped: u64,
+    /// Times the circuit breaker tripped.
+    pub quarantines: u64,
+    /// Reserved inbox slots under the weighted-fair split.
+    pub reserved_inbox: u64,
+    /// Worst per-tenant inbox occupancy observed.
+    pub peak_inbox: u64,
+    /// Completed over offered (0 when nothing was offered).
+    pub delivery_rate: f64,
+    /// End-to-end latency over the tenant's completed segments.
+    pub latency: LatencyStats,
+    /// Time the tenant spent per degradation tier.
+    pub tier_times: TierTimes,
 }
 
 /// Results of one [`crate::FleetExecutor::run`]. Deliberately ignorant of
@@ -149,6 +201,9 @@ pub struct RunReport {
     pub duration_s: f64,
     /// Per-node statistics, indexed by node.
     pub nodes: Vec<NodeReport>,
+    /// Per-tenant statistics, in tenant declaration order (empty without
+    /// a tenant table).
+    pub tenants: Vec<TenantReport>,
     /// Aggregator statistics.
     pub aggregator: AggregatorReport,
     /// Time the shared channel carried frames.
@@ -166,6 +221,11 @@ pub struct RunReport {
     /// certificate is re-checked before the cut is committed (all zero
     /// when the controller is off or never left the band).
     pub plan_audit: PlanAudit,
+    /// The controller's memoized plan-cache counters: hits (re-verified
+    /// against the min-cut certificate), misses (fresh λ-sweeps) and
+    /// rejected entries (failed re-verification, evicted and
+    /// regenerated). All zero when the controller is off.
+    pub plan_cache: PlanCacheStats,
     /// Raw counters/gauges/histograms recorded during the run.
     pub metrics: MetricsRegistry,
 }
@@ -250,6 +310,38 @@ impl RunReport {
                 self.aggregator.inbox_overflows,
             );
         }
+        if !self.tenants.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:>12} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>5} {:>9} {:>7}",
+                "tenant",
+                "nodes",
+                "offered",
+                "done",
+                "quota-rej",
+                "overflow",
+                "quarant",
+                "trips",
+                "p99 ms",
+                "deliv %"
+            );
+            for t in &self.tenants {
+                let _ = writeln!(
+                    out,
+                    "{:>12} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>5} {:>9.3} {:>7.1}",
+                    t.name,
+                    t.nodes,
+                    t.segments_offered,
+                    t.completed,
+                    t.admission_rejected,
+                    t.inbox_overflow,
+                    t.quarantine_dropped,
+                    t.quarantines,
+                    t.latency.p99_s * 1e3,
+                    t.delivery_rate * 100.0,
+                );
+            }
+        }
         if !self.partition_switches.is_empty()
             || self.tier_times.classify_only_s > 0.0
             || self.tier_times.shed_s > 0.0
@@ -264,6 +356,16 @@ impl RunReport {
                 self.tier_times.classify_only_s,
                 self.tier_times.shed_s,
             );
+            if self.plan_cache.hits + self.plan_cache.misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "plan cache: {} hits, {} misses, {} rejected ({:.0} % hit rate)",
+                    self.plan_cache.hits,
+                    self.plan_cache.misses,
+                    self.plan_cache.rejected,
+                    self.plan_cache.hit_rate() * 100.0,
+                );
+            }
             for s in &self.partition_switches {
                 let _ = writeln!(
                     out,
@@ -337,6 +439,7 @@ impl RunReport {
                 format!(
                     "{{\"node\":{},\"offered\":{},\"completed\":{},\"dropped\":{},\
                      \"timed_out\":{},\"lost_to_crash\":{},\"shed\":{},\"overflowed\":{},\
+                     \"admission_rejected\":{},\"quarantined\":{},\
                      \"crashes\":{},\"battery_depleted\":{},\
                      \"frame_attempts\":{},\"frame_drops\":{},\"retries\":{},\
                      \"throughput_hz\":{},\"latency\":{},\"compute_pj\":{},\"wireless_pj\":{},\
@@ -349,6 +452,8 @@ impl RunReport {
                     n.segments_lost_to_crash,
                     n.segments_shed,
                     n.segments_overflowed,
+                    n.segments_admission_rejected,
+                    n.segments_quarantined,
                     n.crashes,
                     n.battery_depleted,
                     n.frame_attempts,
@@ -360,6 +465,42 @@ impl RunReport {
                     num(n.wireless_pj),
                     num(n.battery_hours),
                     num(n.battery_drawdown),
+                )
+            })
+            .collect();
+        let tier_times_json = |t: &TierTimes| -> String {
+            format!(
+                "{{\"normal_s\":{},\"classify_only_s\":{},\"shed_s\":{}}}",
+                num(t.normal_s),
+                num(t.classify_only_s),
+                num(t.shed_s)
+            )
+        };
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"name\":{:?},\"first_node\":{},\"nodes\":{},\"offered\":{},\
+                     \"admitted\":{},\"completed\":{},\"admission_rejected\":{},\
+                     \"inbox_overflow\":{},\"quarantine_dropped\":{},\"quarantines\":{},\
+                     \"reserved_inbox\":{},\"peak_inbox\":{},\"delivery_rate\":{},\
+                     \"latency\":{},\"tier_times\":{}}}",
+                    t.name,
+                    t.first_node,
+                    t.nodes,
+                    t.segments_offered,
+                    t.admitted,
+                    t.completed,
+                    t.admission_rejected,
+                    t.inbox_overflow,
+                    t.quarantine_dropped,
+                    t.quarantines,
+                    t.reserved_inbox,
+                    t.peak_inbox,
+                    num(t.delivery_rate),
+                    latency_json(&t.latency),
+                    tier_times_json(&t.tier_times),
                 )
             })
             .collect();
@@ -382,9 +523,12 @@ impl RunReport {
              \"partition_switches\":[{}],\
              \"tier_times\":{{\"normal_s\":{},\"classify_only_s\":{},\"shed_s\":{}}},\
              \"plan_audit\":{{\"certified\":{},\"rejected\":{}}},\
+             \"plan_cache\":{{\"hits\":{},\"misses\":{},\"rejected\":{}}},\
              \"aggregator\":{{\"batches\":{},\"max_batch\":{},\"peak_inbox\":{},\"busy_s\":{},\
              \"utilization\":{},\"energy_pj\":{},\"battery_hours\":{},\
-             \"outage_s\":{},\"inbox_overflows\":{}}},\
+             \"outage_s\":{},\"inbox_overflows\":{},\
+             \"admission_rejected\":{},\"quarantine_dropped\":{}}},\
+             \"tenants\":[{}],\
              \"nodes\":[{}]}}",
             num(self.duration_s),
             self.total_completed(),
@@ -399,6 +543,9 @@ impl RunReport {
             num(self.tier_times.shed_s),
             self.plan_audit.certified,
             self.plan_audit.rejected,
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.rejected,
             self.aggregator.batches,
             self.aggregator.max_batch,
             self.aggregator.peak_inbox,
@@ -408,6 +555,9 @@ impl RunReport {
             num(self.aggregator.battery_hours),
             num(self.aggregator.outage_s),
             self.aggregator.inbox_overflows,
+            self.aggregator.admission_rejected,
+            self.aggregator.quarantine_dropped,
+            tenants.join(","),
             nodes.join(",")
         )
     }

@@ -284,6 +284,12 @@ pub(crate) struct ShardSim {
     plans: Vec<Arc<SegmentProfile>>,
     epoch: u32,
     shed_every: Option<u64>,
+    /// Per-node tenancy override: degraded nodes pin new arrivals to the
+    /// fallback plan (epoch 1) until the tenant recovers.
+    node_degraded: Vec<bool>,
+    /// Per-node tenancy shed modulus, layered over the fleet-wide
+    /// controller modulus (the node-specific one wins when set).
+    node_shed: Vec<Option<u64>>,
     adaptive: bool,
 }
 
@@ -345,8 +351,19 @@ impl ShardSim {
             plans: vec![plan],
             epoch: 0,
             shed_every: None,
+            node_degraded: vec![false; count as usize],
+            node_shed: vec![None; count as usize],
             adaptive: cfg.adaptive,
         }
+    }
+
+    /// Installs the tenancy fallback plan at epoch 1 without making it
+    /// current: degraded nodes pin their arrivals to it. Must be called
+    /// (once, on every shard) before any controller plan is installed so
+    /// epoch indices agree across shards.
+    pub fn install_fallback(&mut self, plan: Arc<SegmentProfile>) {
+        debug_assert_eq!(self.plans.len(), 1, "fallback must be epoch 1");
+        self.plans.push(plan);
     }
 
     /// Appends a new plan epoch (broadcast by the executor at a barrier);
@@ -361,6 +378,15 @@ impl ShardSim {
     /// `k`.
     pub fn set_shed_every(&mut self, shed_every: Option<u64>) {
         self.shed_every = shed_every;
+    }
+
+    /// Sets one node's tenancy policy (broadcast at barriers): `degraded`
+    /// pins the node's new arrivals to the fallback plan, `shed` layers a
+    /// node-specific shed modulus over the fleet-wide one.
+    pub fn set_node_policy(&mut self, node: u32, degraded: bool, shed: Option<u64>) {
+        let local = (node - self.first_node) as usize;
+        self.node_degraded[local] = degraded;
+        self.node_shed[local] = shed;
     }
 
     /// Processes every wheel event strictly before `target_s` (the next
@@ -407,13 +433,17 @@ impl ShardSim {
             self.cores[local].lost_to_crash += 1;
             return;
         }
-        if let Some(keep) = self.shed_every {
+        if let Some(keep) = self.node_shed[local].or(self.shed_every) {
             if !(self.cores[local].offered - 1).is_multiple_of(keep) {
                 self.cores[local].shed += 1;
                 return;
             }
         }
-        let epoch = self.epoch;
+        let epoch = if self.node_degraded[local] {
+            1
+        } else {
+            self.epoch
+        };
         let plan = &self.plans[epoch as usize];
         let (front_s, compute_pj, has_frames) = (
             plan.front_s,

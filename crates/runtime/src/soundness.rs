@@ -20,8 +20,11 @@
 use crate::config::RuntimeConfig;
 use crate::report::RunReport;
 use xpro_analyze::energy::EnergyBounds;
-use xpro_analyze::timing::{RetryRegime, TimingBounds, TimingModel};
-use xpro_analyze::{analyze_energy, analyze_timing};
+use xpro_analyze::timing::{
+    RetryRegime, TenantModel, TenantTimingBounds, TimingBounds, TimingModel,
+};
+use xpro_analyze::{analyze_energy, analyze_tenant_timing, analyze_timing};
+use xpro_core::generator::XProGenerator;
 use xpro_core::instance::XProInstance;
 use xpro_core::partition::Partition;
 use xpro_core::profile::segment_profile;
@@ -92,6 +95,94 @@ pub fn deployment_bounds(
     Ok((timing, energy))
 }
 
+/// Maps the configured tenant table into the analyzer's plain-number
+/// tenant models (same order as `cfg.tenants`). Empty when tenancy is
+/// off.
+pub fn tenant_models(cfg: &RuntimeConfig) -> Vec<TenantModel> {
+    cfg.tenants
+        .iter()
+        .map(|t| TenantModel {
+            name: t.name.clone(),
+            nodes: t.nodes,
+            quota_hz: t.quota_hz,
+            quota_burst: t.quota_burst,
+            degrade: t.degrade,
+        })
+        .collect()
+}
+
+/// Builds the *envelope* timing model of a multi-tenant deployment: a
+/// per-term upper bound over the primary plan and the degradation
+/// fallback plan (all-sensor when numerically valid, else the trivial
+/// cut — the same choice the executor installs at epoch 1). A node may
+/// run either plan depending on its tenant's tier, so every envelope
+/// term must dominate both:
+///
+/// - `front_s`/`back_s`: pointwise max.
+/// - frame vectors: the plan with the larger total airtime, zero-padded
+///   to the larger frame count — both the frame count and the summed
+///   airtime then dominate any mix of the two plans (a zero-airtime pad
+///   frame only adds pessimism to the retry terms).
+///
+/// # Panics
+///
+/// Panics if the partition size differs from the instance's cell count.
+pub fn envelope_timing_model(
+    instance: &XProInstance,
+    partition: &Partition,
+    cfg: &RuntimeConfig,
+) -> TimingModel {
+    let mut model = timing_model(instance, partition, cfg);
+    let generator = XProGenerator::new(instance);
+    let all_sensor = Partition::all_sensor(instance.num_cells());
+    let fallback = if generator.numerically_valid(&all_sensor) {
+        all_sensor
+    } else {
+        generator.trivial_cut()
+    };
+    let fb = segment_profile(instance, &fallback);
+    model.front_s = model.front_s.max(fb.front_s);
+    model.back_s = model.back_s.max(fb.back_s);
+    let fb_air: Vec<f64> = fb.frames.iter().map(|f| f.airtime_s).collect();
+    let fb_pj: Vec<f64> = fb.frames.iter().map(|f| f.sensor_pj).collect();
+    let frames = model.frame_airtimes_s.len().max(fb_air.len());
+    if fb_air.iter().sum::<f64>() > model.frame_airtimes_s.iter().sum::<f64>() {
+        model.frame_airtimes_s = fb_air;
+    }
+    model.frame_airtimes_s.resize(frames, 0.0);
+    if fb_pj.iter().sum::<f64>() > model.frame_sensor_pj.iter().sum::<f64>() {
+        model.frame_sensor_pj = fb_pj;
+    }
+    model.frame_sensor_pj.resize(frames, 0.0);
+    model.sensor_compute_pj = model.sensor_compute_pj.max(fb.sensor_compute_pj);
+    model
+}
+
+/// Derives the fleet envelope plus per-tenant WCRT/queue bounds for one
+/// retry regime. Tenants with degradation enabled (or an unprovable
+/// fleet) come back `unprovable` — the refusal, not a number, is the
+/// sound answer there.
+///
+/// # Errors
+///
+/// Returns [`XProError::Config`] when the tenant table does not cover
+/// the fleet or the extracted model is rejected by the analyzer.
+///
+/// # Panics
+///
+/// Panics if the partition size differs from the instance's cell count.
+pub fn tenant_bounds(
+    instance: &XProInstance,
+    partition: &Partition,
+    cfg: &RuntimeConfig,
+    regime: RetryRegime,
+) -> Result<(TimingBounds, Vec<TenantTimingBounds>), XProError> {
+    let model = envelope_timing_model(instance, partition, cfg);
+    let tenants = tenant_models(cfg);
+    analyze_tenant_timing(&model, &tenants, regime)
+        .map_err(|e| XProError::config(format!("tenant timing model rejected: {e}")))
+}
+
 /// One observed quantity exceeding its static bound — a soundness bug in
 /// either the calculus or the executor, never an expected outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -130,6 +221,26 @@ pub enum BoundViolation {
         /// The static fleet-wide demand bound in seconds.
         bound_s: f64,
     },
+    /// A tenant's worst completed-segment latency exceeded its envelope
+    /// WCRT.
+    TenantLatencyAboveWcrt {
+        /// The offending tenant's name.
+        tenant: String,
+        /// Worst observed latency in seconds.
+        observed_s: f64,
+        /// The static per-tenant WCRT in seconds.
+        bound_s: f64,
+    },
+    /// A tenant occupied more inbox slots at once than its static queue
+    /// bound allows.
+    TenantInboxAboveBound {
+        /// The offending tenant's name.
+        tenant: String,
+        /// Peak observed per-tenant inbox occupancy.
+        observed: u64,
+        /// The static per-tenant occupancy bound.
+        bound: u64,
+    },
 }
 
 impl std::fmt::Display for BoundViolation {
@@ -160,6 +271,22 @@ impl std::fmt::Display for BoundViolation {
             } => write!(
                 f,
                 "channel busy {observed_s:.6} s > demand envelope {bound_s:.6} s"
+            ),
+            BoundViolation::TenantLatencyAboveWcrt {
+                tenant,
+                observed_s,
+                bound_s,
+            } => write!(
+                f,
+                "tenant {tenant}: observed latency {observed_s:.6} s > WCRT {bound_s:.6} s"
+            ),
+            BoundViolation::TenantInboxAboveBound {
+                tenant,
+                observed,
+                bound,
+            } => write!(
+                f,
+                "tenant {tenant}: inbox peak {observed} > static bound {bound}"
             ),
         }
     }
@@ -227,6 +354,42 @@ pub fn check_report(
             observed_s: report.channel_busy_s,
             bound_s: channel_bound_s,
         });
+    }
+    out
+}
+
+/// Checks a finished multi-tenant run against the per-tenant bounds,
+/// returning every observation above its bound. Tenants are matched by
+/// position (the report and the bound table both follow the configured
+/// tenant order); unprovable tenants check nothing — the analyzer
+/// already refused the claim for them.
+pub fn check_tenant_report(
+    report: &RunReport,
+    tenants: &[TenantTimingBounds],
+) -> Vec<BoundViolation> {
+    let mut out = Vec::new();
+    for (tr, tb) in report.tenants.iter().zip(tenants) {
+        if tb.unprovable {
+            continue;
+        }
+        if let Some(wcrt) = tb.wcrt_s {
+            if exceeds(tr.latency.max_s, wcrt) {
+                out.push(BoundViolation::TenantLatencyAboveWcrt {
+                    tenant: tr.name.clone(),
+                    observed_s: tr.latency.max_s,
+                    bound_s: wcrt,
+                });
+            }
+        }
+        if let Some(bound) = tb.queue_bound {
+            if tr.peak_inbox > bound {
+                out.push(BoundViolation::TenantInboxAboveBound {
+                    tenant: tr.name.clone(),
+                    observed: tr.peak_inbox,
+                    bound,
+                });
+            }
+        }
     }
     out
 }
@@ -333,6 +496,105 @@ mod tests {
         for violation in &v {
             assert!(!violation.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn tenant_run_stays_under_the_per_tenant_bounds() {
+        use crate::tenant::TenantSpec;
+        let inst = tiny_instance(6);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.0)
+            .seed(9)
+            .tenants(vec![
+                TenantSpec::new("steady", 2).degrade(false),
+                TenantSpec::new("metered", 2).quota_hz(50.0).degrade(false),
+            ])
+            .build()
+            .unwrap();
+        let (fleet, tenants) = tenant_bounds(&inst, &p, &cfg, RetryRegime::FaultFree).unwrap();
+        assert!(
+            fleet.wcrt_s.is_some(),
+            "tiny fleet envelope must be provable"
+        );
+        assert!(tenants.iter().all(|t| !t.unprovable));
+        let report = run(&inst, &p, cfg);
+        assert_eq!(report.tenants.len(), 2);
+        let violations = check_tenant_report(&report, &tenants);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn degrading_tenants_are_refused_not_checked() {
+        use crate::tenant::TenantSpec;
+        let inst = tiny_instance(7);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(1.0)
+            .drop_rate(0.0)
+            .seed(3)
+            .tenants(vec![
+                TenantSpec::new("calm", 2).degrade(false),
+                TenantSpec::new("wild", 2).quota_hz(0.5).quota_burst(1),
+            ])
+            .build()
+            .unwrap();
+        let (_, tenants) = tenant_bounds(&inst, &p, &cfg, RetryRegime::WorstCaseRetry).unwrap();
+        assert!(!tenants[0].unprovable);
+        assert!(tenants[1].unprovable, "degrade-enabled tenants are refused");
+        let mut report = run(&inst, &p, cfg);
+        // Fabricate an excess on the refused tenant: nothing may fire.
+        report.tenants[1].latency.max_s = 1e9;
+        report.tenants[1].peak_inbox = u64::MAX;
+        assert!(check_tenant_report(&report, &tenants).is_empty());
+        // The same excess on the proven tenant is flagged, with a
+        // readable message.
+        report.tenants[0].latency.max_s = 1e9;
+        report.tenants[0].peak_inbox = u64::MAX;
+        let v = check_tenant_report(&report, &tenants);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, BoundViolation::TenantLatencyAboveWcrt { tenant, .. } if tenant == "calm")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, BoundViolation::TenantInboxAboveBound { tenant, .. } if tenant == "calm")));
+        for violation in &v {
+            assert!(!violation.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn envelope_model_dominates_both_plans() {
+        let inst = tiny_instance(8);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::default();
+        let env = envelope_timing_model(&inst, &p, &cfg);
+        let primary = timing_model(&inst, &p, &cfg);
+        assert!(env.front_s >= primary.front_s);
+        assert!(env.back_s >= primary.back_s);
+        assert!(env.frame_airtimes_s.len() >= primary.frame_airtimes_s.len());
+        assert!(
+            env.frame_airtimes_s.iter().sum::<f64>()
+                >= primary.frame_airtimes_s.iter().sum::<f64>()
+        );
+        let generator = XProGenerator::new(&inst);
+        let all_sensor = Partition::all_sensor(inst.num_cells());
+        let fallback = if generator.numerically_valid(&all_sensor) {
+            all_sensor
+        } else {
+            generator.trivial_cut()
+        };
+        let fb = timing_model(&inst, &fallback, &cfg);
+        assert!(env.front_s >= fb.front_s);
+        assert!(env.back_s >= fb.back_s);
+        assert!(env.frame_airtimes_s.len() >= fb.frame_airtimes_s.len());
+        assert!(
+            env.frame_airtimes_s.iter().sum::<f64>() >= fb.frame_airtimes_s.iter().sum::<f64>()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use xpro_core::instance::XProInstance;
 use xpro_core::layout::Domain;
 use xpro_core::partition::Partition;
 use xpro_hw::ModuleKind;
-use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig, TenantSpec};
 use xpro_signal::stats::FeatureKind;
 
 /// A small instance: four time-domain features over the raw window, one
@@ -186,6 +186,54 @@ proptest! {
                 "{} shards diverged structurally", shards);
             prop_assert_eq!(&json, &sharded.to_json(),
                 "{} shards diverged in JSON", shards);
+        }
+    }
+
+    /// Multi-tenant admission — token buckets, weighted-fair inbox
+    /// shares, degradation tiers and the circuit breaker — is part of
+    /// the simulation, not the execution strategy: randomized overloaded
+    /// tenant tables (the quota is far below the ~20 Hz per-node offered
+    /// rate, so rejection, degradation and quarantine all fire) must
+    /// still produce byte-identical reports for every shard count.
+    #[test]
+    fn tenant_reports_are_byte_identical_across_shard_counts(
+        seed in 0u64..10_000,
+        quota in 0.5f64..5.0,
+        degrade in any::<bool>(),
+        drop in 0.0f64..0.3,
+    ) {
+        let inst = tiny_instance(seed % 5);
+        let partition = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(6)
+            .duration_s(2.0)
+            .drop_rate(drop)
+            .seed(seed)
+            .agg_inbox(16)
+            .tenants(vec![
+                TenantSpec::new("steady", 2).degrade(false),
+                TenantSpec::new("greedy", 4)
+                    .quota_hz(quota)
+                    .quota_burst(1)
+                    .degrade(degrade)
+                    .breaker_rounds(2)
+                    .cooldown_s(0.5),
+            ])
+            .build()
+            .unwrap();
+        let baseline = run_sharded(&inst, &partition, &cfg, 1);
+        let greedy = &baseline.tenants[1];
+        prop_assert!(
+            greedy.admission_rejected + greedy.quarantine_dropped > 0,
+            "the overloaded tenant must actually be throttled"
+        );
+        let json = baseline.to_json();
+        for shards in [2usize, 4, 8] {
+            let sharded = run_sharded(&inst, &partition, &cfg, shards);
+            prop_assert_eq!(&baseline, &sharded,
+                "{} shards diverged structurally under tenancy", shards);
+            prop_assert_eq!(&json, &sharded.to_json(),
+                "{} shards diverged in JSON under tenancy", shards);
         }
     }
 }

@@ -62,6 +62,13 @@ fault injection (all disabled by default):
                          every PERIOD
   --agg-inbox <N>        bounded aggregator inbox capacity (default 256)
 
+multi-tenant admission (disabled without --tenants):
+  --tenants <FILE>    JSON array of tenant specs partitioning the fleet
+                      into contiguous node ranges; each object takes
+                      name, nodes, and optional weight, quota_hz, burst,
+                      degrade, breaker_rounds, cooldown_s (see
+                      examples/tenants.json)
+
 adaptive controller:
   --adaptive             re-partition online from observed channel cost,
                          with graceful-degradation tiers
@@ -95,6 +102,7 @@ struct Args {
     battery_pj: f64,
     outage: Option<(f64, f64)>,
     agg_inbox: usize,
+    tenants: Vec<TenantSpec>,
     adaptive: bool,
     adaptive_window: usize,
     hysteresis: f64,
@@ -124,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
         battery_pj: 0.0,
         outage: None,
         agg_inbox: 256,
+        tenants: Vec::new(),
         adaptive: false,
         adaptive_window: 64,
         hysteresis: 1.5,
@@ -253,6 +262,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--agg-inbox: {e}"))?;
             }
+            "--tenants" => {
+                let path = value("--tenants")?;
+                let src = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--tenants: {path}: {e}"))?;
+                args.tenants = parse_tenants(&src).map_err(|e| format!("--tenants: {e}"))?;
+            }
             "--adaptive" => args.adaptive = true,
             "--adaptive-window" => {
                 args.adaptive_window = value("--adaptive-window")?
@@ -275,6 +290,124 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Parses a tenant-spec file: a JSON array of flat objects with string,
+/// number and boolean values (the format `examples/tenants.json`
+/// documents). Hand-rolled like every other (de)serializer in the
+/// workspace — the accepted grammar is exactly the flat subset the spec
+/// needs, nothing more.
+fn parse_tenants(src: &str) -> Result<Vec<TenantSpec>, String> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let ws = |i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let eat = |i: &mut usize, c: u8| -> Result<(), String> {
+        ws(i);
+        if *i < b.len() && b[*i] == c {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(c), *i))
+        }
+    };
+    let string = |i: &mut usize| -> Result<String, String> {
+        eat(i, b'"')?;
+        let start = *i;
+        while *i < b.len() && b[*i] != b'"' {
+            if b[*i] == b'\\' {
+                return Err("escape sequences are not supported in tenant specs".into());
+            }
+            *i += 1;
+        }
+        if *i >= b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&b[start..*i])
+            .map_err(|_| "tenant spec is not UTF-8".to_string())?
+            .to_string();
+        *i += 1;
+        Ok(s)
+    };
+    let scalar = |i: &mut usize| -> Result<String, String> {
+        ws(i);
+        let start = *i;
+        while *i < b.len() && !b[*i].is_ascii_whitespace() && !b",}]".contains(&b[*i]) {
+            *i += 1;
+        }
+        if start == *i {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        Ok(std::str::from_utf8(&b[start..*i]).unwrap_or("").to_string())
+    };
+
+    let mut tenants = Vec::new();
+    eat(&mut i, b'[')?;
+    ws(&mut i);
+    if i < b.len() && b[i] == b']' {
+        return Ok(tenants);
+    }
+    loop {
+        eat(&mut i, b'{')?;
+        let mut name: Option<String> = None;
+        let mut nodes: Option<usize> = None;
+        let mut spec_of = Vec::new(); // (key, raw value) pairs, applied after name/nodes
+        ws(&mut i);
+        if i < b.len() && b[i] != b'}' {
+            loop {
+                let key = string(&mut i)?;
+                eat(&mut i, b':')?;
+                match key.as_str() {
+                    "name" => name = Some(string(&mut i)?),
+                    "nodes" => {
+                        nodes = Some(scalar(&mut i)?.parse().map_err(|e| format!("nodes: {e}"))?);
+                    }
+                    _ => spec_of.push((key, scalar(&mut i)?)),
+                }
+                ws(&mut i);
+                if i < b.len() && b[i] == b',' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        eat(&mut i, b'}')?;
+        let name = name.ok_or("tenant object missing \"name\"")?;
+        let nodes = nodes.ok_or_else(|| format!("tenant {name:?} missing \"nodes\""))?;
+        let mut spec = TenantSpec::new(name.clone(), nodes);
+        for (key, raw) in spec_of {
+            let num = |raw: &str, key: &str| -> Result<f64, String> {
+                raw.parse()
+                    .map_err(|e| format!("tenant {name:?} {key}: {e}"))
+            };
+            spec = match key.as_str() {
+                "weight" => spec.weight(num(&raw, &key)? as u32),
+                "quota_hz" => spec.quota_hz(num(&raw, &key)?),
+                "burst" | "quota_burst" => spec.quota_burst(num(&raw, &key)? as u32),
+                "degrade" => spec.degrade(match raw.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("tenant {name:?} degrade: {other:?}")),
+                }),
+                "breaker_rounds" => spec.breaker_rounds(num(&raw, &key)? as u32),
+                "cooldown_s" => spec.cooldown_s(num(&raw, &key)?),
+                other => return Err(format!("tenant {name:?}: unknown key {other:?}")),
+            };
+        }
+        tenants.push(spec);
+        ws(&mut i);
+        if i < b.len() && b[i] == b',' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    eat(&mut i, b']')?;
+    Ok(tenants)
 }
 
 fn run(args: &Args) -> Result<(), XProError> {
@@ -314,6 +447,7 @@ fn run(args: &Args) -> Result<(), XProError> {
         .agg_outage_period_s(outage_period)
         .agg_outage_s(outage_s)
         .agg_inbox(args.agg_inbox)
+        .tenants(args.tenants.clone())
         .adaptive(args.adaptive)
         .adaptive_window(args.adaptive_window)
         .hysteresis(args.hysteresis)

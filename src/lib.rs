@@ -92,5 +92,6 @@ pub mod prelude {
     pub use xpro_core::prelude::*;
     pub use xpro_runtime::{
         ExecutorBuilder, FleetExecutor, FleetSpec, RunHandle, RunReport, RuntimeConfig, ShardCount,
+        TenantSpec,
     };
 }
