@@ -13,7 +13,7 @@ use xpro_core::pipeline::{PipelineConfig, XProPipeline};
 use xpro_core::{Partition, XProGenerator};
 use xpro_data::{generate_case_sized, CaseId};
 use xpro_ml::SubspaceConfig;
-use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig, TenantSpec};
+use xpro_runtime::{ExecutorBuilder, FleetSpec, RunHandle, RunReport, RuntimeConfig, TenantSpec};
 
 fn trained_instance() -> XProInstance {
     let data = generate_case_sized(CaseId::C1, 60, 42);
@@ -49,12 +49,20 @@ fn run_sharded(
     cfg: &RuntimeConfig,
     shards: usize,
 ) -> RunReport {
+    run_handle(inst, cut, cfg, shards).report
+}
+
+fn run_handle(
+    inst: &XProInstance,
+    cut: &Partition,
+    cfg: &RuntimeConfig,
+    shards: usize,
+) -> RunHandle {
     ExecutorBuilder::new(FleetSpec::new(inst, cut, cfg.clone()).expect("valid spec"))
         .shards(shards)
         .build()
         .expect("valid build")
         .run()
-        .report
 }
 
 /// One measured scenario for `BENCH_runtime.json`.
@@ -238,14 +246,42 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
         }
     }
 
+    // Telemetry-memory sweep: per-node latency telemetry is a fixed-size
+    // quantile sketch, so the bytes held at digest time must stay flat
+    // per node from 1 to 100k nodes, while the raw-sample buffering the
+    // sketch replaced would have grown with every completed segment
+    // (8 bytes each, fleet-wide). Memory is deterministic — one run per
+    // point, no timing statistics needed.
+    let mut telemetry_entries = Vec::new();
+    for &(nodes, virtual_s, _) in SWEEP {
+        let cfg = run_config(nodes, 0.05, virtual_s);
+        let handle = run_handle(inst, cut, &cfg, 1);
+        let completed = handle.report.total_completed();
+        telemetry_entries.push(format!(
+            concat!(
+                "    {{\"nodes\": {}, \"virtual_s\": {}, \"segments_completed\": {}, ",
+                "\"telemetry_bytes\": {}, \"bytes_per_node\": {:.1}, ",
+                "\"raw_sample_equiv_bytes\": {}}}"
+            ),
+            nodes,
+            virtual_s,
+            completed,
+            handle.telemetry_bytes,
+            handle.telemetry_bytes as f64 / nodes as f64,
+            completed * 8,
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ],\n",
-            "  \"shard_sweep\": [\n{}\n  ],\n  \"tenant_sweep\": [\n{}\n  ]\n}}\n"
+            "  \"shard_sweep\": [\n{}\n  ],\n  \"tenant_sweep\": [\n{}\n  ],\n",
+            "  \"telemetry_sweep\": [\n{}\n  ]\n}}\n"
         ),
         entries.join(",\n"),
         sweep_entries.join(",\n"),
-        tenant_entries.join(",\n")
+        tenant_entries.join(",\n"),
+        telemetry_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     if let Err(e) = std::fs::write(path, json) {

@@ -51,6 +51,7 @@
 //! retransmission energy, latency and losses on top, which is the point of
 //! the fault injection.
 
+use crate::columnar::{ColumnBatch, ColumnData};
 use crate::config::RuntimeConfig;
 use crate::controller::{Controller, PartitionSwitch, PlanAudit, TierTimes};
 use crate::lifecycle::OutageSchedule;
@@ -58,6 +59,7 @@ use crate::link::LossyLink;
 use crate::metrics::MetricsRegistry;
 use crate::report::{AggregatorReport, LatencyStats, NodeReport, RunReport, TenantReport};
 use crate::shard::{burst_profile, AggJobRec, Obs, ShardSim};
+use crate::sketch::QuantileSketch;
 use crate::tenant::{Admission, Tenancy};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -194,16 +196,28 @@ impl<'a> FleetSpec<'a> {
 pub struct ExecutorBuilder<'a> {
     spec: FleetSpec<'a>,
     shards: ShardCount,
+    record_timesteps: bool,
 }
 
 impl<'a> ExecutorBuilder<'a> {
     /// Starts a builder over a validated spec, defaulting to
-    /// [`ShardCount::Auto`].
+    /// [`ShardCount::Auto`] and no timestep recording.
     pub fn new(spec: FleetSpec<'a>) -> Self {
         ExecutorBuilder {
             spec,
             shards: ShardCount::Auto,
+            record_timesteps: false,
         }
+    }
+
+    /// Enables the columnar timestep recorder: the run barriers once per
+    /// segment period and folds per-round fleet counter deltas (in
+    /// global node order) into [`RunHandle::timesteps`]. Recording is an
+    /// execution knob like the shard count — it never changes the
+    /// simulation or the report.
+    pub fn record_timesteps(mut self, record: bool) -> Self {
+        self.record_timesteps = record;
+        self
     }
 
     /// Sets the shard count (`ShardCount::Auto`, `ShardCount::Fixed(n)`,
@@ -244,6 +258,7 @@ impl<'a> ExecutorBuilder<'a> {
         Ok(FleetExecutor {
             spec: self.spec,
             shards,
+            record_timesteps: self.record_timesteps,
         })
     }
 }
@@ -263,6 +278,17 @@ pub struct RunHandle {
     /// [`ShardCount::Auto`]). An execution detail: deliberately *not*
     /// part of [`RunReport`], which must not depend on it.
     pub shards: usize,
+    /// Per-barrier-round columnar telemetry, present when
+    /// [`ExecutorBuilder::record_timesteps`] was enabled: one row per
+    /// round with time-bucketed event/fault counts, sensor energy and
+    /// latency sums, folded in global node order (byte-identical for any
+    /// shard count).
+    pub timesteps: Option<ColumnBatch>,
+    /// Bytes the per-node latency sketches occupied at digest time — the
+    /// peak telemetry memory, O(nodes · sketch_size) by construction
+    /// (the bench's `telemetry_sweep` demonstrates the flat per-node
+    /// cost).
+    pub telemetry_bytes: u64,
 }
 
 /// A validated, shard-resolved streaming run over one instance and
@@ -272,6 +298,140 @@ pub struct RunHandle {
 pub struct FleetExecutor<'a> {
     spec: FleetSpec<'a>,
     shards: usize,
+    record_timesteps: bool,
+}
+
+/// Per-node cumulative counters snapshotted at each barrier; the
+/// recorder's rows are the node-order folds of consecutive snapshot
+/// deltas.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeSnap {
+    offered: u64,
+    completed: u64,
+    dropped: u64,
+    timed_out: u64,
+    lost_to_crash: u64,
+    shed: u64,
+    overflowed: u64,
+    admission_rejected: u64,
+    quarantined: u64,
+    energy_pj: f64,
+    lat_sum_s: f64,
+}
+
+/// Folds per-round fleet counter deltas into the columnar timestep
+/// batch. Every row walks the nodes in global order (shards are
+/// contiguous ranges, visited in order), so each cell — including the
+/// f64 energy/latency folds — is shard-count-independent.
+#[derive(Clone, Debug)]
+struct TimestepRecorder {
+    period_s: f64,
+    prev: Vec<NodeSnap>,
+    t_s: Vec<f64>,
+    offered: Vec<u64>,
+    completed: Vec<u64>,
+    dropped: Vec<u64>,
+    timed_out: Vec<u64>,
+    lost_to_crash: Vec<u64>,
+    shed: Vec<u64>,
+    overflowed: Vec<u64>,
+    admission_rejected: Vec<u64>,
+    quarantined: Vec<u64>,
+    energy_pj: Vec<f64>,
+    latency_sum_s: Vec<f64>,
+}
+
+impl TimestepRecorder {
+    fn new(nodes: usize, period_s: f64) -> Self {
+        TimestepRecorder {
+            period_s,
+            prev: vec![NodeSnap::default(); nodes],
+            t_s: Vec::new(),
+            offered: Vec::new(),
+            completed: Vec::new(),
+            dropped: Vec::new(),
+            timed_out: Vec::new(),
+            lost_to_crash: Vec::new(),
+            shed: Vec::new(),
+            overflowed: Vec::new(),
+            admission_rejected: Vec::new(),
+            quarantined: Vec::new(),
+            energy_pj: Vec::new(),
+            latency_sum_s: Vec::new(),
+        }
+    }
+
+    /// Records round `round` (0-based): one row of fleet-wide deltas
+    /// since the previous barrier. A completion is bucketed into the
+    /// round that *served* it (the deterministic merged service order),
+    /// and the final drain round absorbs everything after the last
+    /// barrier.
+    fn fold_round(&mut self, round: u64, shards: &[ShardSim], agg: &AggPhase) {
+        let mut row = NodeSnap::default();
+        for sh in shards {
+            for (local, core) in sh.cores.iter().enumerate() {
+                let node = sh.first_node as usize + local;
+                let cur = NodeSnap {
+                    offered: core.offered,
+                    completed: agg.completed[node],
+                    dropped: core.dropped,
+                    timed_out: core.timed_out,
+                    lost_to_crash: core.lost_to_crash,
+                    shed: core.shed,
+                    overflowed: agg.overflowed[node],
+                    admission_rejected: agg.admission_rejected[node],
+                    quarantined: agg.quarantined[node],
+                    energy_pj: core.compute_pj + core.wireless_pj,
+                    lat_sum_s: agg.lat_sum[node],
+                };
+                let prev = &mut self.prev[node];
+                row.offered += cur.offered - prev.offered;
+                row.completed += cur.completed - prev.completed;
+                row.dropped += cur.dropped - prev.dropped;
+                row.timed_out += cur.timed_out - prev.timed_out;
+                row.lost_to_crash += cur.lost_to_crash - prev.lost_to_crash;
+                row.shed += cur.shed - prev.shed;
+                row.overflowed += cur.overflowed - prev.overflowed;
+                row.admission_rejected += cur.admission_rejected - prev.admission_rejected;
+                row.quarantined += cur.quarantined - prev.quarantined;
+                row.energy_pj += cur.energy_pj - prev.energy_pj;
+                row.lat_sum_s += cur.lat_sum_s - prev.lat_sum_s;
+                *prev = cur;
+            }
+        }
+        self.t_s.push(self.period_s * round as f64);
+        self.offered.push(row.offered);
+        self.completed.push(row.completed);
+        self.dropped.push(row.dropped);
+        self.timed_out.push(row.timed_out);
+        self.lost_to_crash.push(row.lost_to_crash);
+        self.shed.push(row.shed);
+        self.overflowed.push(row.overflowed);
+        self.admission_rejected.push(row.admission_rejected);
+        self.quarantined.push(row.quarantined);
+        self.energy_pj.push(row.energy_pj);
+        self.latency_sum_s.push(row.lat_sum_s);
+    }
+
+    fn into_batch(self) -> ColumnBatch {
+        let mut batch = ColumnBatch::new();
+        batch.push("t_s", ColumnData::F64(self.t_s));
+        batch.push("offered", ColumnData::U64(self.offered));
+        batch.push("completed", ColumnData::U64(self.completed));
+        batch.push("dropped", ColumnData::U64(self.dropped));
+        batch.push("timed_out", ColumnData::U64(self.timed_out));
+        batch.push("lost_to_crash", ColumnData::U64(self.lost_to_crash));
+        batch.push("shed", ColumnData::U64(self.shed));
+        batch.push("overflowed", ColumnData::U64(self.overflowed));
+        batch.push(
+            "admission_rejected",
+            ColumnData::U64(self.admission_rejected),
+        );
+        batch.push("quarantined", ColumnData::U64(self.quarantined));
+        batch.push("energy_pj", ColumnData::F64(self.energy_pj));
+        batch.push("latency_sum_s", ColumnData::F64(self.latency_sum_s));
+        batch
+    }
 }
 
 /// The aggregator phase, run single-threaded by the executor between
@@ -310,7 +470,15 @@ struct AggPhase {
     admission_rejected: Vec<u64>,
     /// Per-node jobs dropped while the owning tenant was quarantined.
     quarantined: Vec<u64>,
-    latencies: Vec<Vec<f64>>,
+    /// Per-node latency telemetry: a fixed-size mergeable quantile
+    /// sketch instead of a raw sample vector, so the executor's peak
+    /// telemetry memory is O(nodes · sketch_size) — independent of how
+    /// many segments complete.
+    sketches: Vec<QuantileSketch>,
+    /// Per-node running latency sum (seconds), accumulated in the
+    /// deterministic merged service order — feeds the columnar export's
+    /// `latency_sum_s` column exactly.
+    lat_sum: Vec<f64>,
 }
 
 impl AggPhase {
@@ -329,7 +497,8 @@ impl AggPhase {
             overflowed: vec![0; nodes],
             admission_rejected: vec![0; nodes],
             quarantined: vec![0; nodes],
-            latencies: vec![Vec::new(); nodes],
+            sketches: vec![QuantileSketch::new(); nodes],
+            lat_sum: vec![0.0; nodes],
         }
     }
 
@@ -464,7 +633,8 @@ impl AggPhase {
             self.compute_pj += plan.agg_compute_pj;
             self.completed[job.node as usize] += 1;
             let latency = done - job.arrival_s;
-            self.latencies[job.node as usize].push(latency);
+            self.sketches[job.node as usize].record(latency);
+            self.lat_sum[job.node as usize] += latency;
             metrics.inc("segments_completed", 1);
             metrics.observe("latency_s", latency);
         }
@@ -569,14 +739,22 @@ impl FleetExecutor<'_> {
         let outage = OutageSchedule::new(cfg.agg_outage_period_s, cfg.agg_outage_s);
         let mut agg = AggPhase::new(cfg.nodes);
 
-        // Adaptive and multi-tenant runs barrier once per segment period
-        // (the controller and the tenancy state machines act at segment
-        // boundaries); plain runs drain in a single round — the
-        // aggregator never feeds back into the nodes.
+        let mut recorder = self
+            .record_timesteps
+            .then(|| TimestepRecorder::new(cfg.nodes, period_s));
+
+        // Adaptive, multi-tenant and timestep-recording runs barrier
+        // once per segment period (the controller and the tenancy state
+        // machines act at segment boundaries, and the recorder samples
+        // its counter deltas there); plain runs drain in a single round
+        // — the aggregator never feeds back into the nodes. Forcing
+        // barriers for recording never changes the simulation: jobs are
+        // served in the identical merged order either way.
         let mut k = 1u64;
         loop {
             let t_k = period_s * k as f64;
-            let barrier = (controller.is_some() || tenancy.is_some()) && t_k < cfg.duration_s;
+            let barrier = (controller.is_some() || tenancy.is_some() || recorder.is_some())
+                && t_k < cfg.duration_s;
             let target = if barrier { t_k } else { f64::INFINITY };
             run_round(&mut shards, target);
 
@@ -599,6 +777,9 @@ impl FleetExecutor<'_> {
             }
             agg.merge_runs(&mut shards);
             agg.process_ready(target, &plans, cfg, &outage, &mut tenancy, &mut metrics);
+            if let Some(rec) = recorder.as_mut() {
+                rec.fold_round(k - 1, &shards, &agg);
+            }
 
             if !barrier {
                 break;
@@ -671,6 +852,8 @@ impl FleetExecutor<'_> {
             metrics.inc("plan_cache_rejected", plan_cache.rejected);
         }
 
+        let telemetry_bytes: u64 = agg.sketches.iter().map(|s| s.mem_bytes() as u64).sum();
+        let timesteps = recorder.map(TimestepRecorder::into_batch);
         let report = self.digest(
             &shards, &outage, metrics, agg, tenancy, switches, tier_times, plan_audit, plan_cache,
         );
@@ -679,6 +862,8 @@ impl FleetExecutor<'_> {
             metrics: report.metrics.clone(),
             report,
             shards: self.shards,
+            timesteps,
+            telemetry_bytes,
         }
     }
 
@@ -688,7 +873,7 @@ impl FleetExecutor<'_> {
         shards: &[ShardSim],
         outage: &OutageSchedule,
         mut metrics: MetricsRegistry,
-        mut agg: AggPhase,
+        agg: AggPhase,
         tenancy: Option<Tenancy>,
         switches: Vec<PartitionSwitch>,
         tier_times: TierTimes,
@@ -699,22 +884,32 @@ impl FleetExecutor<'_> {
         let sys = self.spec.instance.config();
         let duration = cfg.duration_s;
 
-        // Per-tenant latency samples must be gathered (in node order)
-        // before the node loop consumes the per-node sample vectors.
-        let mut tenant_latencies: Vec<Vec<f64>> = tenancy.as_ref().map_or_else(Vec::new, |tn| {
+        // Per-tenant latency digests: each tenant merges its node range's
+        // sketches (order-invariant integer merges, walked in node
+        // order). Done by reference, before the node loop digests the
+        // same sketches for the per-node stats.
+        let tenant_latency: Vec<LatencyStats> = tenancy.as_ref().map_or_else(Vec::new, |tn| {
             tn.specs
                 .iter()
                 .enumerate()
                 .map(|(i, spec)| {
                     let first = tn.first_node[i] as usize;
-                    let mut samples = Vec::new();
+                    let mut merged = QuantileSketch::new();
                     for node in first..first + spec.nodes {
-                        samples.extend_from_slice(&agg.latencies[node]);
+                        merged.merge(&agg.sketches[node]);
                     }
-                    samples
+                    LatencyStats::from_sketch(&merged)
                 })
                 .collect()
         });
+
+        // The fleet-wide digest is the merge of every node's sketch, in
+        // global node order.
+        let mut fleet_sketch = QuantileSketch::new();
+        for sketch in &agg.sketches {
+            fleet_sketch.merge(sketch);
+        }
+        let fleet = LatencyStats::from_sketch(&fleet_sketch);
 
         // Cross-node folds run in global node order (shards are contiguous
         // ranges in order), so every f64 sum is shard-count-independent.
@@ -766,7 +961,7 @@ impl FleetExecutor<'_> {
                     frame_drops: core.frame_drops,
                     retries: core.retries,
                     throughput_hz: agg.completed[node] as f64 / duration,
-                    latency: LatencyStats::from_samples(std::mem::take(&mut agg.latencies[node])),
+                    latency: LatencyStats::from_sketch(&agg.sketches[node]),
                     compute_pj: core.compute_pj,
                     wireless_pj: core.wireless_pj,
                     battery_hours: battery.runtime_hours(avg_power_w),
@@ -803,23 +998,23 @@ impl FleetExecutor<'_> {
                 let range = &node_reports[first..first + spec.nodes];
                 let t_offered: u64 = range.iter().map(|n| n.segments_offered).sum();
                 let t_completed: u64 = range.iter().map(|n| n.segments_completed).sum();
-                let latency = LatencyStats::from_samples(std::mem::take(&mut tenant_latencies[i]));
+                let latency = tenant_latency[i];
+                // Metric keys were interned once at executor
+                // construction (`Tenancy::new`); no `format!` here.
+                let keys = &tn.metric_keys[i];
                 for (name, value) in [
-                    ("admitted", st.admitted),
-                    ("admission_rejected", st.admission_rejected),
-                    ("inbox_overflow", st.inbox_overflow),
-                    ("quarantine_dropped", st.quarantine_dropped),
-                    ("quarantines", st.quarantines),
+                    (&keys.admitted, st.admitted),
+                    (&keys.admission_rejected, st.admission_rejected),
+                    (&keys.inbox_overflow, st.inbox_overflow),
+                    (&keys.quarantine_dropped, st.quarantine_dropped),
+                    (&keys.quarantines, st.quarantines),
                 ] {
                     if value > 0 {
-                        metrics.inc(&format!("tenant.{}.{name}", spec.name), value);
+                        metrics.inc(name, value);
                     }
                 }
-                metrics.set_gauge(&format!("tenant.{}.p99_s", spec.name), latency.p99_s);
-                metrics.set_gauge(
-                    &format!("tenant.{}.peak_inbox", spec.name),
-                    st.peak_occupancy as f64,
-                );
+                metrics.set_gauge(&keys.p99_s, latency.p99_s);
+                metrics.set_gauge(&keys.peak_inbox, st.peak_occupancy as f64);
                 tenants.push(TenantReport {
                     name: spec.name.clone(),
                     first_node: first,
@@ -882,6 +1077,7 @@ impl FleetExecutor<'_> {
             duration_s: duration,
             nodes: node_reports,
             tenants,
+            fleet,
             aggregator,
             channel_busy_s,
             channel_utilization,
@@ -1211,6 +1407,86 @@ mod tests {
         );
         assert!(report.to_json().contains("\"tenants\":[{\"name\":\"cap\""));
         assert!(report.render().contains("cap"));
+    }
+
+    #[test]
+    fn timestep_recording_never_perturbs_the_run() {
+        let inst = tiny_instance(6);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(4)
+            .duration_s(2.0)
+            .drop_rate(0.2)
+            .mtbf_s(0.7)
+            .mttr_s(0.2)
+            .seed(31)
+            .build()
+            .unwrap();
+        let plain = run(&inst, &p, cfg.clone());
+        let handle = ExecutorBuilder::new(FleetSpec::new(&inst, &p, cfg).unwrap())
+            .record_timesteps(true)
+            .build()
+            .unwrap()
+            .run();
+        // Forcing per-period barriers for the recorder must not change a
+        // single fold: the report is byte-identical to the plain run.
+        assert_eq!(plain, handle.report);
+        assert_eq!(plain.to_json(), handle.report.to_json());
+        let batch = handle.timesteps.expect("recording was enabled");
+        assert!(batch.rows() > 1, "a 2 s run spans many segment periods");
+        assert!(handle.telemetry_bytes > 0);
+
+        // Aggregation layer: the exported columns fold back to exactly
+        // the report's totals.
+        let summary = crate::columnar::summarize_timesteps(&batch).unwrap();
+        let offered: u64 = plain.nodes.iter().map(|n| n.segments_offered).sum();
+        assert_eq!(summary.offered, offered);
+        assert_eq!(summary.completed, plain.total_completed());
+        assert_eq!(summary.lost, plain.total_lost());
+        let energy: f64 = plain.nodes.iter().map(NodeReport::total_pj).sum();
+        assert!((summary.energy_pj - energy).abs() <= 1e-6 * energy.abs().max(1.0));
+    }
+
+    #[test]
+    fn timestep_batches_are_bit_identical_across_shards() {
+        let inst = tiny_instance(4);
+        let p = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(6)
+            .duration_s(2.0)
+            .drop_rate(0.1)
+            .burst_bad_rate(0.9)
+            .burst_p_enter(0.2)
+            .burst_p_exit(0.1)
+            .burst_slot_s(0.1)
+            .mtbf_s(0.7)
+            .mttr_s(0.2)
+            .adaptive(true)
+            .adaptive_window(16)
+            .min_dwell_s(0.2)
+            .seed(2027)
+            .build()
+            .unwrap();
+        let batch_at = |shards: usize| {
+            ExecutorBuilder::new(FleetSpec::new(&inst, &p, cfg.clone()).unwrap())
+                .shards(shards)
+                .record_timesteps(true)
+                .build()
+                .unwrap()
+                .run()
+                .timesteps
+                .expect("recording was enabled")
+        };
+        let one = batch_at(1);
+        for shards in [2, 4, 6] {
+            let n = batch_at(shards);
+            assert_eq!(one, n, "{shards} shards diverged structurally");
+            assert_eq!(
+                one.to_bytes(),
+                n.to_bytes(),
+                "{shards} shards diverged in serialized bytes"
+            );
+        }
     }
 
     #[test]

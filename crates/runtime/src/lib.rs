@@ -52,6 +52,18 @@
 //! tiers and a quarantining circuit breaker — all advancing at barrier
 //! rounds so reports stay byte-identical for any shard count.
 //!
+//! The [`sketch`] module keeps latency telemetry fixed-size: per-node,
+//! per-tenant and fleet percentiles come from mergeable log-linear
+//! [`QuantileSketch`]es (documented worst-case relative error
+//! [`QuantileSketch::REL_ERROR`], exact min/max/count) instead of raw
+//! sample buffers, so telemetry memory is O(nodes · sketch) rather than
+//! O(completed segments). The [`columnar`] module rides the same barrier
+//! rounds: per-round fleet counters fold (in global node order) into a
+//! [`ColumnBatch`] written as length-prefixed typed columns with a
+//! footer index (`runtime --export <dir>`), plus the aggregation layer
+//! ([`summarize_timesteps`]) that folds exported columns back into the
+//! report's totals.
+//!
 //! ```
 //! use xpro_runtime::{ExecutorBuilder, FleetSpec, RuntimeConfig, ShardCount};
 //! # use xpro_core::pipeline::{PipelineConfig, XProPipeline};
@@ -84,6 +96,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod columnar;
 pub mod config;
 pub mod controller;
 pub mod executor;
@@ -93,6 +106,7 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod shard;
+pub mod sketch;
 pub mod soundness;
 pub mod tenant;
 pub mod trace;
@@ -100,6 +114,9 @@ pub mod trace;
 #[cfg(test)]
 mod testutil;
 
+pub use columnar::{
+    node_columns, summarize_timesteps, ColumnBatch, ColumnData, ColumnIndex, TimestepSummary,
+};
 pub use config::{RuntimeConfig, RuntimeConfigBuilder};
 pub use controller::{PartitionSwitch, PlanAudit, Tier, TierTimes};
 pub use executor::{ExecutorBuilder, FleetExecutor, FleetSpec, RunHandle, ShardCount};
@@ -107,6 +124,7 @@ pub use lifecycle::{NodeLifecycle, OutageSchedule};
 pub use link::{BurstProfile, LossyLink};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport, TenantReport};
+pub use sketch::QuantileSketch;
 pub use soundness::{
     check_report, check_tenant_report, deployment_bounds, envelope_timing_model, tenant_bounds,
     tenant_models, timing_model, BoundViolation,

@@ -131,8 +131,17 @@ impl MetricsRegistry {
     }
 
     /// Adds `by` to a counter, creating it at zero first if needed.
+    ///
+    /// The executor calls this per completed segment, so the common path
+    /// must not allocate: the name is interned (one `String` allocation)
+    /// only the first time it is seen — every later call looks the
+    /// existing key up by `&str`.
     pub fn inc(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += by;
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
     /// Reads a counter (0 when absent).
@@ -140,9 +149,14 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets a gauge to the latest value.
+    /// Sets a gauge to the latest value. Allocates the key only on first
+    /// use, like [`MetricsRegistry::inc`].
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Reads a gauge (`None` when never set).
@@ -150,12 +164,18 @@ impl MetricsRegistry {
         self.gauges.get(name).copied()
     }
 
-    /// Records one sample into a histogram, creating it if needed.
+    /// Records one sample into a histogram, creating it if needed. The
+    /// per-observation path allocates no key `String` after the first
+    /// sample of a series — this sits on the executor's per-segment hot
+    /// path.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
     }
 
     /// Reads a histogram (`None` when never observed).

@@ -4,53 +4,61 @@
 
 use crate::controller::{PartitionSwitch, PlanAudit, TierTimes};
 use crate::metrics::MetricsRegistry;
+use crate::sketch::QuantileSketch;
 use std::fmt::Write as _;
 use xpro_core::PlanCacheStats;
 
-/// Latency percentiles over the completed segments of one node, computed
-/// exactly from the recorded samples.
+/// Latency percentiles over the completed segments of one node, digested
+/// from a fixed-size mergeable [`QuantileSketch`]: `count` and `max_s`
+/// are exact, the percentiles and mean carry the sketch's documented
+/// worst-case relative error ([`QuantileSketch::REL_ERROR`] ≈ 0.39 %).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
-    /// Number of (finite) samples the statistics were computed from.
+    /// Number of (finite) samples the statistics were computed from
+    /// (exact).
     pub count: u64,
-    /// Mean latency in seconds.
+    /// Mean latency in seconds (within the sketch error of the exact
+    /// sample mean).
     pub mean_s: f64,
-    /// Median.
+    /// Median (within the sketch error).
     pub p50_s: f64,
-    /// 95th percentile.
+    /// 95th percentile (within the sketch error).
     pub p95_s: f64,
-    /// 99th percentile.
+    /// 99th percentile (within the sketch error).
     pub p99_s: f64,
-    /// Worst observed.
+    /// Worst observed (exact — the sketch tracks the maximum outside the
+    /// bucket array, so soundness checks against static WCRT bounds need
+    /// no sketch slack).
     pub max_s: f64,
 }
 
 impl LatencyStats {
-    /// Exact order statistics of a sample set.
-    ///
-    /// Non-finite samples (NaN, ±∞) are discarded before sorting — a NaN
-    /// must not poison the sort order or propagate into every percentile.
-    /// An empty (or all-non-finite) input yields the zeroed statistics
-    /// with an explicit `count` of 0, never a panic.
-    pub fn from_samples(samples: Vec<f64>) -> Self {
-        let mut samples: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
-        if samples.is_empty() {
+    /// Digests a finished sketch. An empty sketch yields the zeroed
+    /// statistics with an explicit `count` of 0, never a panic.
+    pub fn from_sketch(sketch: &QuantileSketch) -> Self {
+        if sketch.count() == 0 {
             return LatencyStats::default();
         }
-        samples.sort_by(f64::total_cmp);
-        let n = samples.len();
-        let at = |q: f64| -> f64 {
-            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-            samples[rank - 1]
-        };
         LatencyStats {
-            count: n as u64,
-            mean_s: samples.iter().sum::<f64>() / n as f64,
-            p50_s: at(0.50),
-            p95_s: at(0.95),
-            p99_s: at(0.99),
-            max_s: samples[n - 1],
+            count: sketch.count(),
+            mean_s: sketch.mean(),
+            p50_s: sketch.quantile(0.50),
+            p95_s: sketch.quantile(0.95),
+            p99_s: sketch.quantile(0.99),
+            max_s: sketch.max(),
         }
+    }
+
+    /// Statistics of a sample set, via the same sketch the executor
+    /// feeds incrementally — bulk construction and one-by-one insertion
+    /// are identical by construction (property-tested in the sketch
+    /// suite).
+    ///
+    /// Non-finite samples (NaN, ±∞) are discarded — a NaN must not
+    /// poison the percentiles. An empty (or all-non-finite) input yields
+    /// the zeroed statistics with an explicit `count` of 0.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        LatencyStats::from_sketch(&QuantileSketch::from_samples(samples))
     }
 }
 
@@ -204,6 +212,10 @@ pub struct RunReport {
     /// Per-tenant statistics, in tenant declaration order (empty without
     /// a tenant table).
     pub tenants: Vec<TenantReport>,
+    /// Fleet-wide latency, digested from the merge of every node's
+    /// quantile sketch (merged in global node order; exact count/max,
+    /// sketch-bounded percentiles).
+    pub fleet: LatencyStats,
     /// Aggregator statistics.
     pub aggregator: AggregatorReport,
     /// Time the shared channel carried frames.
@@ -247,22 +259,13 @@ impl RunReport {
         self.nodes.iter().map(|n| n.retries).sum()
     }
 
-    /// Fleet-wide latency over every completed segment.
+    /// Fleet-wide latency over every completed segment: the digest of
+    /// the merged per-node sketches. (Before the sketch existed this was
+    /// approximated from the coarse `latency_s` metrics histogram, with
+    /// up to ~9 % quantile error; the mergeable sketch pins it to
+    /// [`QuantileSketch::REL_ERROR`].)
     pub fn fleet_latency(&self) -> LatencyStats {
-        // Recompute from the shared histogram-free per-node stats is not
-        // possible exactly; the executor stores the fleet-wide set in the
-        // `latency_s` histogram. Approximate percentiles come from there.
-        match self.metrics.histogram("latency_s") {
-            Some(h) => LatencyStats {
-                count: h.count(),
-                mean_s: h.mean(),
-                p50_s: h.quantile(0.50),
-                p95_s: h.quantile(0.95),
-                p99_s: h.quantile(0.99),
-                max_s: h.max(),
-            },
-            None => LatencyStats::default(),
-        }
+        self.fleet
     }
 
     /// Human-readable multi-line summary.
@@ -568,15 +571,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_stats_are_exact_order_statistics() {
-        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+    fn latency_stats_track_order_statistics_within_the_sketch_bound() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-2).collect();
         let s = LatencyStats::from_samples(samples);
-        assert_eq!(s.count, 100);
-        assert_eq!(s.p50_s, 50.0);
-        assert_eq!(s.p95_s, 95.0);
-        assert_eq!(s.p99_s, 99.0);
-        assert_eq!(s.max_s, 100.0);
-        assert!((s.mean_s - 50.5).abs() < 1e-12);
+        assert_eq!(s.count, 100, "count is exact");
+        assert_eq!(s.max_s, 1.0, "max is exact");
+        let err = QuantileSketch::REL_ERROR;
+        for (got, exact) in [(s.p50_s, 0.50), (s.p95_s, 0.95), (s.p99_s, 0.99)] {
+            assert!((got - exact).abs() / exact <= err, "{got} vs exact {exact}");
+        }
+        assert!((s.mean_s - 0.505).abs() / 0.505 <= err);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
     }
 
     #[test]
@@ -598,9 +603,9 @@ mod tests {
     fn nan_samples_do_not_poison_the_statistics() {
         let s = LatencyStats::from_samples(vec![f64::NAN, 3.0, 1.0, f64::NAN, 2.0]);
         assert_eq!(s.count, 3, "NaNs are discarded, not counted");
-        assert_eq!(s.p50_s, 2.0);
-        assert_eq!(s.max_s, 3.0);
-        assert!((s.mean_s - 2.0).abs() < 1e-12);
+        assert!((s.p50_s - 2.0).abs() / 2.0 <= QuantileSketch::REL_ERROR);
+        assert_eq!(s.max_s, 3.0, "max is exact");
+        assert!((s.mean_s - 2.0).abs() / 2.0 <= QuantileSketch::REL_ERROR);
         assert!(s.mean_s.is_finite() && s.p99_s.is_finite());
     }
 

@@ -1,0 +1,402 @@
+//! A fixed-size mergeable quantile sketch for fleet-scale latency
+//! telemetry.
+//!
+//! The executor used to buffer every completed segment's latency in a
+//! `Vec<f64>` per node — O(total frames) memory, which collapses exactly
+//! where the north star points (100k-node fleets over long horizons).
+//! [`QuantileSketch`] replaces those buffers with an HDR-histogram-style
+//! log-linear bucket array whose size depends only on the *range* of the
+//! data, never on the sample count: peak telemetry memory becomes
+//! O(nodes · sketch_size).
+//!
+//! # Bucket layout
+//!
+//! Buckets are log-linear: each power-of-two octave in
+//! `[2^MIN_EXP, 2^MAX_EXP)` is split into [`SUBBUCKETS`] equal-width
+//! linear subbuckets, so a value's bucket index is read straight out of
+//! its IEEE-754 bit pattern (exponent bits select the octave, the top
+//! mantissa bits select the subbucket) — no `log()` call, no float
+//! comparison loop, and the mapping is exact and platform-independent.
+//! Two guard buckets catch the tails: index 0 holds everything below
+//! [`QuantileSketch::FLOOR`] (including zero and negatives) and the last
+//! bucket everything at or above [`QuantileSketch::CAP`].
+//!
+//! # Error bound
+//!
+//! For a value `v` in `[FLOOR, CAP)` the bucket containing it spans
+//! `[lo, lo + 2^e/SUBBUCKETS)` with `lo ≥ 2^e`, and the sketch reports
+//! the bucket midpoint. The absolute error is therefore at most half a
+//! bucket width, i.e. the *relative* error is at most
+//! `1 / (2 · SUBBUCKETS)` = [`QuantileSketch::REL_ERROR`] ≈ 0.39 %.
+//! Reported quantiles are additionally clamped to the exact observed
+//! `[min, max]`, and the extreme ranks short-circuit to the exactly
+//! tracked extremes, so `quantile(1.0) == max()` and
+//! `quantile(0.0) == min()` always, and single-valued data reports
+//! exactly that value. Values
+//! below `FLOOR` are reported as `FLOOR/2` (absolute error ≤ `FLOOR/2`,
+//! i.e. < 0.5 µs for latency-in-seconds data); values at or above `CAP`
+//! are reported as the exact observed maximum.
+//!
+//! # Determinism and mergeability
+//!
+//! A sketch is a pure function of the *multiset* of inserted values:
+//! bucket counts are integers, so insertion order cannot perturb them,
+//! and [`QuantileSketch::merge`] adds counts integer-wise — merging is
+//! exactly associative, commutative and order-invariant (saturating
+//! `u64` addition is associative: `min(a+b, MAX)` composes). Derived
+//! statistics ([`QuantileSketch::quantile`], [`QuantileSketch::mean`])
+//! walk the buckets in index order, so any partition of the samples
+//! across shards digests to bit-identical results — the property the
+//! executor's shard-count byte-identity invariant rests on.
+
+/// Number of linear subbuckets per power-of-two octave. 128 subbuckets
+/// give a worst-case relative quantile error of 1/256 ≈ 0.39 % — safely
+/// inside every tolerance the test suite checks latency percentiles
+/// against (the tightest is 1 %).
+pub const SUBBUCKETS: usize = 128;
+
+/// log2([`SUBBUCKETS`]): how many top mantissa bits select the subbucket.
+const SUB_BITS: u32 = 7;
+
+/// Smallest power-of-two exponent with full relative precision
+/// (2⁻²⁰ s ≈ 0.95 µs — far below any modelled segment latency).
+const MIN_EXP: i32 = -20;
+
+/// One-past-largest octave: values ≥ 2⁶ = 64 s land in the overflow
+/// bucket (the executor's deadlines cap latencies orders of magnitude
+/// below this).
+const MAX_EXP: i32 = 6;
+
+/// Total logical buckets: one underflow, the log-linear core, one
+/// overflow.
+const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUBBUCKETS + 2;
+
+/// A fixed-size mergeable quantile sketch over non-negative `f64`
+/// samples (latencies in seconds), with exact `count`/`min`/`max` and
+/// bounded-relative-error quantiles. See the [module docs](self) for the
+/// layout and the error bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    /// Logical index of `counts[0]`: only the touched bucket window is
+    /// stored, so an idle node costs a few machine words.
+    first: usize,
+    /// Dense per-bucket sample counts over the touched window.
+    counts: Vec<u64>,
+    /// Exact number of (finite) recorded samples.
+    count: u64,
+    /// Exact smallest recorded sample (+∞ when empty).
+    min: f64,
+    /// Exact largest recorded sample (−∞ when empty).
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Worst-case relative error of a reported quantile for values in
+    /// `[FLOOR, CAP)`: half a subbucket width, `1/(2·SUBBUCKETS)`.
+    pub const REL_ERROR: f64 = 1.0 / (2 * SUBBUCKETS) as f64;
+
+    /// Lower edge of the full-precision range (2⁻²⁰ s). Values below it
+    /// collapse into one underflow bucket reported as `FLOOR/2`.
+    pub const FLOOR: f64 = 9.5367431640625e-7; // 2^-20, exact
+
+    /// Upper edge of the full-precision range (2⁶ = 64 s). Values at or
+    /// above it collapse into one overflow bucket reported as the exact
+    /// observed maximum.
+    pub const CAP: f64 = 64.0;
+
+    /// An empty sketch (no heap allocation until the first sample).
+    pub fn new() -> Self {
+        QuantileSketch {
+            first: 0,
+            counts: Vec::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a sketch from a sample iterator — by construction identical
+    /// to inserting the samples one by one in any order.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut s = QuantileSketch::new();
+        for v in samples {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Logical bucket index of a finite sample.
+    fn bucket_of(v: f64) -> usize {
+        if v < Self::FLOOR {
+            return 0; // underflow: zero, negatives, sub-µs values
+        }
+        if v >= Self::CAP {
+            return NUM_BUCKETS - 1;
+        }
+        // Exponent and top mantissa bits of a positive normal double in
+        // [2^MIN_EXP, 2^MAX_EXP) read the octave and subbucket directly.
+        let bits = v.to_bits();
+        let idx = (bits >> (52 - SUB_BITS)) as i64 - (((1023 + MIN_EXP) as i64) << SUB_BITS);
+        debug_assert!((0..(NUM_BUCKETS - 2) as i64).contains(&idx));
+        idx as usize + 1
+    }
+
+    /// Midpoint of a logical bucket — what quantiles report (before the
+    /// exact `[min, max]` clamp).
+    fn representative(bucket: usize) -> f64 {
+        if bucket == 0 {
+            return Self::FLOOR / 2.0;
+        }
+        if bucket == NUM_BUCKETS - 1 {
+            // The exact-max clamp in `quantile` turns the overflow
+            // bucket into the exact observed maximum.
+            return f64::INFINITY;
+        }
+        let k = bucket - 1;
+        let exp = MIN_EXP + (k / SUBBUCKETS) as i32;
+        let sub = k % SUBBUCKETS;
+        // 2^exp is exactly representable; the midpoint arithmetic below
+        // is a product and sum of exact dyadic rationals — deterministic
+        // on every IEEE-754 platform.
+        let scale = f64::from_bits(((1023 + exp) as u64) << 52);
+        scale * (1.0 + (2 * sub + 1) as f64 / (2 * SUBBUCKETS) as f64)
+    }
+
+    /// Records one sample. Non-finite samples are discarded (a NaN must
+    /// not poison every percentile), matching the old raw-sample filter.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.bump(Self::bucket_of(v), 1);
+    }
+
+    /// Adds `by` to a logical bucket, growing the dense window to reach
+    /// it.
+    fn bump(&mut self, bucket: usize, by: u64) {
+        if self.counts.is_empty() {
+            self.first = bucket;
+            self.counts.push(0);
+        } else if bucket < self.first {
+            let grow = self.first - bucket;
+            self.counts.splice(0..0, std::iter::repeat_n(0, grow));
+            self.first = bucket;
+        } else if bucket >= self.first + self.counts.len() {
+            self.counts.resize(bucket - self.first + 1, 0);
+        }
+        let slot = &mut self.counts[bucket - self.first];
+        *slot = slot.saturating_add(by);
+    }
+
+    /// Merges another sketch into this one: integer bucket sums plus
+    /// exact min/max/count folds. Exactly associative, commutative and
+    /// order-invariant — the shard-merge property.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        for (i, &c) in other.counts.iter().enumerate() {
+            if c > 0 {
+                self.bump(other.first + i, c);
+            }
+        }
+    }
+
+    /// Exact number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The quantile `q ∈ [0, 1]` under the same rank rule the exact
+    /// sorted-order statistics used (`rank = ⌈q·n⌉`, clamped to
+    /// `[1, n]`), within [`QuantileSketch::REL_ERROR`] of the exact
+    /// value and clamped to the exact observed `[min, max]`. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme order statistics are tracked exactly — don't let a
+        // bucket midpoint misreport them.
+        if rank == self.count {
+            return self.max;
+        }
+        if rank == 1 {
+            return self.min;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Self::representative(self.first + i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the bucket representatives weighted by count, clamped to
+    /// the exact `[min, max]` (0 when empty). Within
+    /// [`QuantileSketch::REL_ERROR`] of the exact sample mean for data
+    /// inside `[FLOOR, CAP)` (any overflowed sample collapses the mean
+    /// to the exact max — conservative), and — unlike a running f64 sum
+    /// — invariant under sample order and shard partitioning, because it
+    /// folds the fixed bucket array in index order.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                sum += Self::representative(self.first + i) * c as f64;
+            }
+        }
+        (sum / self.count as f64).clamp(self.min, self.max)
+    }
+
+    /// Heap + inline bytes this sketch occupies — the telemetry-memory
+    /// number the bench sweeps. Bounded by the bucket table
+    /// (`NUM_BUCKETS · 8` bytes ≈ 26 KiB) regardless of sample count.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_all_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_edges_map_to_distinct_buckets() {
+        // Consecutive bucket lower edges across the whole range must map
+        // to consecutive indices — the bit extraction agrees with the
+        // arithmetic layout.
+        let mut last = QuantileSketch::bucket_of(QuantileSketch::FLOOR);
+        assert_eq!(last, 1);
+        for k in 1..(NUM_BUCKETS - 2) {
+            let exp = MIN_EXP + (k / SUBBUCKETS) as i32;
+            let sub = k % SUBBUCKETS;
+            let lo = f64::from_bits(((1023 + exp) as u64) << 52)
+                * (1.0 + sub as f64 / SUBBUCKETS as f64);
+            let b = QuantileSketch::bucket_of(lo);
+            assert_eq!(b, last + 1, "edge {k} mapped to {b}");
+            last = b;
+        }
+        assert_eq!(
+            QuantileSketch::bucket_of(QuantileSketch::CAP),
+            NUM_BUCKETS - 1
+        );
+        assert_eq!(QuantileSketch::bucket_of(0.0), 0);
+    }
+
+    #[test]
+    fn representative_lies_inside_its_bucket() {
+        for bucket in 1..NUM_BUCKETS - 1 {
+            let rep = QuantileSketch::representative(bucket);
+            assert_eq!(QuantileSketch::bucket_of(rep), bucket);
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let s = QuantileSketch::from_samples(samples.iter().copied());
+        assert_eq!(s.count(), 1000);
+        for (q, exact) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let got = s.quantile(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= QuantileSketch::REL_ERROR, "q{q}: {got} vs {exact}");
+        }
+        assert_eq!(s.quantile(1.0), 1.0, "max is exact");
+        assert_eq!(s.min(), 1e-3, "min is exact");
+        let mean = s.mean();
+        assert!((mean - 0.5005).abs() / 0.5005 <= QuantileSketch::REL_ERROR);
+    }
+
+    #[test]
+    fn non_finite_samples_are_discarded() {
+        let s = QuantileSketch::from_samples([f64::NAN, 3.0, f64::INFINITY, 1.0]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 3.0);
+        assert!(s.quantile(0.99).is_finite());
+    }
+
+    #[test]
+    fn merge_equals_bulk_construction() {
+        let a: Vec<f64> = (1..=500).map(|i| i as f64 * 2e-4).collect();
+        let b: Vec<f64> = (1..=300).map(|i| 0.05 + i as f64 * 1e-3).collect();
+        let mut left = QuantileSketch::from_samples(a.iter().copied());
+        let right = QuantileSketch::from_samples(b.iter().copied());
+        left.merge(&right);
+        let all = QuantileSketch::from_samples(a.into_iter().chain(b));
+        assert_eq!(left, all, "merge must equal single-pass construction");
+    }
+
+    #[test]
+    fn out_of_range_values_use_the_guard_buckets() {
+        let s = QuantileSketch::from_samples([1e-9, 0.0, 100.0, 70.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.min(), 0.0);
+        // Overflowed values report the exact max; underflowed ones the
+        // half-floor midpoint clamped into [min, max].
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!(s.quantile(0.25) <= QuantileSketch::FLOOR);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_the_bucket_table() {
+        let mut s = QuantileSketch::new();
+        for i in 0..1_000_000u64 {
+            s.record((i % 997) as f64 * 1e-4);
+        }
+        assert_eq!(s.count(), 1_000_000);
+        // The dense window never exceeds the bucket table; `Vec`'s
+        // amortized growth can at most double the allocation.
+        assert!(
+            s.mem_bytes() <= 2 * NUM_BUCKETS * 8 + std::mem::size_of::<QuantileSketch>(),
+            "sketch grew past the fixed bucket table: {}",
+            s.mem_bytes()
+        );
+    }
+}

@@ -197,6 +197,29 @@ pub enum BoundViolation {
         /// The static WCRT in seconds.
         bound_s: f64,
     },
+    /// A node's p99 latency exceeded the WCRT even after discounting the
+    /// quantile sketch's worst-case relative error — a redundant guard
+    /// over [`BoundViolation::LatencyAboveWcrt`] that stays sound for
+    /// sketch-derived quantiles.
+    TailLatencyAboveWcrt {
+        /// The offending node.
+        node: usize,
+        /// Observed (sketch-derived) p99 latency in seconds.
+        observed_s: f64,
+        /// The static WCRT in seconds.
+        bound_s: f64,
+    },
+    /// A tenant's p99 latency exceeded its envelope WCRT after
+    /// discounting the sketch error (tenant counterpart of
+    /// [`BoundViolation::TailLatencyAboveWcrt`]).
+    TenantTailLatencyAboveWcrt {
+        /// The offending tenant's name.
+        tenant: String,
+        /// Observed (sketch-derived) p99 latency in seconds.
+        observed_s: f64,
+        /// The static WCRT in seconds.
+        bound_s: f64,
+    },
     /// The aggregator inbox grew past the static occupancy bound.
     InboxAboveBound {
         /// Peak observed occupancy (jobs queued + in service).
@@ -254,6 +277,22 @@ impl std::fmt::Display for BoundViolation {
                 f,
                 "node {node}: observed latency {observed_s:.6} s > WCRT {bound_s:.6} s"
             ),
+            BoundViolation::TailLatencyAboveWcrt {
+                node,
+                observed_s,
+                bound_s,
+            } => write!(
+                f,
+                "node {node}: p99 latency {observed_s:.6} s > WCRT {bound_s:.6} s beyond sketch error"
+            ),
+            BoundViolation::TenantTailLatencyAboveWcrt {
+                tenant,
+                observed_s,
+                bound_s,
+            } => write!(
+                f,
+                "tenant {tenant}: p99 latency {observed_s:.6} s > WCRT {bound_s:.6} s beyond sketch error"
+            ),
             BoundViolation::InboxAboveBound { observed, bound } => {
                 write!(f, "inbox peak {observed} > static bound {bound}")
             }
@@ -297,8 +336,26 @@ impl std::fmt::Display for BoundViolation {
 /// the analyzer computes closed-form products, so the two can differ by a
 /// few ulps on *equal* quantities. The slack is relative at `1e-9` — far
 /// below any real bound violation, far above accumulated rounding.
+///
+/// This tight slack is only valid for *exactly measured* quantities.
+/// [`LatencyStats::max_s`](crate::LatencyStats) stays exact under the
+/// quantile sketch (the sketch tracks min/max outside the bucket array),
+/// so every max-vs-WCRT check below keeps the 1e-9 slack unchanged;
+/// sketch-*derived* quantiles (p50/p95/p99) must go through
+/// [`exceeds_quantile`] instead, which widens the slack by the sketch's
+/// documented worst-case relative error.
 fn exceeds(observed: f64, bound: f64) -> bool {
     observed > bound + bound.abs() * 1e-9
+}
+
+/// [`exceeds`] for sketch-derived quantiles: the observation may sit up
+/// to [`QuantileSketch::REL_ERROR`] above its exact value purely from
+/// bucketing, so the bound is inflated by that factor before the 1e-9
+/// rounding slack applies — a reported excess inside the sketch error
+/// band is not a violation.
+fn exceeds_quantile(observed: f64, bound: f64) -> bool {
+    let sketch_bound = bound * (1.0 + crate::sketch::QuantileSketch::REL_ERROR);
+    observed > sketch_bound + sketch_bound.abs() * 1e-9
 }
 
 /// Checks a finished run against the static bounds, returning every
@@ -321,6 +378,17 @@ pub fn check_report(
                 out.push(BoundViolation::LatencyAboveWcrt {
                     node: n.node,
                     observed_s: n.latency.max_s,
+                    bound_s: wcrt,
+                });
+            }
+            // Redundant tail guard on the sketch-derived p99: in an
+            // honest report p99 ≤ max makes this strictly weaker, but it
+            // keeps the check sound if a caller compares quantiles
+            // directly — the slack accounts for the sketch error.
+            if exceeds_quantile(n.latency.p99_s, wcrt) {
+                out.push(BoundViolation::TailLatencyAboveWcrt {
+                    node: n.node,
+                    observed_s: n.latency.p99_s,
                     bound_s: wcrt,
                 });
             }
@@ -377,6 +445,13 @@ pub fn check_tenant_report(
                 out.push(BoundViolation::TenantLatencyAboveWcrt {
                     tenant: tr.name.clone(),
                     observed_s: tr.latency.max_s,
+                    bound_s: wcrt,
+                });
+            }
+            if exceeds_quantile(tr.latency.p99_s, wcrt) {
+                out.push(BoundViolation::TenantTailLatencyAboveWcrt {
+                    tenant: tr.name.clone(),
+                    observed_s: tr.latency.p99_s,
                     bound_s: wcrt,
                 });
             }

@@ -1,0 +1,211 @@
+//! Columnar export round-trip against a checked-in golden file.
+//!
+//! The `.xpc` format is a contract: CI diffs exports across shard counts
+//! with `cmp`, and downstream tooling slices single columns out of files
+//! written by older builds. A golden byte image of one seeded run pins
+//! both — any format or determinism regression shows up as a byte diff
+//! here, not in a consumer.
+//!
+//! Regenerate the golden (after a *deliberate* format change) with:
+//! `XPRO_BLESS_GOLDEN=1 cargo test -p xpro-runtime --test columnar`
+
+#![allow(clippy::unwrap_used)] // tests fail loudly by design
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use xpro_core::builder::BuiltGraph;
+use xpro_core::cellgraph::{Cell, CellGraph, PortRef};
+use xpro_core::config::SystemConfig;
+use xpro_core::generator::{Engine, XProGenerator};
+use xpro_core::instance::XProInstance;
+use xpro_core::layout::Domain;
+use xpro_core::partition::Partition;
+use xpro_hw::ModuleKind;
+use xpro_runtime::{
+    summarize_timesteps, ColumnBatch, ColumnIndex, ExecutorBuilder, FleetSpec, RunHandle,
+    RuntimeConfig,
+};
+use xpro_signal::stats::FeatureKind;
+
+/// The same small fixture the determinism suite uses (integration tests
+/// cannot see the crate's internal one).
+fn tiny_instance() -> XProInstance {
+    let mut graph = CellGraph::new(128);
+    let mut feature_cells = BTreeMap::new();
+    let kinds = [
+        FeatureKind::Max,
+        FeatureKind::Var,
+        FeatureKind::Skew,
+        FeatureKind::Kurt,
+    ];
+    for (i, &kind) in kinds.iter().enumerate() {
+        let id = graph.add_cell(Cell {
+            module: ModuleKind::Feature {
+                kind,
+                input_len: 128,
+                reuses_var: false,
+            },
+            domain: Domain::Time,
+            output_samples: vec![1],
+            inputs: vec![PortRef::RAW],
+            label: format!("f{i}"),
+        });
+        feature_cells.insert(i, id);
+    }
+    let svm = graph.add_cell(Cell {
+        module: ModuleKind::Svm {
+            support_vectors: 24,
+            dims: 4,
+            rbf: true,
+        },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: (0..4).map(|i| PortRef::cell(feature_cells[&i])).collect(),
+        label: "svm".into(),
+    });
+    let fusion = graph.add_cell(Cell {
+        module: ModuleKind::ScoreFusion { bases: 1 },
+        domain: Domain::Time,
+        output_samples: vec![1],
+        inputs: vec![PortRef::cell(svm)],
+        label: "fusion".into(),
+    });
+    let built = BuiltGraph {
+        graph,
+        feature_cells,
+        svm_cells: vec![svm],
+        fusion_cell: fusion,
+    };
+    XProInstance::try_new(built, SystemConfig::default(), 100).expect("valid test instance")
+}
+
+/// The seeded run whose timestep export the golden file pins. Faults are
+/// on so the loss columns carry non-zero data.
+fn golden_run() -> RunHandle {
+    let inst = tiny_instance();
+    let partition = XProGenerator::new(&inst)
+        .partition_for(Engine::CrossEnd)
+        .unwrap();
+    let cfg = RuntimeConfig::builder()
+        .nodes(3)
+        .duration_s(2.0)
+        .drop_rate(0.2)
+        .mtbf_s(0.7)
+        .mttr_s(0.2)
+        .reboot_warmup_s(0.05)
+        .max_retries(4)
+        .seed(90)
+        .build()
+        .unwrap();
+    run_with(&inst, &partition, &cfg)
+}
+
+fn run_with(inst: &XProInstance, partition: &Partition, cfg: &RuntimeConfig) -> RunHandle {
+    ExecutorBuilder::new(FleetSpec::new(inst, partition, cfg.clone()).unwrap())
+        .record_timesteps(true)
+        .build()
+        .unwrap()
+        .run()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("timesteps_golden.xpc")
+}
+
+#[test]
+fn export_bytes_match_the_checked_in_golden_file() {
+    let handle = golden_run();
+    let batch = handle.timesteps.as_ref().expect("recording was enabled");
+    assert!(batch.rows() > 1, "golden run must span several rounds");
+    let bytes = batch.to_bytes();
+    let path = golden_path();
+    if std::env::var_os("XPRO_BLESS_GOLDEN").is_some() {
+        std::fs::write(&path, &bytes).unwrap();
+        return;
+    }
+    let golden = std::fs::read(&path)
+        .expect("golden file missing — run with XPRO_BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        bytes, golden,
+        "timestep export diverged from the golden byte image"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_byte_exactly() {
+    let golden = std::fs::read(golden_path()).unwrap();
+    let batch = ColumnBatch::from_bytes(&golden).unwrap();
+    assert_eq!(batch.to_bytes(), golden, "parse→serialize is not identity");
+    // The aggregation layer folds the golden columns without error and
+    // sees actual traffic.
+    let summary = summarize_timesteps(&batch).unwrap();
+    assert_eq!(summary.rows, batch.rows() as u64);
+    assert!(summary.offered > 0 && summary.completed > 0);
+    assert!(summary.offered >= summary.completed);
+}
+
+#[test]
+fn golden_file_footer_index_skips_to_a_single_column() {
+    let golden = std::fs::read(golden_path()).unwrap();
+    let index = ColumnIndex::parse(&golden).unwrap();
+    let full = ColumnBatch::from_bytes(&golden).unwrap();
+    // Every column is reachable through the index alone, and a reader
+    // that slices one column must tolerate garbage everywhere else in
+    // the payload region — proof it never touches the other columns.
+    let names: Vec<String> = full.names().map(str::to_string).collect();
+    assert!(names.iter().any(|n| n == "completed"));
+    for name in &names {
+        let via_index = index.read_column(&golden, name).unwrap().unwrap();
+        assert_eq!(&via_index, full.column(name).unwrap(), "column {name}");
+    }
+    let target = index
+        .entries
+        .iter()
+        .find(|e| e.name == "completed")
+        .unwrap();
+    let keep = target.offset as usize..(target.offset + target.byte_len) as usize;
+    let payload_end = index
+        .entries
+        .iter()
+        .map(|e| (e.offset + e.byte_len) as usize)
+        .max()
+        .unwrap();
+    let mut mangled = golden.clone();
+    for (i, b) in mangled.iter_mut().enumerate().take(payload_end).skip(8) {
+        if !keep.contains(&i) {
+            *b ^= 0xFF;
+        }
+    }
+    let col = ColumnIndex::parse(&mangled)
+        .unwrap()
+        .read_column(&mangled, "completed")
+        .unwrap()
+        .unwrap();
+    assert_eq!(&col, full.column("completed").unwrap());
+}
+
+#[test]
+fn export_agrees_with_the_report_totals() {
+    let handle = golden_run();
+    let batch = handle.timesteps.as_ref().unwrap();
+    let summary = summarize_timesteps(batch).unwrap();
+    let report = &handle.report;
+    let offered: u64 = report.nodes.iter().map(|n| n.segments_offered).sum();
+    assert_eq!(summary.offered, offered);
+    assert_eq!(summary.completed, report.total_completed());
+    assert_eq!(summary.lost, report.total_lost());
+    let energy: f64 = report
+        .nodes
+        .iter()
+        .map(xpro_runtime::NodeReport::total_pj)
+        .sum();
+    assert!(
+        (summary.energy_pj - energy).abs() <= 1e-6 * energy.abs().max(1.0),
+        "exported energy {} vs report {}",
+        summary.energy_pj,
+        energy
+    );
+}

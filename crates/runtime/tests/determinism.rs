@@ -24,7 +24,9 @@ use xpro_core::instance::XProInstance;
 use xpro_core::layout::Domain;
 use xpro_core::partition::Partition;
 use xpro_hw::ModuleKind;
-use xpro_runtime::{ExecutorBuilder, FleetSpec, RunReport, RuntimeConfig, TenantSpec};
+use xpro_runtime::{
+    ExecutorBuilder, FleetSpec, QuantileSketch, RunReport, RuntimeConfig, TenantSpec,
+};
 use xpro_signal::stats::FeatureKind;
 
 /// A small instance: four time-domain features over the raw window, one
@@ -234,6 +236,133 @@ proptest! {
                 "{} shards diverged structurally under tenancy", shards);
             prop_assert_eq!(&json, &sharded.to_json(),
                 "{} shards diverged in JSON under tenancy", shards);
+        }
+    }
+}
+
+/// Latency samples in the range the executor actually produces (plus a
+/// tail poking past the sketch's cap so the guard buckets are exercised).
+fn latency_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..80.0, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch merging is commutative: `a ⊕ b == b ⊕ a`, bit for bit —
+    /// including the digested quantiles.
+    #[test]
+    fn sketch_merge_is_commutative(a in latency_samples(), b in latency_samples()) {
+        let sa = QuantileSketch::from_samples(a.iter().copied());
+        let sb = QuantileSketch::from_samples(b.iter().copied());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ab.quantile(q).to_bits(), ba.quantile(q).to_bits());
+        }
+        prop_assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+    }
+
+    /// Sketch merging is associative: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`.
+    /// Together with commutativity this is what makes any shard merge
+    /// tree digest to the same answer.
+    #[test]
+    fn sketch_merge_is_associative(
+        a in latency_samples(),
+        b in latency_samples(),
+        c in latency_samples(),
+    ) {
+        let sa = QuantileSketch::from_samples(a.iter().copied());
+        let sb = QuantileSketch::from_samples(b.iter().copied());
+        let sc = QuantileSketch::from_samples(c.iter().copied());
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The shard-partition invariant at the sketch level: splitting the
+    /// samples round-robin across {1, 2, 4, 8} shards, sketching each
+    /// shard independently and merging in shard order yields a sketch
+    /// bit-identical to sketching everything in one pass.
+    #[test]
+    fn sketch_is_invariant_under_shard_partitioning(samples in latency_samples()) {
+        let bulk = QuantileSketch::from_samples(samples.iter().copied());
+        for shards in [1usize, 2, 4, 8] {
+            let mut parts = vec![QuantileSketch::new(); shards];
+            for (i, &v) in samples.iter().enumerate() {
+                parts[i % shards].record(v);
+            }
+            let mut merged = QuantileSketch::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            prop_assert_eq!(&merged, &bulk, "{} shards diverged", shards);
+            for q in [0.5, 0.95, 0.99] {
+                prop_assert_eq!(
+                    merged.quantile(q).to_bits(),
+                    bulk.quantile(q).to_bits()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The executor-level corollary: under the full fault stack the
+    /// digested latency statistics — fleet-wide and per-node, all
+    /// produced by merging per-node sketches — are bit-identical for
+    /// every shard count in {1, 2, 4, 8}.
+    #[test]
+    fn sketch_digests_are_bit_identical_across_shard_counts(
+        seed in 0u64..10_000,
+        nodes in 1usize..7,
+    ) {
+        let inst = tiny_instance(seed % 5);
+        let partition = cross_end(&inst);
+        let cfg = RuntimeConfig::builder()
+            .nodes(nodes)
+            .duration_s(1.5)
+            .drop_rate(0.2)
+            .burst_bad_rate(0.85)
+            .burst_p_enter(0.2)
+            .burst_p_exit(0.3)
+            .burst_slot_s(0.1)
+            .max_retries(5)
+            .mtbf_s(0.6)
+            .mttr_s(0.2)
+            .reboot_warmup_s(0.05)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let baseline = run_sharded(&inst, &partition, &cfg, 1);
+        for shards in [2usize, 4, 8] {
+            let sharded = run_sharded(&inst, &partition, &cfg, shards);
+            let (a, b) = (baseline.fleet_latency(), sharded.fleet_latency());
+            prop_assert_eq!(a.count, b.count);
+            for (x, y) in [
+                (a.mean_s, b.mean_s),
+                (a.p50_s, b.p50_s),
+                (a.p95_s, b.p95_s),
+                (a.p99_s, b.p99_s),
+                (a.max_s, b.max_s),
+            ] {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "fleet digest diverged at {} shards", shards);
+            }
+            for (n, m) in baseline.nodes.iter().zip(&sharded.nodes) {
+                prop_assert_eq!(n.latency, m.latency,
+                    "node {} digest diverged at {} shards", n.node, shards);
+            }
         }
     }
 }

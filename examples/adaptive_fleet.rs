@@ -64,6 +64,18 @@ fn main() -> Result<(), XProError> {
             energy_pj / report.total_completed() as f64 / 1e3,
             report.channel_bad_s,
         );
+        // Fleet-wide latency from the merged per-node quantile sketches:
+        // count and max are exact, percentiles carry the sketch's 0.39 %
+        // worst-case relative error.
+        let fleet = report.fleet_latency();
+        println!(
+            "  latency over {} segments: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            fleet.count,
+            fleet.p50_s * 1e3,
+            fleet.p95_s * 1e3,
+            fleet.p99_s * 1e3,
+            fleet.max_s * 1e3,
+        );
         for s in &report.partition_switches {
             println!(
                 "  t={:<8.3} -> {} ({} sensor cells, factor {:.2})",

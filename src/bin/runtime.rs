@@ -79,6 +79,11 @@ adaptive controller:
 
 output:
   --json              emit the report as JSON instead of text
+  --export <DIR>      write columnar telemetry into DIR: timesteps.xpc
+                      (per-barrier-round event/energy/latency columns)
+                      and nodes.xpc (final per-node statistics), both in
+                      the .xpc footer-indexed format; byte-identical for
+                      any --shards value
   -h, --help          this message";
 
 struct Args {
@@ -108,6 +113,7 @@ struct Args {
     hysteresis: f64,
     min_dwell_s: f64,
     json: bool,
+    export: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -138,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         hysteresis: 1.5,
         min_dwell_s: 0.5,
         json: false,
+        export: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -285,6 +292,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--min-dwell-s: {e}"))?;
             }
             "--json" => args.json = true,
+            "--export" => args.export = Some(value("--export")?.into()),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -454,11 +462,15 @@ fn run(args: &Args) -> Result<(), XProError> {
         .min_dwell_s(args.min_dwell_s)
         .build()?;
     let spec = FleetSpec::new(&instance, &partition, run_cfg)?;
-    let report = ExecutorBuilder::new(spec)
+    let handle = ExecutorBuilder::new(spec)
         .shards(args.shards)
+        .record_timesteps(args.export.is_some())
         .build()?
-        .run()
-        .report;
+        .run();
+    if let Some(dir) = &args.export {
+        export_columns(dir, &handle)?;
+    }
+    let report = handle.report;
 
     if args.json {
         println!("{}", report.to_json());
@@ -472,6 +484,52 @@ fn run(args: &Args) -> Result<(), XProError> {
         );
         print!("{}", report.render());
     }
+    Ok(())
+}
+
+/// Writes `timesteps.xpc` and `nodes.xpc` into `dir`, then folds the
+/// timestep columns back through the aggregation layer and cross-checks
+/// the totals against the report — the export is only useful if it
+/// agrees with what the run says happened. The summary goes to stderr so
+/// `--json` keeps stdout machine-clean.
+fn export_columns(dir: &std::path::Path, handle: &RunHandle) -> Result<(), XProError> {
+    use xpro::runtime::{node_columns, summarize_timesteps};
+    let timesteps = handle
+        .timesteps
+        .as_ref()
+        .expect("recording was enabled with --export");
+    std::fs::create_dir_all(dir).map_err(XProError::from)?;
+    timesteps.write(&dir.join("timesteps.xpc"))?;
+    node_columns(&handle.report).write(&dir.join("nodes.xpc"))?;
+    let summary = summarize_timesteps(timesteps)?;
+    let report = &handle.report;
+    let offered: u64 = report.nodes.iter().map(|n| n.segments_offered).sum();
+    if summary.offered != offered
+        || summary.completed != report.total_completed()
+        || summary.lost != report.total_lost()
+    {
+        return Err(XProError::config(format!(
+            "columnar export disagrees with the report: \
+             offered {}/{}, completed {}/{}, lost {}/{}",
+            summary.offered,
+            offered,
+            summary.completed,
+            report.total_completed(),
+            summary.lost,
+            report.total_lost(),
+        )));
+    }
+    eprintln!(
+        "exported {} rounds x {} columns to {} (offered {}, completed {}, lost {}; \
+         telemetry sketches held {} bytes)",
+        summary.rows,
+        timesteps.names().count(),
+        dir.display(),
+        summary.offered,
+        summary.completed,
+        summary.lost,
+        handle.telemetry_bytes,
+    );
     Ok(())
 }
 
