@@ -41,7 +41,8 @@
 
 use crate::affine::{AffineForm, SymbolCtx};
 use crate::interval::{Hazard, HazardOp, Interval, OpLog};
-use xpro_hw::ModuleKind;
+use std::collections::BTreeMap;
+use xpro_hw::{ApproxConfig, ModuleKind};
 use xpro_signal::dwt::Wavelet;
 use xpro_signal::fixed::Q16;
 use xpro_signal::stats::FeatureKind;
@@ -440,6 +441,25 @@ pub fn analyze(cells: &[CellSpec], input: SignalBounds, opts: &AnalyzeOptions) -
     }
 }
 
+/// Runs the range analysis with approximation knobs, panicking on invalid
+/// inputs (see [`try_analyze_approx`] for the fallible variant).
+///
+/// # Panics
+///
+/// Panics if the bounds, options, or any assigned [`ApproxConfig`] are
+/// invalid, or if the cell list is not topologically ordered.
+pub fn analyze_approx(
+    cells: &[CellSpec],
+    input: SignalBounds,
+    opts: &AnalyzeOptions,
+    assignment: &BTreeMap<usize, ApproxConfig>,
+) -> AnalysisReport {
+    match try_analyze_approx(cells, input, opts, assignment) {
+        Ok(report) => report,
+        Err(e) => panic!("invalid analysis input: {e}"),
+    }
+}
+
 /// Runs the range analysis, validating bounds and options first.
 ///
 /// # Errors
@@ -456,8 +476,46 @@ pub fn try_analyze(
     input: SignalBounds,
     opts: &AnalyzeOptions,
 ) -> Result<AnalysisReport, AnalyzeError> {
+    try_analyze_approx(cells, input, opts, &BTreeMap::new())
+}
+
+/// Runs the range analysis with per-cell approximation knobs applied.
+///
+/// `assignment` maps cell indices to [`ApproxConfig`]s. For each
+/// approximated cell the walk first runs the *exact* transfer functions,
+/// then injects the knob's worst-case deviation: the interval envelope's
+/// `err_ulps` grows by the deviation bound and the affine form gains a
+/// fresh noise symbol of the same radius, so the resulting per-port
+/// envelopes bound `|approximate fixed-point − ideal real|` end to end.
+/// Cells absent from the map (and knobs a module does not honor, per
+/// [`ApproxConfig::effective_for`]) analyze exactly as [`try_analyze`].
+///
+/// # Errors
+///
+/// Returns an [`AnalyzeError`] when `input` or `opts` contain NaN,
+/// infinite, or inverted values, or when an assigned config fails
+/// [`ApproxConfig::validate`].
+///
+/// # Panics
+///
+/// Panics if a cell references a not-yet-analyzed producer or an
+/// out-of-range port (the list must be topologically ordered).
+pub fn try_analyze_approx(
+    cells: &[CellSpec],
+    input: SignalBounds,
+    opts: &AnalyzeOptions,
+    assignment: &BTreeMap<usize, ApproxConfig>,
+) -> Result<AnalysisReport, AnalyzeError> {
     input.validate()?;
     opts.validate()?;
+    for cfg in assignment.values() {
+        if cfg.validate().is_err() {
+            return Err(AnalyzeError::InvalidOption {
+                name: "approx.mul_truncation_bits",
+                value: f64::from(cfg.mul_truncation_bits),
+            });
+        }
+    }
 
     // Raw samples: quantized once on entry (±0.5 ulp); segments shorter than
     // the DWT input are padded with their last sample (in range) or zeros
@@ -491,7 +549,7 @@ pub fn try_analyze(
 
         let mut log_i = OpLog::new();
         let mut log_a = OpLog::new();
-        let (outs_i, outs_a) = match cell.module {
+        let (mut outs_i, mut outs_a) = match cell.module {
             ModuleKind::Feature {
                 kind,
                 input_len,
@@ -536,6 +594,27 @@ pub fn try_analyze(
                 vec![fusion_affine(bases, &mut ctx, &mut log_a)],
             ),
         };
+
+        // Approximation-knob injection: the exact transfer above bounds the
+        // exact kernel; each honored knob's worst-case deviation enters as
+        // additional ulp error (both domains) plus a fresh affine noise
+        // symbol, so downstream cells see the deviation as an independent
+        // bounded perturbation.
+        if let Some(cfg) = assignment.get(&i) {
+            let eff = cfg.effective_for(&cell.module);
+            if !eff.is_exact() {
+                let in_iv = cell.inputs.first().map(|&p| fetch_iv(p));
+                let extras = approx_injection_ulps(&cell.module, &eff, in_iv, &outs_i, opts);
+                for (p, extra) in extras.into_iter().enumerate() {
+                    if extra > 0.0 {
+                        outs_i[p].err_ulps += extra;
+                        let noise = AffineForm::with_fresh(0.0, extra * ULP, &mut ctx);
+                        outs_a[p].form = outs_a[p].form.add(&noise);
+                        outs_a[p].err_ulps += extra;
+                    }
+                }
+            }
+        }
 
         let affine_vr: Vec<ValueRange> = outs_a.iter().map(AffineRange::to_value_range).collect();
         let verdict_i = verdict_of(&log_i, &outs_i, opts);
@@ -635,6 +714,77 @@ fn verdict_of(log: &OpLog, outs: &[ValueRange], opts: &AnalyzeOptions) -> Verdic
 /// `e_a·|b| + e_b·|a| + e_a·e_b·2^-16` plus half an ulp of rounding.
 fn mul_err(ea: f64, amax: f64, eb: f64, bmax: f64) -> f64 {
     ea * bmax + eb * amax + ea * eb / 65536.0 + 0.5
+}
+
+/// Worst-case deviation, per output port and in ulps, between a cell's
+/// approximate kernel and its exact kernel on the same inputs. `eff` is the
+/// [`ApproxConfig::effective_for`]-filtered config, `in_iv` the envelope of
+/// the cell's first input, `outs_i` the exact interval-domain outputs.
+///
+/// The bounds mirror the approximate kernels:
+///
+/// * **DWT level skip** (`dwt_single_q16_skipped`): for Haar (`taps == 2`)
+///   both the approximation `√2·s₂ᵢ` and the zeroed detail deviate from the
+///   exact pair by at most `|s₂ᵢ − s₂ᵢ₊₁|/√2 ≤ (hi−lo)/√2`; for longer
+///   filters the magnitude-sum bound `(√2 + taps)·max|x|` (approx port) and
+///   `taps·max|x|` (detail port) applies since every orthonormal tap has
+///   magnitude below one. A few ulps of slack cover the kernels' differing
+///   rounding.
+/// * **SVM truncated multiply** (`decision_q16_trunc`, `k` dropped bits):
+///   each truncated product lands within `2^k` ulps *below* the
+///   round-to-nearest product; propagating through the (1-Lipschitz on its
+///   domain) RBF exponential and the `C`-bounded dual coefficients gives
+///   `sv·(2^k·(1 + C + C·γ·dims) + 3C + 1)` ulps (RBF) or
+///   `sv·(2^k·(1 + C·dims) + 3C + 1)` (linear).
+/// * **SVM prune**: the pruned base emits no vote; the deviation is the
+///   full exact output magnitude plus its rounding envelope.
+fn approx_injection_ulps(
+    module: &ModuleKind,
+    eff: &ApproxConfig,
+    in_iv: Option<ValueRange>,
+    outs_i: &[ValueRange],
+    opts: &AnalyzeOptions,
+) -> Vec<f64> {
+    match *module {
+        ModuleKind::DwtLevel { taps, .. } if eff.dwt_skip => {
+            let x = in_iv.expect("dwt cell has an input").interval;
+            let slack = taps as f64 + 4.0;
+            if taps == 2 {
+                let dev = (x.hi_f64() - x.lo_f64()) / std::f64::consts::SQRT_2 / ULP + slack;
+                vec![dev, dev]
+            } else {
+                let max_abs = x.max_abs();
+                vec![
+                    (std::f64::consts::SQRT_2 + taps as f64) * max_abs / ULP + slack,
+                    taps as f64 * max_abs / ULP + slack,
+                ]
+            }
+        }
+        ModuleKind::Svm {
+            support_vectors,
+            dims,
+            rbf,
+        } => {
+            if eff.svm_prune {
+                // The whole decision value disappears: |0 − exact| is at
+                // most the exact magnitude plus its rounding envelope.
+                return vec![outs_i[0].interval.max_abs() / ULP + outs_i[0].err_ulps];
+            }
+            let k = eff.mul_truncation_bits;
+            if k == 0 {
+                return vec![0.0];
+            }
+            let c = opts.svm_coef_bound;
+            let per_product = f64::from(1u32 << u32::from(k));
+            let per_sv = if rbf {
+                per_product * (1.0 + c + c * opts.svm_gamma * dims as f64) + 3.0 * c + 1.0
+            } else {
+                per_product * (1.0 + c * dims as f64) + 3.0 * c + 1.0
+            };
+            vec![support_vectors as f64 * per_sv]
+        }
+        _ => vec![0.0; outs_i.len()],
+    }
 }
 
 // ---------------------------------------------------------------------------

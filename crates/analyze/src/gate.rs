@@ -27,10 +27,13 @@ use crate::analysis::{AnalysisReport, Verdict};
 /// Findings-format version stamped into every document.
 ///
 /// Version 2 added the timing/energy findings family
-/// ([`Severity::Violation`], `timing.*` and `energy.*` rules); version-1
-/// documents still parse (the reader is line-based), but regenerate the
-/// baseline when bumping.
-pub const FORMAT_VERSION: u32 = 2;
+/// ([`Severity::Violation`], `timing.*` and `energy.*` rules). Version 3
+/// added the approximation-budget family (`approx.*` rules at synthetic
+/// cell indices ≥ [`APPROX_CELL_BASE`]). The reader rejects any other
+/// version with an explicit "regenerate the baseline" error, so a stale
+/// checked-in baseline fails the gate with a migration message instead of
+/// a spurious severity regression.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Severity of one finding, ordered from best to worst.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -78,6 +81,11 @@ impl Severity {
 /// real cell index so the canonical `(config, cell)` sort keeps a config's
 /// range findings first and its timing verdicts last.
 pub const TIMING_CELL_BASE: usize = 10_000;
+
+/// Base synthetic cell index for approximation-budget findings
+/// (`approx.*` rules): above [`TIMING_CELL_BASE`] so a config's findings
+/// sort as range → timing/energy → approximation.
+pub const APPROX_CELL_BASE: usize = 20_000;
 
 /// One machine-readable finding: the combined verdict for one cell of one
 /// analyzed configuration, or (at synthetic cell indices ≥
@@ -207,11 +215,31 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed line.
+/// Returns a description of the first malformed line, or a migration
+/// message when the document's `"version"` header does not match
+/// [`FORMAT_VERSION`] (regenerate the baseline with
+/// `analyze --table1 --write-baseline` after a format bump).
 pub fn parse_findings(text: &str) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
+    let mut version: Option<u32> = None;
     for (num, line) in text.lines().enumerate() {
         let line = line.trim();
+        if version.is_none() {
+            if let Some(v) = field(line, "version") {
+                let v: u32 = v
+                    .parse()
+                    .map_err(|e| format!("line {}: version: {e}", num + 1))?;
+                if v != FORMAT_VERSION {
+                    return Err(format!(
+                        "findings format version {v} does not match the current version \
+                         {FORMAT_VERSION}; regenerate the baseline with \
+                         `analyze --table1 --write-baseline <path>`"
+                    ));
+                }
+                version = Some(v);
+                continue;
+            }
+        }
         if !line.starts_with("{\"config\"") && !line.starts_with("{ \"config\"") {
             continue;
         }
@@ -447,5 +475,37 @@ mod tests {
     fn parse_rejects_garbage_fields() {
         let doc = "{\"config\": \"C1\", \"cell\": x, \"label\": \"a\"}";
         assert!(parse_findings(doc).is_err());
+    }
+
+    #[test]
+    fn stale_format_version_asks_for_regeneration() {
+        let current = render_findings(&[finding("C1", 0, "Var@d3", Severity::Proven)]);
+        let stale = current.replace(&format!("\"version\": {FORMAT_VERSION}"), "\"version\": 2");
+        let err = parse_findings(&stale).expect_err("stale version must not parse");
+        assert!(err.contains("regenerate the baseline"), "{err}");
+        assert!(err.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn current_format_version_parses() {
+        let doc = render_findings(&[finding("C1", 0, "Var@d3", Severity::Proven)]);
+        assert!(doc.contains(&format!("\"version\": {FORMAT_VERSION}")));
+        assert_eq!(parse_findings(&doc).expect("parse").len(), 1);
+    }
+
+    #[test]
+    fn approx_findings_sort_after_timing() {
+        let mut a = finding(
+            "C1",
+            APPROX_CELL_BASE,
+            "approx@svm-trunc4",
+            Severity::Proven,
+        );
+        a.rule = "approx.budget_proven".into();
+        let b = finding("C1", TIMING_CELL_BASE, "wcrt@wc", Severity::Proven);
+        let doc = render_findings(&[a, b]);
+        let wcrt = doc.find("wcrt@wc").expect("wcrt present");
+        let approx = doc.find("approx@svm-trunc4").expect("approx present");
+        assert!(wcrt < approx, "timing findings come first:\n{doc}");
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod affine;
 pub mod analysis;
+pub mod approx;
 pub mod energy;
 pub mod gate;
 pub mod interval;
@@ -50,12 +51,17 @@ pub mod timing;
 
 pub use affine::{AffineForm, SymbolCtx};
 pub use analysis::{
-    analyze, try_analyze, AnalysisReport, AnalyzeError, AnalyzeOptions, CellReport, CellSpec,
-    DomainReport, SignalBounds, ValueRange, Verdict,
+    analyze, analyze_approx, try_analyze, try_analyze_approx, AnalysisReport, AnalyzeError,
+    AnalyzeOptions, CellReport, CellSpec, DomainReport, SignalBounds, ValueRange, Verdict,
+};
+pub use approx::{
+    analyze_approx_budget, approx_finding, ApproxAnalysis, ApproxBudget, ApproxVerdict,
+    SvmDeviation,
 };
 pub use energy::{analyze_energy, EnergyBounds, EnergyViolation};
 pub use gate::{
-    diff_findings, parse_findings, render_findings, Finding, Severity, TIMING_CELL_BASE,
+    diff_findings, parse_findings, render_findings, Finding, Severity, APPROX_CELL_BASE,
+    TIMING_CELL_BASE,
 };
 pub use interval::{Hazard, HazardOp, Interval};
 pub use timing::{

@@ -10,7 +10,7 @@ use std::time::Instant;
 use xpro_core::config::SystemConfig;
 use xpro_core::instance::XProInstance;
 use xpro_core::pipeline::{PipelineConfig, XProPipeline};
-use xpro_core::{Partition, XProGenerator};
+use xpro_core::{plan_approximate, ApproxPlanOptions, Partition, XProGenerator};
 use xpro_data::{generate_case_sized, CaseId};
 use xpro_ml::SubspaceConfig;
 use xpro_runtime::{ExecutorBuilder, FleetSpec, RunHandle, RunReport, RuntimeConfig, TenantSpec};
@@ -272,16 +272,22 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
         ));
     }
 
+    // Quality–energy frontier: the approximate planner swept across
+    // accuracy floors. Deterministic (fixed seeds, static proofs, exact
+    // CV) — one planning pass per point, no timing statistics needed.
+    let quality_entries = quality_energy_entries();
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"runtime_executor\",\n  \"scenarios\": [\n{}\n  ],\n",
             "  \"shard_sweep\": [\n{}\n  ],\n  \"tenant_sweep\": [\n{}\n  ],\n",
-            "  \"telemetry_sweep\": [\n{}\n  ]\n}}\n"
+            "  \"telemetry_sweep\": [\n{}\n  ],\n  \"quality_energy_sweep\": [\n{}\n  ]\n}}\n"
         ),
         entries.join(",\n"),
         sweep_entries.join(",\n"),
         tenant_entries.join(",\n"),
-        telemetry_entries.join(",\n")
+        telemetry_entries.join(",\n"),
+        quality_entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     if let Err(e) = std::fs::write(path, json) {
@@ -289,6 +295,57 @@ fn write_trajectory(inst: &XProInstance, cut: &Partition) {
     } else {
         println!("wrote {path}");
     }
+}
+
+/// The quality–energy frontier of the approximate planner: every
+/// Table-1 case × accuracy floor, recording which ladder rung wins, the
+/// cross-validated accuracies of both execution paths and the sensor
+/// energy bill against the exact plan's. A floor of `0.0` forces the
+/// planner to be free (the approximate path must match the exact CV
+/// accuracy outright); widening floors trade verified accuracy headroom
+/// for sensor energy.
+fn quality_energy_entries() -> Vec<String> {
+    let mut out = Vec::new();
+    for case in xpro_data::CaseId::ALL {
+        let data = generate_case_sized(case, 90, 42);
+        let cfg = PipelineConfig::builder()
+            .subspace(SubspaceConfig {
+                candidates: 10,
+                features_per_base: 8,
+                keep_fraction: 0.3,
+                min_keep: 3,
+                folds: 2,
+                ..SubspaceConfig::default()
+            })
+            .build()
+            .expect("valid config");
+        let pipeline = XProPipeline::train(&data, &cfg).expect("trains");
+        for &floor in &[0.0f64, 0.01, 0.02, 0.05] {
+            let opts = ApproxPlanOptions {
+                max_accuracy_drop: floor,
+                ..ApproxPlanOptions::default()
+            };
+            let plan =
+                plan_approximate(&pipeline, &data, SystemConfig::default(), &opts).expect("plans");
+            out.push(format!(
+                concat!(
+                    "    {{\"case\": \"{}\", \"max_accuracy_drop\": {}, \"level\": \"{}\", ",
+                    "\"cv_exact_accuracy\": {:.4}, \"cv_approx_accuracy\": {:.4}, ",
+                    "\"sensor_pj\": {:.1}, \"exact_sensor_pj\": {:.1}, ",
+                    "\"energy_saving\": {:.4}}}"
+                ),
+                case.symbol(),
+                floor,
+                plan.level.map_or("exact".to_string(), |l| l.to_string()),
+                plan.cv_exact_accuracy,
+                plan.cv_approx_accuracy,
+                plan.sensor_pj,
+                plan.exact_sensor_pj,
+                plan.energy_saving(),
+            ));
+        }
+    }
+    out
 }
 
 /// An even split of `nodes` across `tenants`, alternating unmetered and

@@ -5,12 +5,14 @@
 //! most energy-efficient monotonic ALU mode for its module, as chosen by the
 //! hardware library's Figure-4 characterization.
 
-use crate::analysis::analyze_graph;
+use crate::analysis::cell_specs;
 use crate::builder::BuiltGraph;
 use crate::config::SystemConfig;
 use crate::error::XProError;
-use xpro_analyze::{AnalysisReport, AnalyzeOptions, SignalBounds, Verdict};
-use xpro_hw::{AluMode, CellCost};
+use std::collections::BTreeMap;
+use xpro_analyze::{analyze_approx, AnalysisReport, AnalyzeOptions, SignalBounds, Verdict};
+use xpro_hw::approx::approx_op_counts;
+use xpro_hw::{AluMode, ApproxConfig, CellCost};
 
 /// A priced XPro instance ready for partitioning.
 #[derive(Clone, Debug)]
@@ -24,6 +26,11 @@ pub struct XProInstance {
     /// re-priced instance ([`XProInstance::reconfigured`]) analyzes the
     /// graph under the same assumptions.
     bounds: SignalBounds,
+    /// Per-cell approximation knobs the instance is priced (and analyzed)
+    /// under; empty for an exact instance. Part of the `Debug` rendering,
+    /// so plan-cache keys separate approximate from exact configurations
+    /// automatically.
+    approx: BTreeMap<usize, ApproxConfig>,
     sensor_costs: Vec<CellCost>,
     sensor_modes: Vec<AluMode>,
     agg_energy_pj: Vec<f64>,
@@ -61,22 +68,66 @@ impl XProInstance {
         segment_len: usize,
         bounds: SignalBounds,
     ) -> Result<Self, XProError> {
+        XProInstance::try_with_approx(built, config, segment_len, bounds, BTreeMap::new())
+    }
+
+    /// Prices a built graph under a system configuration *and* a per-cell
+    /// approximation assignment: approximated cells are priced with their
+    /// approximate kernels (truncated multiplier array, skipped DWT level,
+    /// power-gated pruned SVMs) and the static range analysis runs with
+    /// each knob's worst-case deviation injected as fresh affine noise, so
+    /// the instance's verdicts and envelopes are sound for the approximate
+    /// datapath.
+    ///
+    /// The aggregator side keeps exact per-op energies (its multiplier
+    /// hardware is fixed) but runs the same approximate algorithms, so
+    /// pruned and skipped cells shed their op counts on both ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] if `segment_len == 0`, the graph is
+    /// empty, or an assigned [`ApproxConfig`] is invalid or names a cell
+    /// outside the graph.
+    pub fn try_with_approx(
+        built: BuiltGraph,
+        config: SystemConfig,
+        segment_len: usize,
+        bounds: SignalBounds,
+        approx: BTreeMap<usize, ApproxConfig>,
+    ) -> Result<Self, XProError> {
         if segment_len == 0 {
             return Err(XProError::config("segment length must be positive"));
         }
         if built.graph.is_empty() {
             return Err(XProError::config("cell graph has no cells"));
         }
-        let analysis = analyze_graph(&built.graph, bounds, &AnalyzeOptions::default());
+        for (&cell, cfg) in &approx {
+            if cell >= built.graph.len() {
+                return Err(XProError::config(format!(
+                    "approx assignment names cell {cell} of a {}-cell graph",
+                    built.graph.len()
+                )));
+            }
+            cfg.validate().map_err(XProError::config)?;
+        }
+        let analysis = analyze_approx(
+            &cell_specs(&built.graph),
+            bounds,
+            &AnalyzeOptions::default(),
+            &approx,
+        );
         let mut sensor_costs = Vec::with_capacity(built.graph.len());
         let mut sensor_modes = Vec::with_capacity(built.graph.len());
         let mut agg_energy_pj = Vec::with_capacity(built.graph.len());
         let mut agg_time_s = Vec::with_capacity(built.graph.len());
-        for cell in built.graph.cells() {
-            let (mode, cost) = config.cost_model.best_mode(&cell.module, config.node);
+        for (i, cell) in built.graph.cells().iter().enumerate() {
+            let cfg = approx.get(&i).copied().unwrap_or(ApproxConfig::EXACT);
+            let (mode, cost) = config
+                .cost_model
+                .best_mode_approx(&cell.module, config.node, &cfg);
             sensor_modes.push(mode);
             sensor_costs.push(cost);
-            let ops = cell.module.op_counts();
+            let ops = approx_op_counts(&cell.module, &cfg);
             agg_energy_pj.push(config.aggregator.energy_pj(&ops));
             agg_time_s.push(config.aggregator.time_s(&ops));
         }
@@ -85,12 +136,30 @@ impl XProInstance {
             config,
             segment_len,
             bounds,
+            approx,
             sensor_costs,
             sensor_modes,
             agg_energy_pj,
             agg_time_s,
             analysis,
         })
+    }
+
+    /// Re-prices this instance's graph under a per-cell approximation
+    /// assignment, keeping the workload, configuration, and analysis
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`XProInstance::try_with_approx`].
+    pub fn with_approx(&self, approx: BTreeMap<usize, ApproxConfig>) -> Result<Self, XProError> {
+        XProInstance::try_with_approx(
+            self.built.clone(),
+            self.config.clone(),
+            self.segment_len,
+            self.bounds,
+            approx,
+        )
     }
 
     /// Re-prices this instance's graph under a different system
@@ -109,7 +178,29 @@ impl XProInstance {
     /// [`XProInstance::try_with_bounds`] (never for a config-only change of
     /// an already-valid instance).
     pub fn reconfigured(&self, config: SystemConfig) -> Result<Self, XProError> {
-        XProInstance::try_with_bounds(self.built.clone(), config, self.segment_len, self.bounds)
+        XProInstance::try_with_approx(
+            self.built.clone(),
+            config,
+            self.segment_len,
+            self.bounds,
+            self.approx.clone(),
+        )
+    }
+
+    /// The per-cell approximation assignment this instance is priced
+    /// under; empty for an exact instance.
+    pub fn approx(&self) -> &BTreeMap<usize, ApproxConfig> {
+        &self.approx
+    }
+
+    /// Whether any cell carries a non-exact approximation knob.
+    pub fn is_approximate(&self) -> bool {
+        !self.approx.is_empty()
+    }
+
+    /// Input-signal bounds the numeric analysis ran against.
+    pub fn bounds(&self) -> SignalBounds {
+        self.bounds
     }
 
     /// The static range analysis of the graph under this instance's input

@@ -54,6 +54,7 @@
 
 pub mod aggregator;
 pub mod analysis;
+pub mod approx;
 pub mod builder;
 pub mod cellgraph;
 pub mod certificate;
@@ -77,6 +78,9 @@ pub(crate) mod testutil;
 
 pub use aggregator::AggregatorModel;
 pub use analysis::{analyze_graph, cell_specs};
+pub use approx::{
+    assignment_for_graph, plan_approximate, ApproxLevel, ApproxPlanOptions, ApproxPlanOutcome,
+};
 pub use builder::{build_cell_graph, build_full_cell_graph, BuildOptions, BuiltGraph};
 pub use cellgraph::{Cell, CellGraph, CellId, PortRef};
 pub use certificate::{

@@ -11,7 +11,9 @@ use crate::builder::{build_cell_graph, BuildOptions, BuiltGraph};
 use crate::error::XProError;
 use crate::layout::{Domain, FeatureLayout, DWT_INPUT_LEN, DWT_LEVELS};
 use crate::partition::Partition;
+use std::collections::BTreeMap;
 use xpro_data::Dataset;
+use xpro_hw::ApproxConfig;
 use xpro_ml::cv::{gather, stratified_split};
 use xpro_ml::metrics::accuracy;
 use xpro_ml::{MinMaxScaler, RandomSubspaceModel, SubspaceConfig};
@@ -390,6 +392,183 @@ impl XProPipeline {
         self.model.fusion().predict(&votes)
     }
 
+    /// Per-base decision scores of the cross-end Q16 execution path under a
+    /// partition — the raw SVM decision values before thresholding into
+    /// votes. In-sensor SVM cells evaluate on the Q16 datapath; aggregator
+    /// cells in `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn base_scores_q16(&self, segment: &[f64], partition: &Partition) -> Vec<f64> {
+        self.base_scores_q16_approx(segment, partition, &BTreeMap::new())
+    }
+
+    /// Per-base decision scores under a partition *and* a per-cell
+    /// approximation assignment, executing the approximate kernels:
+    ///
+    /// * `dwt_skip` on the deepest DWT cell replaces that level's filter
+    ///   bank with the decimation approximation on **both** ends (an
+    ///   algorithmic knob: placement changes where cells run, never what
+    ///   they compute);
+    /// * `mul_truncation_bits` applies only to in-sensor SVM cells (it
+    ///   models the sensor's truncated multiplier array; the aggregator's
+    ///   hardware is exact);
+    /// * `svm_prune` power-gates a base entirely — its score is reported
+    ///   as `0.0` and it abstains from fusion on both ends.
+    ///
+    /// A `dwt_skip` assigned to any non-deepest DWT cell is ignored by
+    /// execution (the planner only ever assigns the deepest level; the
+    /// static analysis of such an assignment is conservative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn base_scores_q16_approx(
+        &self,
+        segment: &[f64],
+        partition: &Partition,
+        assignment: &BTreeMap<usize, ApproxConfig>,
+    ) -> Vec<f64> {
+        assert_eq!(
+            partition.in_sensor.len(),
+            self.built.graph.len(),
+            "partition size mismatch"
+        );
+        use xpro_signal::dwt::{dwt_multilevel_approx, dwt_multilevel_q16_approx};
+        use xpro_signal::fixed::Q16;
+        use xpro_signal::stats::feature_q16;
+
+        let cells = self.built.graph.cells();
+        let deepest_dwt = cells
+            .iter()
+            .rposition(|c| matches!(c.module, xpro_hw::ModuleKind::DwtLevel { .. }));
+        let skip_deepest = deepest_dwt.is_some_and(|cid| {
+            assignment
+                .get(&cid)
+                .map(|cfg| cfg.effective_for(&cells[cid].module).dwt_skip)
+                .unwrap_or(false)
+        });
+
+        let padded = fit_length(segment, DWT_INPUT_LEN);
+        let dec = dwt_multilevel_approx(&padded, DWT_LEVELS, self.wavelet, skip_deepest);
+        let padded_q: Vec<Q16> = padded.iter().map(|&v| Q16::from_f64(v)).collect();
+        let (details_q, approx_q) =
+            dwt_multilevel_q16_approx(&padded_q, DWT_LEVELS, self.wavelet, skip_deepest);
+
+        let float_window = |domain: Domain| -> &[f64] {
+            match domain {
+                Domain::Time => &padded,
+                Domain::Detail(l) => &dec.details[l as usize - 1],
+                Domain::Approx => &dec.approx,
+            }
+        };
+        let fixed_window = |domain: Domain| -> &[Q16] {
+            match domain {
+                Domain::Time => &padded_q,
+                Domain::Detail(l) => &details_q[l as usize - 1],
+                Domain::Approx => &approx_q,
+            }
+        };
+
+        let mut raw_feature: Vec<f64> = vec![0.0; FeatureLayout::DIM];
+        for (&fi, &cid) in &self.built.feature_cells {
+            let (domain, kind) = FeatureLayout::decode(fi);
+            let cell = &self.built.graph.cells()[cid];
+            let on_sensor = partition.in_sensor[cid];
+            let value = match cell.module {
+                xpro_hw::ModuleKind::Feature {
+                    reuses_var: true, ..
+                } => {
+                    let var = raw_feature[FeatureLayout::index(domain, FeatureKind::Var)];
+                    if on_sensor {
+                        Q16::from_f64(var).sqrt().to_f64()
+                    } else {
+                        var.max(0.0).sqrt()
+                    }
+                }
+                _ => {
+                    if on_sensor {
+                        feature_q16(kind, fixed_window(domain)).to_f64()
+                    } else {
+                        feature_f64(kind, float_window(domain))
+                    }
+                }
+            };
+            raw_feature[fi] = value;
+        }
+
+        self.built
+            .svm_cells
+            .iter()
+            .zip(self.model.bases())
+            .map(|(cell_id, base)| {
+                let eff = assignment
+                    .get(cell_id)
+                    .map(|cfg| cfg.effective_for(&self.built.graph.cells()[*cell_id].module))
+                    .unwrap_or(xpro_hw::ApproxConfig::EXACT);
+                if eff.svm_prune {
+                    return 0.0;
+                }
+                let projected: Vec<f64> = base
+                    .feature_indices
+                    .iter()
+                    .map(|&fi| self.scaler.transform_feature(fi, raw_feature[fi]))
+                    .collect();
+                if partition.in_sensor[*cell_id] {
+                    let projected_q: Vec<Q16> =
+                        projected.iter().map(|&v| Q16::from_f64(v)).collect();
+                    base.svm
+                        .decision_q16_trunc(&projected_q, u32::from(eff.mul_truncation_bits))
+                        .to_f64()
+                } else {
+                    base.svm.decision(&projected)
+                }
+            })
+            .collect()
+    }
+
+    /// Classifies a raw segment on the cross-end Q16 path under a partition
+    /// and an approximation assignment (see
+    /// [`XProPipeline::base_scores_q16_approx`] for the kernel semantics).
+    /// Pruned bases abstain (vote `0.0`); all other scores threshold at
+    /// zero as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size differs from the cell count.
+    pub fn classify_partitioned_q16_approx(
+        &self,
+        segment: &[f64],
+        partition: &Partition,
+        assignment: &BTreeMap<usize, ApproxConfig>,
+    ) -> f64 {
+        let scores = self.base_scores_q16_approx(segment, partition, assignment);
+        let votes: Vec<f64> = self
+            .built
+            .svm_cells
+            .iter()
+            .zip(&scores)
+            .map(|(cell_id, &score)| {
+                let pruned = assignment
+                    .get(cell_id)
+                    .map(|cfg| {
+                        cfg.effective_for(&self.built.graph.cells()[*cell_id].module)
+                            .svm_prune
+                    })
+                    .unwrap_or(false);
+                if pruned {
+                    0.0
+                } else if score >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        self.model.fusion().predict(&votes)
+    }
+
     /// The trained ensemble.
     pub fn model(&self) -> &RandomSubspaceModel {
         &self.model
@@ -556,6 +735,85 @@ mod tests {
         for seg in data.segments.iter().take(20) {
             assert_eq!(p.classify_partitioned_q16(seg, &part), p.classify(seg));
         }
+    }
+
+    #[test]
+    fn empty_assignment_matches_exact_q16_path() {
+        let data = generate_case_sized(CaseId::E1, 80, 6);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let n = p.built().graph.len();
+        let parts = [
+            Partition::all_sensor(n),
+            Partition {
+                in_sensor: (0..n).map(|i| i % 3 != 0).collect(),
+            },
+        ];
+        for seg in data.segments.iter().take(20) {
+            for part in &parts {
+                assert_eq!(
+                    p.classify_partitioned_q16_approx(seg, part, &BTreeMap::new()),
+                    p.classify_partitioned_q16(seg, part),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_bases_abstain_and_report_zero_scores() {
+        let data = generate_case_sized(CaseId::C1, 80, 7);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let n = p.built().graph.len();
+        let part = Partition::all_sensor(n);
+        let mut assignment = BTreeMap::new();
+        for &cid in &p.built().svm_cells {
+            assignment.insert(
+                cid,
+                ApproxConfig {
+                    svm_prune: true,
+                    ..ApproxConfig::EXACT
+                },
+            );
+        }
+        let seg = &data.segments[0];
+        let scores = p.base_scores_q16_approx(seg, &part, &assignment);
+        assert!(scores.iter().all(|&s| s == 0.0));
+        // All bases abstaining, the fusion sees a zero score: predicts +1.
+        assert_eq!(
+            p.classify_partitioned_q16_approx(seg, &part, &assignment),
+            1.0
+        );
+    }
+
+    #[test]
+    fn truncation_deviates_scores_only_on_sensor_side() {
+        let data = generate_case_sized(CaseId::E2, 80, 8);
+        let p = XProPipeline::train(&data, &quick_cfg()).unwrap();
+        let n = p.built().graph.len();
+        let mut assignment = BTreeMap::new();
+        for &cid in &p.built().svm_cells {
+            assignment.insert(
+                cid,
+                ApproxConfig {
+                    mul_truncation_bits: 8,
+                    ..ApproxConfig::EXACT
+                },
+            );
+        }
+        let seg = &data.segments[0];
+        // Aggregator-side: the truncated multiplier is sensor hardware, so
+        // scores are identical to exact.
+        let agg = Partition::all_aggregator(n);
+        assert_eq!(
+            p.base_scores_q16_approx(seg, &agg, &assignment),
+            p.base_scores_q16(seg, &agg),
+        );
+        // Sensor-side: the approximate kernel runs; scores may move but
+        // stay finite.
+        let sens = Partition::all_sensor(n);
+        let exact = p.base_scores_q16(seg, &sens);
+        let approx = p.base_scores_q16_approx(seg, &sens, &assignment);
+        assert_eq!(exact.len(), approx.len());
+        assert!(approx.iter().all(|s| s.is_finite()));
     }
 
     #[test]

@@ -191,15 +191,58 @@ impl PlanCache {
         Ok((partition, certificate))
     }
 
+    /// [`PlanCache::plan_for`] for instances that may carry a per-cell
+    /// approximation assignment: before any plan (cached *or* cold) is
+    /// handed out, the assignment's budget proof is re-derived against
+    /// the presented instance and must come back `approx.budget_proven`.
+    /// A cached plan therefore never outlives its numeric safety
+    /// argument — the exact analogue of the certificate re-verification
+    /// on the placement axis. Exact instances skip the proof and behave
+    /// like [`PlanCache::plan_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XProError::Config`] when the budget proof fails or is
+    /// unprovable, and propagates generator failure on a cold miss.
+    pub fn plan_for_approx(
+        &mut self,
+        instance: &XProInstance,
+        t_limit_s: f64,
+        budget: &xpro_analyze::ApproxBudget,
+    ) -> Result<(Partition, Option<CutCertificate>), XProError> {
+        if instance.is_approximate() {
+            let analysis = xpro_analyze::analyze_approx_budget(
+                &crate::analysis::cell_specs(&instance.built().graph),
+                instance.bounds(),
+                &xpro_analyze::AnalyzeOptions::default(),
+                instance.approx(),
+                budget,
+            )
+            .map_err(|e| XProError::config(e.to_string()))?;
+            if analysis.verdict != xpro_analyze::ApproxVerdict::BudgetProven {
+                return Err(XProError::config(format!(
+                    "approximate plan rejected: budget proof came back {}",
+                    analysis.verdict
+                )));
+            }
+        }
+        self.plan_for(instance, t_limit_s)
+    }
+
     /// Re-plans `instance` under a different radio (the adaptive
     /// controller's derated-channel path), reusing memoized plans per
     /// distinct effective configuration. The cached-or-cold plan is
     /// certificate-verified either way; the repriced instance is
     /// returned alongside it so callers audit against the same pricing.
     ///
+    /// An approximate instance keeps its assignment across the
+    /// reprice ([`XProInstance::reconfigured`]) and goes through
+    /// [`PlanCache::plan_for_approx`] with the default budget, so
+    /// adaptive replans re-verify the budget proof too.
+    ///
     /// # Errors
     ///
-    /// Propagates reconfiguration or generator failure.
+    /// Propagates reconfiguration, budget-proof or generator failure.
     pub fn replan(
         &mut self,
         instance: &XProInstance,
@@ -209,7 +252,11 @@ impl PlanCache {
         let mut config = instance.config().clone();
         config.radio = radio;
         let repriced = instance.reconfigured(config)?;
-        let (partition, certificate) = self.plan_for(&repriced, t_limit_s)?;
+        let (partition, certificate) = if repriced.is_approximate() {
+            self.plan_for_approx(&repriced, t_limit_s, &xpro_analyze::ApproxBudget::default())?
+        } else {
+            self.plan_for(&repriced, t_limit_s)?
+        };
         Ok((repriced, partition, certificate))
     }
 
@@ -244,6 +291,29 @@ mod tests {
     fn instance() -> XProInstance {
         let data = generate_case(CaseId::C1, 42);
         let pipeline = XProPipeline::train(&data, &PipelineConfig::default()).unwrap();
+        let segment_len = pipeline.segment_len();
+        XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len).unwrap()
+    }
+
+    /// A smaller trained instance whose SVM bases stay under the
+    /// trunc-4 deviation margin, so the approximation ladder's mild
+    /// rungs are budget-provable.
+    fn small_instance() -> XProInstance {
+        use xpro_data::generate_case_sized;
+        use xpro_ml::SubspaceConfig;
+        let data = generate_case_sized(CaseId::C1, 90, 42);
+        let cfg = PipelineConfig::builder()
+            .subspace(SubspaceConfig {
+                candidates: 10,
+                features_per_base: 8,
+                keep_fraction: 0.3,
+                min_keep: 3,
+                folds: 2,
+                ..SubspaceConfig::default()
+            })
+            .build()
+            .unwrap();
+        let pipeline = XProPipeline::train(&data, &cfg).unwrap();
         let segment_len = pipeline.segment_len();
         XProInstance::try_new(pipeline.into_built(), SystemConfig::default(), segment_len).unwrap()
     }
@@ -335,6 +405,56 @@ mod tests {
                 assert_eq!(cache.stats().rejected, 1);
             }
         }
+    }
+
+    #[test]
+    fn approx_plan_is_budget_checked_on_hits_and_separated_from_exact() {
+        use crate::approx::{assignment_for_graph, ApproxLevel};
+        use xpro_analyze::ApproxBudget;
+
+        let inst = small_instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let assignment = assignment_for_graph(inst.built(), ApproxLevel::SvmTrunc4);
+        let approx_inst = inst.with_approx(assignment).unwrap();
+        assert!(PlanCache::key(&inst, limit) != PlanCache::key(&approx_inst, limit));
+
+        let budget = ApproxBudget::default();
+        let mut cache = PlanCache::new(4);
+        let (p1, _) = cache.plan_for_approx(&approx_inst, limit, &budget).unwrap();
+        let (p2, _) = cache.plan_for_approx(&approx_inst, limit, &budget).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Exact instances are unaffected by the budget parameter.
+        let (pe, _) = cache.plan_for_approx(&inst, limit, &budget).unwrap();
+        let (pc, _) = cache.plan_for(&inst, limit).unwrap();
+        assert_eq!(pe, pc);
+    }
+
+    #[test]
+    fn unprovable_budget_rejects_cached_and_cold_approx_plans() {
+        use crate::approx::{assignment_for_graph, ApproxLevel};
+        use xpro_analyze::ApproxBudget;
+
+        let inst = small_instance();
+        let limit = XProGenerator::new(&inst).default_delay_limit();
+        let assignment = assignment_for_graph(inst.built(), ApproxLevel::SvmTrunc4Prune1);
+        let approx_inst = inst.with_approx(assignment).unwrap();
+
+        let mut cache = PlanCache::new(4);
+        // Prime the cache under the permissive default budget.
+        cache
+            .plan_for_approx(&approx_inst, limit, &ApproxBudget::default())
+            .unwrap();
+        // A zero fused-deviation budget cannot admit the pruned base:
+        // even the cached plan must be refused.
+        let strict = ApproxBudget {
+            fused_dev: 0.0,
+            ..ApproxBudget::default()
+        };
+        let refused = cache.plan_for_approx(&approx_inst, limit, &strict);
+        assert!(matches!(refused, Err(XProError::Config(_))), "{refused:?}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod alu;
+pub mod approx;
 pub mod area;
 pub mod cell_unit;
 pub mod library;
@@ -48,6 +49,7 @@ pub mod ops;
 pub mod process;
 
 pub use alu::AluMode;
+pub use approx::{approx_cell_area_ge, ApproxConfig, MAX_TRUNCATION_BITS};
 pub use area::{cell_area_ge, total_area_ge};
 pub use cell_unit::{CellState, CellUnit};
 pub use library::{CellCost, CellCostModel, SENSOR_CLOCK_HZ};

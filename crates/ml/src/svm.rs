@@ -316,6 +316,67 @@ impl Svm {
         acc
     }
 
+    /// Signed decision value on the Q16.16 datapath with every multiply
+    /// running on a truncated multiplier array (`bits` dropped
+    /// partial-product columns) — the approximate SVM kernel behind the
+    /// `mul_truncation_bits` knob.
+    ///
+    /// With `bits == 0` this is bit-identical to [`Svm::decision_q16`].
+    /// Each truncated multiply deviates by at most `2^bits` ulps from the
+    /// exact one, and the exponential unit is 1-Lipschitz on the RBF's
+    /// non-positive arguments, so the score deviation is statically
+    /// bounded by `sv · 2^bits · (1 + C + C·γ·dims)` ulps for coefficient
+    /// bound `C` — the envelope the approximation analysis injects and the
+    /// approx-soundness proptests check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn decision_q16_trunc(
+        &self,
+        x: &[xpro_signal::fixed::Q16],
+        bits: u32,
+    ) -> xpro_signal::fixed::Q16 {
+        use xpro_signal::fixed::Q16;
+        if bits == 0 {
+            return self.decision_q16(x);
+        }
+        assert_eq!(x.len(), self.dim, "input dimension mismatch");
+        let mut acc = Q16::from_f64(self.bias);
+        for (sv, &coef) in self.support_vectors.iter().zip(&self.coefficients) {
+            let k = match self.kernel {
+                Kernel::Linear => {
+                    let mut dot = Q16::ZERO;
+                    for (&s, &v) in sv.iter().zip(x) {
+                        dot += Q16::from_f64(s).truncated_mul(v, bits);
+                    }
+                    dot
+                }
+                Kernel::Rbf { gamma } => {
+                    let mut dist2 = Q16::ZERO;
+                    for (&s, &v) in sv.iter().zip(x) {
+                        let d = Q16::from_f64(s) - v;
+                        dist2 += d.truncated_mul(d, bits);
+                    }
+                    (-(Q16::from_f64(gamma).truncated_mul(dist2, bits))).exp()
+                }
+                Kernel::Poly { degree, coef0 } => {
+                    let mut dot = Q16::from_f64(coef0);
+                    for (&s, &v) in sv.iter().zip(x) {
+                        dot += Q16::from_f64(s).truncated_mul(v, bits);
+                    }
+                    let mut out = Q16::ONE;
+                    for _ in 0..degree {
+                        out = out.truncated_mul(dot, bits);
+                    }
+                    out
+                }
+            };
+            acc += Q16::from_f64(coef).truncated_mul(k, bits);
+        }
+        acc
+    }
+
     /// Predicted ±1 label from the fixed-point datapath (ties map to +1).
     pub fn predict_q16(&self, x: &[xpro_signal::fixed::Q16]) -> f64 {
         use xpro_signal::fixed::Q16;
@@ -529,5 +590,57 @@ mod tests {
         let (xs, ys) = linearly_separable(20, 5);
         let svm = Svm::train(&xs, &ys, &SvmConfig::default()).unwrap();
         svm.decision(&[0.0]);
+    }
+
+    #[test]
+    fn truncated_decision_zero_bits_is_exact() {
+        use xpro_signal::fixed::Q16;
+        let (xs, ys) = linearly_separable(40, 23);
+        let xs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| x.iter().map(|&v| (v + 2.0) / 4.0).collect())
+            .collect();
+        let svm = Svm::train(&xs, &ys, &SvmConfig::default()).unwrap();
+        for x in xs.iter().take(10) {
+            let xq: Vec<Q16> = x.iter().map(|&v| Q16::from_f64(v)).collect();
+            assert_eq!(svm.decision_q16(&xq), svm.decision_q16_trunc(&xq, 0));
+        }
+    }
+
+    #[test]
+    fn truncated_decision_stays_within_static_envelope() {
+        use xpro_signal::fixed::Q16;
+        let (xs, ys) = linearly_separable(60, 29);
+        let xs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| x.iter().map(|&v| (v + 2.0) / 4.0).collect())
+            .collect();
+        for kernel in [Kernel::Rbf { gamma: 1.0 }, Kernel::Linear] {
+            let cfg = SvmConfig {
+                kernel,
+                ..SvmConfig::default()
+            };
+            let svm = Svm::train(&xs, &ys, &cfg).unwrap();
+            let sv = svm.num_support_vectors() as f64;
+            let dims = svm.dim() as f64;
+            // Same per-SV bounds the static analyzer injects (C = γ = 1).
+            for bits in [1u32, 4, 8, 12] {
+                let per = f64::from(1u32 << bits);
+                let per_sv = match kernel {
+                    Kernel::Rbf { .. } => per * (1.0 + 1.0 + dims) + 4.0,
+                    _ => per * (1.0 + dims) + 4.0,
+                };
+                let envelope = sv * per_sv / 65536.0;
+                for x in &xs {
+                    let xq: Vec<Q16> = x.iter().map(|&v| Q16::from_f64(v)).collect();
+                    let exact = svm.decision_q16(&xq).to_f64();
+                    let approx = svm.decision_q16_trunc(&xq, bits).to_f64();
+                    assert!(
+                        (approx - exact).abs() <= envelope,
+                        "bits {bits}: |{approx} - {exact}| > {envelope}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -126,7 +126,7 @@ pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{AggregatorReport, LatencyStats, NodeReport, RunReport, TenantReport};
 pub use sketch::QuantileSketch;
 pub use soundness::{
-    check_report, check_tenant_report, deployment_bounds, envelope_timing_model, tenant_bounds,
-    tenant_models, timing_model, BoundViolation,
+    check_report, check_score_deviations, check_tenant_report, deployment_bounds,
+    envelope_timing_model, tenant_bounds, tenant_models, timing_model, BoundViolation,
 };
 pub use tenant::TenantSpec;

@@ -264,6 +264,16 @@ pub enum BoundViolation {
         /// The static per-tenant occupancy bound.
         bound: u64,
     },
+    /// An approximate kernel's observed decision-score deviation from the
+    /// exact execution exceeded the static approximation envelope.
+    ScoreDeviationAboveEnvelope {
+        /// The offending ensemble base (position in the score vectors).
+        base: usize,
+        /// Observed `|approx − exact|` decision-score deviation.
+        observed: f64,
+        /// The static per-base deviation envelope.
+        bound: f64,
+    },
 }
 
 impl std::fmt::Display for BoundViolation {
@@ -326,6 +336,14 @@ impl std::fmt::Display for BoundViolation {
             } => write!(
                 f,
                 "tenant {tenant}: inbox peak {observed} > static bound {bound}"
+            ),
+            BoundViolation::ScoreDeviationAboveEnvelope {
+                base,
+                observed,
+                bound,
+            } => write!(
+                f,
+                "base {base}: score deviation {observed:.6} > static envelope {bound:.6}"
             ),
         }
     }
@@ -464,6 +482,61 @@ pub fn check_tenant_report(
                     bound,
                 });
             }
+        }
+    }
+    out
+}
+
+/// Cross-checks an approximate execution's per-base decision scores
+/// against the exact execution and the static approximation envelopes:
+/// every observed `|approx − exact|` must sit within the budget proof's
+/// per-base deviation bound ([`SvmDeviation::dev_value`]). This is the
+/// approximate-kernel counterpart of [`check_report`] — a violation is a
+/// soundness bug in the injection calculus or the kernels, never an
+/// expected outcome.
+///
+/// Pruned bases are skipped: their score is a forced abstention (`0.0`),
+/// a *semantic* change the fused-deviation budget accounts for, not a
+/// numeric deviation the envelope bounds.
+///
+/// [`SvmDeviation::dev_value`]: xpro_analyze::SvmDeviation::dev_value
+///
+/// # Panics
+///
+/// Panics if the score vectors and the analysis disagree on the number
+/// of ensemble bases.
+pub fn check_score_deviations(
+    exact_scores: &[f64],
+    approx_scores: &[f64],
+    analysis: &xpro_analyze::ApproxAnalysis,
+) -> Vec<BoundViolation> {
+    assert_eq!(
+        exact_scores.len(),
+        approx_scores.len(),
+        "score length mismatch"
+    );
+    assert_eq!(
+        exact_scores.len(),
+        analysis.svm.len(),
+        "analysis base-count mismatch"
+    );
+    let mut out = Vec::new();
+    for (base, ((&e, &a), dev)) in exact_scores
+        .iter()
+        .zip(approx_scores)
+        .zip(&analysis.svm)
+        .enumerate()
+    {
+        if dev.pruned {
+            continue;
+        }
+        let observed = (a - e).abs();
+        if exceeds(observed, dev.dev_value) {
+            out.push(BoundViolation::ScoreDeviationAboveEnvelope {
+                base,
+                observed,
+                bound: dev.dev_value,
+            });
         }
     }
     out
@@ -670,6 +743,68 @@ mod tests {
         assert!(
             env.frame_airtimes_s.iter().sum::<f64>() >= fb.frame_airtimes_s.iter().sum::<f64>()
         );
+    }
+
+    #[test]
+    fn score_deviation_check_flags_only_envelope_breaches() {
+        use std::collections::BTreeMap;
+        use xpro_analyze::{
+            analyze_approx_budget, AnalyzeOptions, ApproxBudget, CellSpec, SignalBounds,
+        };
+        use xpro_hw::{ApproxConfig, ModuleKind};
+        let svm = |label: &str| CellSpec {
+            module: ModuleKind::Svm {
+                support_vectors: 20,
+                dims: 8,
+                rbf: true,
+            },
+            inputs: vec![(None, 0)],
+            label: label.to_string(),
+        };
+        let cells = vec![
+            svm("SVM0"),
+            svm("SVM1"),
+            CellSpec {
+                module: ModuleKind::ScoreFusion { bases: 2 },
+                inputs: vec![(Some(0), 0), (Some(1), 0)],
+                label: "Fusion".to_string(),
+            },
+        ];
+        let mut assignment = BTreeMap::new();
+        assignment.insert(
+            0,
+            ApproxConfig {
+                mul_truncation_bits: 4,
+                ..ApproxConfig::EXACT
+            },
+        );
+        assignment.insert(
+            1,
+            ApproxConfig {
+                svm_prune: true,
+                ..ApproxConfig::EXACT
+            },
+        );
+        let analysis = analyze_approx_budget(
+            &cells,
+            SignalBounds::default(),
+            &AnalyzeOptions::default(),
+            &assignment,
+            &ApproxBudget::default(),
+        )
+        .unwrap();
+        let env = analysis.svm[0].dev_value;
+        assert!(env > 0.0);
+        // Deviation inside the envelope is clean; the pruned base's forced
+        // abstention (score 0.0 vs exact 0.9) is skipped by design.
+        assert!(check_score_deviations(&[0.5, 0.9], &[0.5 + 0.5 * env, 0.0], &analysis).is_empty());
+        // A breach on base 0 is flagged with the offending pair.
+        let v = check_score_deviations(&[0.5, 0.9], &[0.5 + 2.0 * env, 0.0], &analysis);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            BoundViolation::ScoreDeviationAboveEnvelope { base: 0, .. }
+        ));
     }
 
     #[test]

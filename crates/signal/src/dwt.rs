@@ -192,6 +192,47 @@ pub fn dwt_multilevel(signal: &[f64], levels: usize, wavelet: Wavelet) -> DwtDec
     }
 }
 
+/// `f64` reference implementation of the reduced-depth decomposition
+/// (see [`dwt_multilevel_q16_approx`]): with `skip_deepest` set, the
+/// deepest computed level uses the decimation approximation
+/// `a[i] = √2·x[2i]` with a zero detail band instead of the filter bank.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty or `levels` is zero.
+pub fn dwt_multilevel_approx(
+    signal: &[f64],
+    levels: usize,
+    wavelet: Wavelet,
+    skip_deepest: bool,
+) -> DwtDecomposition {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    assert!(levels > 0, "dwt with zero levels");
+    let mut details = Vec::with_capacity(levels);
+    let mut current = signal.to_vec();
+    for lvl in 0..levels {
+        if current.len() < 2 {
+            break;
+        }
+        if skip_deepest && lvl + 1 == levels {
+            let half = current.len().div_ceil(2);
+            let approx: Vec<f64> = (0..half)
+                .map(|i| std::f64::consts::SQRT_2 * current[2 * i])
+                .collect();
+            details.push(vec![0.0; half]);
+            current = approx;
+        } else {
+            let level = dwt_single(&current, wavelet);
+            details.push(level.detail);
+            current = level.approx;
+        }
+    }
+    DwtDecomposition {
+        details,
+        approx: current,
+    }
+}
+
 /// Fixed-point one-level analysis on the Q16.16 datapath.
 ///
 /// Filter coefficients are quantized to Q16.16 once; the multiply-accumulate
@@ -240,15 +281,63 @@ pub fn dwt_multilevel_q16(
     levels: usize,
     wavelet: Wavelet,
 ) -> (Vec<Vec<Q16>>, Vec<Q16>) {
+    dwt_multilevel_q16_approx(signal, levels, wavelet, false)
+}
+
+/// Fixed-point one-level *decimation approximation* of the analysis bank:
+/// `a[i] = √2·x[2i]`, `d[i] = 0`.
+///
+/// This is the reduced-depth DWT kernel behind the `dwt_skip`
+/// approximation knob: instead of the full filter bank (`taps` multiplies
+/// per output sample) the level keeps every other input sample, scaled by
+/// √2 so sub-band energy stays comparable, and zero-fills the detail
+/// band. One multiply per output, no additions.
+///
+/// For a Haar bank the deviation from [`dwt_single_q16`] is at most
+/// `(max − min)/√2` per output sample on both bands (plus Q16 rounding);
+/// the static approximation analysis injects that bound as affine noise.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn dwt_single_q16_skipped(signal: &[Q16]) -> (Vec<Q16>, Vec<Q16>) {
+    assert!(!signal.is_empty(), "dwt of an empty signal");
+    let sqrt2 = Q16::from_f64(std::f64::consts::SQRT_2);
+    let half = signal.len().div_ceil(2);
+    let approx: Vec<Q16> = (0..half).map(|i| sqrt2 * signal[2 * i]).collect();
+    let detail = vec![Q16::ZERO; half];
+    (approx, detail)
+}
+
+/// Fixed-point multilevel decomposition with an optional reduced-depth
+/// final level: when `skip_deepest` is set, the deepest computed level
+/// uses [`dwt_single_q16_skipped`] instead of the full filter bank.
+///
+/// Shallower levels are bit-identical to [`dwt_multilevel_q16`]; only the
+/// deepest detail band and the final approximation deviate.
+///
+/// # Panics
+///
+/// Panics if `signal` is empty or `levels` is zero.
+pub fn dwt_multilevel_q16_approx(
+    signal: &[Q16],
+    levels: usize,
+    wavelet: Wavelet,
+    skip_deepest: bool,
+) -> (Vec<Vec<Q16>>, Vec<Q16>) {
     assert!(!signal.is_empty(), "dwt of an empty signal");
     assert!(levels > 0, "dwt with zero levels");
     let mut details = Vec::with_capacity(levels);
     let mut current = signal.to_vec();
-    for _ in 0..levels {
+    for lvl in 0..levels {
         if current.len() < 2 {
             break;
         }
-        let (approx, detail) = dwt_single_q16(&current, wavelet);
+        let (approx, detail) = if skip_deepest && lvl + 1 == levels {
+            dwt_single_q16_skipped(&current)
+        } else {
+            dwt_single_q16(&current, wavelet)
+        };
         details.push(detail);
         current = approx;
     }
@@ -258,6 +347,35 @@ pub fn dwt_multilevel_q16(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn float_approx_multilevel_matches_exact_without_skip() {
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        assert_eq!(
+            dwt_multilevel_approx(&sig, 4, Wavelet::Haar, false),
+            dwt_multilevel(&sig, 4, Wavelet::Haar)
+        );
+    }
+
+    #[test]
+    fn float_approx_multilevel_skips_only_the_deepest_level() {
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let exact = dwt_multilevel(&sig, 4, Wavelet::Haar);
+        let skipped = dwt_multilevel_approx(&sig, 4, Wavelet::Haar, true);
+        assert_eq!(skipped.details[..3], exact.details[..3]);
+        assert!(skipped.details[3].iter().all(|&d| d == 0.0));
+        // a[i] = √2·x[2i] over the level-3 approximation.
+        let prev = {
+            let mut cur = sig.clone();
+            for _ in 0..3 {
+                cur = dwt_single(&cur, Wavelet::Haar).approx;
+            }
+            cur
+        };
+        for (i, &a) in skipped.approx.iter().enumerate() {
+            assert!((a - std::f64::consts::SQRT_2 * prev[2 * i]).abs() < 1e-12);
+        }
+    }
 
     #[test]
     fn haar_of_constant_signal_has_zero_detail() {
@@ -356,6 +474,50 @@ mod tests {
             // Approximation magnitudes grow by sqrt(2) per level; tolerance scaled.
             assert!((f - q.to_f64()).abs() < 1e-2, "{f} vs {q}");
         }
+    }
+
+    #[test]
+    fn skipped_level_deviation_is_bounded_by_haar_envelope() {
+        let sig: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let sig_q: Vec<Q16> = sig.iter().map(|&v| Q16::from_f64(v)).collect();
+        let (exact_a, exact_d) = dwt_single_q16(&sig_q, Wavelet::Haar);
+        let (skip_a, skip_d) = dwt_single_q16_skipped(&sig_q);
+        let (lo, hi) = sig
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        // Static envelope: (hi − lo)/√2 per sample, plus rounding slack.
+        let bound = (hi - lo) / std::f64::consts::SQRT_2 + 1e-3;
+        for (e, s) in exact_a.iter().zip(&skip_a) {
+            assert!((e.to_f64() - s.to_f64()).abs() <= bound);
+        }
+        for (e, s) in exact_d.iter().zip(&skip_d) {
+            assert_eq!(*s, Q16::ZERO);
+            assert!(e.to_f64().abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn approx_multilevel_only_deviates_at_the_deepest_level() {
+        let sig: Vec<Q16> = (0..128)
+            .map(|i| Q16::from_f64(((i as f64) * 0.21).sin()))
+            .collect();
+        let (exact_d, _) = dwt_multilevel_q16(&sig, 5, Wavelet::Haar);
+        let (skip_d, skip_a) = dwt_multilevel_q16_approx(&sig, 5, Wavelet::Haar, true);
+        assert_eq!(exact_d.len(), skip_d.len());
+        for lvl in 0..4 {
+            assert_eq!(exact_d[lvl], skip_d[lvl], "level {} diverged", lvl + 1);
+        }
+        assert!(skip_d[4].iter().all(|&d| d == Q16::ZERO));
+        assert_eq!(skip_a.len(), 4);
+    }
+
+    #[test]
+    fn skip_false_is_bit_identical_to_exact() {
+        let sig: Vec<Q16> = (0..32).map(|i| Q16::from_int(i % 7 - 3)).collect();
+        assert_eq!(
+            dwt_multilevel_q16(&sig, 3, Wavelet::Db2),
+            dwt_multilevel_q16_approx(&sig, 3, Wavelet::Db2, false)
+        );
     }
 
     #[test]

@@ -136,6 +136,49 @@ impl Q16 {
         Q16(clamp_i64(rounded))
     }
 
+    /// Saturating multiplication on a truncated multiplier array: the low
+    /// `bits` partial-product columns of the fractional shift are dropped,
+    /// so the result floors toward −∞ and zeroes its low `bits` bits.
+    ///
+    /// This is the approximate-computing kernel behind the
+    /// `mul_truncation_bits` knob: a hardware array multiplier that omits
+    /// the cheapest partial-product cells. Relative to the exact
+    /// round-to-nearest [`Q16::saturating_mul`] the deviation is at most
+    /// [`truncated_mul_error_ulps`]`(bits)` ulps — one ulp for dropping
+    /// the rounding increment plus up to `2^bits − 1` from the masked low
+    /// bits, both toward −∞.
+    ///
+    /// `bits == 0` degenerates to the exact multiply.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xpro_signal::fixed::{truncated_mul_error_ulps, Q16};
+    ///
+    /// let (a, b) = (Q16::from_f64(1.5), Q16::from_f64(2.25));
+    /// let exact = a.saturating_mul(b);
+    /// let approx = a.truncated_mul(b, 4);
+    /// let dev = (exact.raw() as i64 - approx.raw() as i64).abs();
+    /// assert!(dev <= truncated_mul_error_ulps(4));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `bits > 16`.
+    #[inline]
+    pub fn truncated_mul(self, rhs: Self, bits: u32) -> Self {
+        debug_assert!(bits <= FRAC_BITS, "cannot drop more than {FRAC_BITS} bits");
+        if bits == 0 {
+            return self.saturating_mul(rhs);
+        }
+        let wide = (self.0 as i64) * (rhs.0 as i64);
+        // Arithmetic shift floors toward −∞ (no rounding increment), and
+        // the mask floors the low columns away in two's complement.
+        let floored = wide >> FRAC_BITS;
+        let masked = floored & !((1i64 << bits) - 1);
+        Q16(clamp_i64(masked))
+    }
+
     /// Saturating division; division by zero saturates to the signed rail.
     #[inline]
     pub fn saturating_div(self, rhs: Self) -> Self {
@@ -243,6 +286,18 @@ impl Q16 {
             other
         }
     }
+}
+
+/// Worst-case deviation of [`Q16::truncated_mul`] from
+/// [`Q16::saturating_mul`] in ulps: one ulp of forfeited rounding plus the
+/// `2^bits − 1` masked low bits.
+///
+/// The static approximation analysis injects exactly this bound as fresh
+/// affine noise at truncated cells; the approx-soundness proptests verify
+/// it is never exceeded by the concrete kernel.
+#[inline]
+pub const fn truncated_mul_error_ulps(bits: u32) -> i64 {
+    1i64 << bits
 }
 
 #[inline]
@@ -436,6 +491,46 @@ mod tests {
         let big = Q16::from_int(30000);
         assert_eq!(big * big, Q16::MAX);
         assert_eq!(big * -big, Q16::MIN);
+    }
+
+    #[test]
+    fn truncated_mul_zero_bits_is_exact() {
+        let (a, b) = (Q16::from_f64(-7.25), Q16::from_f64(3.125));
+        assert_eq!(a.truncated_mul(b, 0), a.saturating_mul(b));
+    }
+
+    #[test]
+    fn truncated_mul_stays_within_declared_ulps() {
+        // Deterministic pseudo-random coverage of the whole working range.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Q16::from_raw((state >> 33) as i32)
+        };
+        for bits in [1u32, 4, 8, 12, 16] {
+            for _ in 0..500 {
+                let (a, b) = (next(), next());
+                let exact = a.saturating_mul(b).raw() as i64;
+                let approx = a.truncated_mul(b, bits).raw() as i64;
+                assert!(
+                    (exact - approx).abs() <= truncated_mul_error_ulps(bits),
+                    "{a:?} * {b:?} with {bits} bits: exact {exact}, approx {approx}"
+                );
+                // Truncation floors: never above the exact product.
+                assert!(approx <= exact, "{a:?} * {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_mul_zeroes_low_bits_and_saturates() {
+        let v = Q16::from_f64(1.0 + 1.0 / 65536.0);
+        let got = v.truncated_mul(Q16::ONE, 8);
+        assert_eq!(got.raw() & 0xff, 0);
+        let big = Q16::from_int(30000);
+        assert_eq!(big.truncated_mul(big, 8), Q16::MAX);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod fixed;
 pub mod stats;
 pub mod window;
 
-pub use dwt::{dwt_multilevel, DwtDecomposition, Wavelet};
+pub use dwt::{dwt_multilevel, dwt_multilevel_approx, DwtDecomposition, Wavelet};
 pub use fixed::Q16;
 pub use stats::{all_features_f64, feature_f64, FeatureKind};

@@ -16,7 +16,13 @@
 //!   streams must be per-node, derived from the run seed);
 //! * `static-mut` — `static mut` globals;
 //! * `interior-mut` — `RefCell<`/`Mutex<`/`RwLock<` (shared mutability
-//!   that a sharded executor would race on).
+//!   that a sharded executor would race on);
+//! * `rng-salt-unique` — two `rng::stream_seed` call sites sharing one
+//!   salt constant (the streams they derive are identical in lockstep;
+//!   every subsystem must mint its own salt). This rule is cross-file:
+//!   salts are compared textually across all scanned roots, so two
+//!   constants that merely *alias* the same value are not caught — name
+//!   one constant and the lint will.
 //!
 //! Line comments are skipped. Known-benign uses are recorded in an
 //! allowlist file (default `xpro-lint.allow`), one `path:rule # reason`
@@ -28,6 +34,7 @@
 //!
 //! Exit status: 0 clean, 1 usage or I/O error, 4 violations found.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -64,6 +71,13 @@ const RULES: &[Rule] = &[
         needles: &["RefCell<", "Mutex<", "RwLock<"],
         why: "shared interior mutability hides cross-shard state",
     },
+    // Cross-file rule: no needles, so the per-line scanner never fires
+    // it; `run` resolves it after collecting every call site.
+    Rule {
+        name: "rng-salt-unique",
+        needles: &[],
+        why: "stream_seed call sites sharing a salt draw identical streams",
+    },
 ];
 
 /// Whether a source line is a line comment (`//`, `///`, `//!`), which the
@@ -83,6 +97,34 @@ fn scan_line(line: &str) -> Vec<&'static Rule> {
         .iter()
         .filter(|r| r.needles.iter().any(|n| line.contains(n)))
         .collect()
+}
+
+/// Salt (second-argument) tokens of every `stream_seed(` *call* on a
+/// line. The `fn stream_seed(` definition itself is skipped, as are
+/// comment lines. Extraction is textual — good enough for the literal
+/// and named-constant salts the runtime uses.
+fn stream_seed_salts(line: &str) -> Vec<String> {
+    if is_comment(line) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("stream_seed(") {
+        let before = &rest[..pos];
+        rest = &rest[pos + "stream_seed(".len()..];
+        if before.trim_end().ends_with("fn") {
+            continue;
+        }
+        let mut parts = rest.splitn(3, ',');
+        let (Some(_), Some(salt)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let salt = salt.trim().trim_end_matches(')').trim();
+        if !salt.is_empty() {
+            out.push(salt.to_string());
+        }
+    }
+    out
 }
 
 /// One `path:rule` allowlist entry (comment stripped).
@@ -148,6 +190,8 @@ fn run(roots: &[PathBuf], allow: &[AllowEntry]) -> Result<Vec<Violation>, String
     }
     let mut violations = Vec::new();
     let mut used = vec![false; allow.len()];
+    // salt token -> every `stream_seed` call site using it.
+    let mut salt_sites: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
     for file in files {
         let text = std::fs::read_to_string(&file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
@@ -171,6 +215,40 @@ fn run(roots: &[PathBuf], allow: &[AllowEntry]) -> Result<Vec<Violation>, String
                     text: line.trim().to_string(),
                 });
             }
+            for salt in stream_seed_salts(line) {
+                salt_sites
+                    .entry(salt)
+                    .or_default()
+                    .push((shown.clone(), i + 1));
+            }
+        }
+    }
+    // Cross-file resolution of `rng-salt-unique`: a salt is fine exactly
+    // once; every site of a shared salt is flagged (or allowlisted).
+    let salt_rule = RULES
+        .iter()
+        .find(|r| r.name == "rng-salt-unique")
+        .expect("rule table");
+    for (salt, sites) in &salt_sites {
+        if sites.len() < 2 {
+            continue;
+        }
+        for (path, line) in sites {
+            let allowed = allow
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.rule == salt_rule.name && path.ends_with(a.path.as_str()));
+            if let Some((ai, _)) = allowed {
+                used[ai] = true;
+                continue;
+            }
+            violations.push(Violation {
+                path: path.clone(),
+                line: *line,
+                rule: salt_rule.name,
+                why: salt_rule.why,
+                text: format!("salt {salt} shared by {} call sites", sites.len()),
+            });
         }
     }
     for (a, used) in allow.iter().zip(&used) {
@@ -253,7 +331,11 @@ fn main() -> ExitCode {
     for v in &violations {
         println!("{}:{}: [{}] {} — {}", v.path, v.line, v.rule, v.text, v.why);
     }
-    println!("xpro-lint: {} violation(s)", violations.len());
+    println!(
+        "xpro-lint: {} violation(s); known-benign uses belong in {} (path:rule  # reason)",
+        violations.len(),
+        allow_path.display()
+    );
     ExitCode::from(4)
 }
 
@@ -297,6 +379,34 @@ mod tests {
         assert_eq!(allow[0].rule, "hash-iter");
         assert!(parse_allowlist("a.rs:nonsense-rule").is_err());
         assert!(parse_allowlist("no-colon-here").is_err());
+    }
+
+    #[test]
+    fn stream_seed_salts_extract_calls_not_the_definition() {
+        assert_eq!(
+            stream_seed_salts("let s = stream_seed(seed, LINK_STREAM_SALT, node);"),
+            ["LINK_STREAM_SALT"]
+        );
+        // Two calls on one line are two call sites.
+        assert_eq!(
+            stream_seed_salts("assert_eq!(stream_seed(42, 7, 3), stream_seed(42, 7, 3));"),
+            ["7", "7"]
+        );
+        assert!(
+            stream_seed_salts("pub fn stream_seed(seed: u64, salt: u64, i: u64) -> u64 {")
+                .is_empty()
+        );
+        assert!(stream_seed_salts("// stream_seed(seed, SALT, i) would be wrong").is_empty());
+        assert!(stream_seed_salts("use crate::rng::{stream_seed, XorShiftRng};").is_empty());
+    }
+
+    #[test]
+    fn rng_salt_unique_rule_is_registered_for_the_allowlist() {
+        let allow =
+            parse_allowlist("crates/runtime/src/rng.rs:rng-salt-unique # self-test").unwrap();
+        assert_eq!(allow[0].rule, "rng-salt-unique");
+        // ... and the per-line scanner never fires it (no needles).
+        assert!(scan_line("stream_seed(seed, SALT, i)").is_empty());
     }
 
     #[test]

@@ -21,8 +21,9 @@
 
 use xpro_analyze::gate::findings_for_report;
 use xpro_analyze::timing::RetryRegime;
-use xpro_analyze::{Finding, SignalBounds};
-use xpro_core::analysis::analyze_graph;
+use xpro_analyze::{analyze_approx_budget, approx_finding, ApproxBudget, Finding, SignalBounds};
+use xpro_core::analysis::{analyze_graph, cell_specs};
+use xpro_core::approx::{assignment_for_graph, ApproxLevel};
 use xpro_core::builder::{build_full_cell_graph, BuildOptions};
 use xpro_core::config::SystemConfig;
 use xpro_core::generator::XProGenerator;
@@ -119,6 +120,32 @@ pub fn table1_findings(opts: &SweepOptions) -> Result<(bool, Vec<Finding>), XPro
             findings.extend(timing.findings(config));
             findings.push(energy.finding(config));
         }
+
+        // Approximation-budget verdicts for the precision ladder (the
+        // partitioner's third axis): one row per rung at synthetic cells
+        // from `APPROX_CELL_BASE`, proving or refusing the rung's
+        // worst-case fused-decision deviation under these signal bounds.
+        for (slot, level) in ApproxLevel::ALL.iter().enumerate() {
+            let assignment = assignment_for_graph(instance.built(), *level);
+            if assignment.is_empty() {
+                continue;
+            }
+            let analysis = analyze_approx_budget(
+                &cell_specs(&instance.built().graph),
+                bounds,
+                &Default::default(),
+                &assignment,
+                &ApproxBudget::default(),
+            )
+            .map_err(|e| XProError::config(e.to_string()))?;
+            if opts.verbose {
+                println!(
+                    "  approx@{level}: {} (fused deviation {:.2})",
+                    analysis.verdict, analysis.fused_dev
+                );
+            }
+            findings.push(approx_finding(config, slot, level.name(), &analysis));
+        }
         Ok(())
     };
 
@@ -151,7 +178,8 @@ mod tests {
         };
         let (_, findings) = table1_findings(&opts).unwrap();
         // 7 configs (default + 6 cases), each with range rows at real
-        // cells and 8 timing/energy rows at synthetic cells.
+        // cells, 8 timing/energy rows and 4 approximation-ladder rows at
+        // synthetic cells.
         let configs: std::collections::BTreeSet<&str> =
             findings.iter().map(|f| f.config.as_str()).collect();
         assert_eq!(configs.len(), 7, "{configs:?}");
@@ -160,7 +188,7 @@ mod tests {
                 .iter()
                 .filter(|f| f.config == config && f.cell >= TIMING_CELL_BASE)
                 .collect();
-            assert_eq!(synthetic.len(), 8, "{config}: {synthetic:?}");
+            assert_eq!(synthetic.len(), 12, "{config}: {synthetic:?}");
             // The default fleet is lightly loaded, so every *fault-free*
             // verdict must be proven. The worst-case-retry regime may
             // honestly refuse a proof on upload-heavy cuts (contraction
@@ -173,10 +201,22 @@ mod tests {
                 "{config}: {synthetic:?}"
             );
             assert!(
-                synthetic
-                    .iter()
-                    .all(|f| f.rule.starts_with("timing.") || f.rule.starts_with("energy.")),
+                synthetic.iter().all(|f| {
+                    f.rule.starts_with("timing.")
+                        || f.rule.starts_with("energy.")
+                        || f.rule.starts_with("approx.")
+                }),
                 "{config}: {synthetic:?}"
+            );
+            let approx: Vec<&&Finding> = synthetic
+                .iter()
+                .filter(|f| f.rule.starts_with("approx."))
+                .collect();
+            assert_eq!(approx.len(), 4, "{config}: {approx:?}");
+            // The mildest rung must be provable on this tiny graph.
+            assert!(
+                approx.iter().any(|f| f.rule == "approx.budget_proven"),
+                "{config}: {approx:?}"
             );
         }
     }

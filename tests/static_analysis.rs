@@ -80,6 +80,59 @@ fn instanceable(lo: f64, hi: f64) -> bool {
 }
 
 #[test]
+fn gate_rejects_stale_format_version_with_migration_error_not_regression() {
+    // A baseline written by a previous findings-format version must fail
+    // the gate with a clear "regenerate the baseline" usage error (exit 1),
+    // not masquerade as a severity regression (exit 3).
+    use std::process::Command;
+
+    let dir = std::env::temp_dir().join(format!("xpro-gate-migration-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let baseline = dir.join("baseline.json");
+
+    // A tiny sweep keeps the test fast; the gate logic is size-independent.
+    let sweep = ["--table1", "--bases", "1", "--sv", "4", "--segments", "8"];
+    let write = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(sweep)
+        .args(["--json", "--write-baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("run analyze");
+    assert!(write.status.success(), "{write:?}");
+
+    // Sanity: the freshly written baseline gates clean.
+    let clean = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(sweep)
+        .arg("--gate")
+        .arg(&baseline)
+        .output()
+        .expect("run analyze");
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+
+    // Age the document to the previous format version and gate again.
+    let doc = std::fs::read_to_string(&baseline).expect("read baseline");
+    let stale = doc.replacen("\"version\": 3", "\"version\": 2", 1);
+    assert_ne!(doc, stale, "baseline must carry the version header");
+    std::fs::write(&baseline, stale).expect("write stale baseline");
+
+    let gated = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(sweep)
+        .arg("--gate")
+        .arg(&baseline)
+        .output()
+        .expect("run analyze");
+    let stderr = String::from_utf8_lossy(&gated.stderr);
+    assert_eq!(gated.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("regenerate the baseline"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("version 2"), "stderr: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn affine_domain_admits_placements_the_interval_domain_rejected() {
     // Moderately wide input: the interval domain loses the correlation
     // between each sample and the window mean, inflates the centered

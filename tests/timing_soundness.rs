@@ -161,7 +161,11 @@ fn table1_json_is_byte_stable_across_processes() {
     let second = run();
     assert_eq!(first, second, "findings document differs between runs");
     let text = String::from_utf8(first).expect("findings document is UTF-8");
-    assert!(text.contains("\"version\": 2"), "wrong format version");
+    assert!(text.contains("\"version\": 3"), "wrong format version");
     assert!(text.contains("wcrt@"), "timing rows missing");
     assert!(text.contains("energy@"), "energy rows missing");
+    assert!(
+        text.contains("approx@"),
+        "approximation-ladder rows missing"
+    );
 }
